@@ -1,0 +1,108 @@
+// Ablation E7 (Sec. V-A/B): data-layout transposition strategies.
+//
+// The paper evaluated two ways to feed SoA chunks to the user functions:
+//   (a) transpose the whole tensor AoS -> AoSoA once per kernel call and
+//       back at the end (chosen for linear PDEs),
+//   (b) transpose AoS -> SoA and back around *every* user-function call
+//       (rejected: effective only for expensive non-linear user functions).
+// This bench measures the boundary-transpose cost relative to one AoSoA
+// kernel invocation, and the total cost the rejected per-call scheme would
+// add (2 transposes x 3 dimensions x 2 user functions x N Taylor orders).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace exastp;
+using namespace exastp::bench;
+
+namespace {
+
+double time_seconds(const std::function<void()>& fn, int reps) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  return std::chrono::duration<double>(clock::now() - t0).count() / reps;
+}
+
+}  // namespace
+
+int main() {
+  ReportTable table({"order", "aosoa_kernel_ms", "boundary_transpose_ms",
+                     "boundary_pct_of_kernel", "rejected_soa_uf_kernel_ms",
+                     "rejected_pct_of_aosoa"});
+  for (int order = kBenchMinOrder; order <= kBenchMaxOrder; ++order) {
+    const int m = CurvilinearElasticPde::kQuants;
+    AosLayout aos(order, m, Isa::kAvx512);
+    AosoaLayout aosoa(order, m, Isa::kAvx512);
+    AlignedVector q = benchmark_cell(aos, 0);
+    AlignedVector hybrid(aosoa.size()), back(aos.size());
+
+    Measurement kernel =
+        measure_stp(StpVariant::kAosoaSplitCk, order, Isa::kAvx512,
+                    /*min_seconds=*/0.05);
+
+    const int reps = order >= 9 ? 50 : 200;
+    // (a) chosen scheme: in-transpose + out-transposes (1x qavg + 3x favg).
+    const double boundary = time_seconds(
+        [&] {
+          aos_to_aosoa(q.data(), aos, hybrid.data(), aosoa);
+          for (int i = 0; i < 4; ++i)
+            aosoa_to_aos(hybrid.data(), aosoa, back.data(), aos);
+        },
+        reps);
+    // (b) rejected scheme, actually measured (not estimated): SplitCK with
+    // AoS->SoA->AoS round trips around every user-function sweep.
+    Measurement rejected = measure_stp(StpVariant::kSoaUfSplitCk, order,
+                                       Isa::kAvx512, /*min_seconds=*/0.05);
+    table.add_row(
+        {std::to_string(order),
+         ReportTable::num(kernel.seconds_per_call * 1e3, 3),
+         ReportTable::num(boundary * 1e3, 3),
+         ReportTable::num(100.0 * boundary / kernel.seconds_per_call, 1),
+         ReportTable::num(rejected.seconds_per_call * 1e3, 3),
+         ReportTable::num(
+             100.0 * rejected.seconds_per_call / kernel.seconds_per_call, 1)});
+  }
+  table.print("Sec. V ablation — boundary AoSoA transpose vs per-call "
+              "AoS<->SoA transpose");
+  table.write_csv("bench_ablation_transpose.csv");
+  std::printf("\nexpected: boundary transposes cost a few %% of the kernel; "
+              "the rejected per-call scheme costs a large multiple of "
+              "that\nwrote bench_ablation_transpose.csv\n");
+
+  // Extension measurement: the AoSoA-native entry point (whole engine in
+  // AoSoA — the paper's future-work variant) vs the transposing wrapper.
+  ReportTable native({"order", "wrapper_ms", "native_ms", "saving_pct"});
+  for (int order = kBenchMinOrder; order <= kBenchMaxOrder; ++order) {
+    AosoaStp<CurvilinearElasticPde> kernel(CurvilinearElasticPde{}, order,
+                                           Isa::kAvx512);
+    const AosLayout& aos = kernel.layout();
+    const AosoaLayout& aosoa = kernel.internal_layout();
+    AlignedVector q = benchmark_cell(aos, 0);
+    AlignedVector qavg(aos.size()), f0(aos.size()), f1(aos.size()),
+        f2(aos.size());
+    StpOutputs out{qavg.data(), {f0.data(), f1.data(), f2.data()}};
+    AlignedVector q_a(aosoa.size()), qavg_a(aosoa.size()), g0(aosoa.size()),
+        g1(aosoa.size()), g2(aosoa.size());
+    aos_to_aosoa(q.data(), aos, q_a.data(), aosoa);
+    const std::array<double, 3> inv_dx{8.0, 8.0, 8.0};
+    const int reps = order >= 9 ? 30 : 120;
+    const double wrapper = time_seconds(
+        [&] { kernel.compute(q.data(), 1e-3, inv_dx, nullptr, out); }, reps);
+    const double nat = time_seconds(
+        [&] {
+          kernel.compute_native(q_a.data(), 1e-3, inv_dx, nullptr,
+                                qavg_a.data(),
+                                {g0.data(), g1.data(), g2.data()});
+        },
+        reps);
+    native.add_row({std::to_string(order), ReportTable::num(wrapper * 1e3, 3),
+                    ReportTable::num(nat * 1e3, 3),
+                    ReportTable::num(100.0 * (wrapper - nat) / wrapper, 1)});
+  }
+  native.print("extension — AoSoA-native engine mode vs transposing wrapper");
+  native.write_csv("bench_ablation_transpose_native.csv");
+  std::printf("\nwrote bench_ablation_transpose_native.csv\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 6: LoG vs SplitCK (both AVX-512), orders 4..11.
+//
+// Expected shape (paper): SplitCK's memory stalls start below LoG's and
+// keep shrinking relative to it as the order grows, while LoG's stay >=40%
+// and even increase after order 9; SplitCK's performance keeps growing with
+// order instead of plateauing.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace exastp;
+using namespace exastp::bench;
+
+int main() {
+  std::printf("measured peak (best ISA): %.1f GFlop/s\n",
+              available_peak_gflops());
+
+  ReportTable table({"order", "log_pct", "splitck_pct", "log_stall",
+                     "splitck_stall", "log_ws_KiB", "splitck_ws_KiB",
+                     "splitck_speedup"});
+  std::vector<double> orders, stall_log, stall_sp;
+  for (int order = kBenchMinOrder; order <= kBenchMaxOrder; ++order) {
+    Measurement log = measure_stp(StpVariant::kLog, order, Isa::kAvx512);
+    Measurement sp = measure_stp(StpVariant::kSplitCk, order, Isa::kAvx512);
+    orders.push_back(order);
+    stall_log.push_back(log.stall_pct);
+    stall_sp.push_back(sp.stall_pct);
+    table.add_row({std::to_string(order),
+                   ReportTable::num(log.pct_peak),
+                   ReportTable::num(sp.pct_peak),
+                   ReportTable::num(log.stall_pct, 1),
+                   ReportTable::num(sp.stall_pct, 1),
+                   std::to_string(log.workspace_bytes / 1024),
+                   std::to_string(sp.workspace_bytes / 1024),
+                   ReportTable::num(sp.gflops / log.gflops, 2)});
+  }
+  table.print("Fig. 6 — LoG vs SplitCK (AVX-512)");
+  table.write_csv("bench_fig06.csv");
+  AsciiChart chart("simulated memory-stall % vs order");
+  chart.add_series("log", orders, stall_log);
+  chart.add_series("splitck", orders, stall_sp);
+  chart.print("Fig. 6 (bottom): memory stalls");
+  std::printf("\nwrote bench_fig06.csv\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Fig. 9: distribution of the SIMD packing width of the
+// executed floating-point operations for the four kernel variants at
+// orders 4..11 (dynamic FLOP classification, see src/perf/flop_count.h).
+//
+// Expected shape (paper): Generic mostly scalar with a small
+// auto-vectorized share; LoG and SplitCK >80% packed with a ~10% scalar
+// tail from the pointwise user functions; AoSoA SplitCK reduces the scalar
+// share to 2-4%.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace exastp;
+using namespace exastp::bench;
+
+int main() {
+  ReportTable table({"variant", "order", "scalar_pct", "p128_pct", "p256_pct",
+                     "p512_pct"});
+  for (StpVariant v : kAllVariants) {
+    for (int order = kBenchMinOrder; order <= kBenchMaxOrder; ++order) {
+      const Isa isa = v == StpVariant::kGeneric ? Isa::kScalar : Isa::kAvx512;
+      Measurement m = measure_stp(v, order, isa, /*min_seconds=*/0.02);
+      table.add_row({variant_name(v), std::to_string(order),
+                     ReportTable::num(m.mix.scalar(), 1),
+                     ReportTable::num(m.mix.p128(), 1),
+                     ReportTable::num(m.mix.p256(), 1),
+                     ReportTable::num(m.mix.p512(), 1)});
+    }
+  }
+  table.print("Fig. 9 — instruction mix (FLOPs by packing width)");
+  table.write_csv("bench_fig09.csv");
+  std::printf("\nwrote bench_fig09.csv\n");
+  return 0;
+}

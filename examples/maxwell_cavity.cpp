@@ -1,0 +1,56 @@
+// Maxwell cavity example: an electromagnetic pulse trapped in a perfectly
+// conducting box, demonstrating the engine's PDE generality (the same four
+// optimized kernels run an entirely different physics) and the energy
+// diagnostics.
+//
+//   build/examples/maxwell_cavity [order]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+
+#include "exastp/kernels/registry.h"
+#include "exastp/pde/maxwell.h"
+#include "exastp/solver/energy.h"
+
+using namespace exastp;
+
+int main(int argc, char** argv) {
+  const int order = argc > 1 ? std::atoi(argv[1]) : 4;
+  constexpr double kPi = std::numbers::pi;
+
+  MaxwellPde pde;
+  GridSpec grid;
+  grid.cells = {3, 3, 3};
+  grid.boundary = {BoundaryKind::kWall, BoundaryKind::kWall,
+                   BoundaryKind::kWall};  // PEC box
+  auto runtime = std::make_shared<PdeAdapter<MaxwellPde>>(pde);
+  AderDgSolver solver(
+      runtime,
+      make_stp_kernel(pde, StpVariant::kAosoaSplitCk, order, host_best_isa()),
+      grid);
+
+  // TE-like mode: Ey ~ sin(pi x) sin(pi z) satisfies the PEC condition on
+  // the x- and z-walls.
+  solver.set_initial_condition(
+      [&](const std::array<double, 3>& x, double* q) {
+        for (int s = 0; s < MaxwellPde::kVars; ++s) q[s] = 0.0;
+        q[MaxwellPde::kEy] = std::sin(kPi * x[0]) * std::sin(kPi * x[2]);
+        q[MaxwellPde::kEps] = 1.0;
+        q[MaxwellPde::kMu] = 1.0;
+      });
+
+  const double e0 = maxwell_energy(solver);
+  std::printf("PEC cavity, order %d, initial EM energy %.6f\n", order, e0);
+  std::printf("%8s  %12s  %10s\n", "t", "energy", "kept_pct");
+  for (int i = 1; i <= 5; ++i) {
+    solver.run_until(0.2 * i);
+    const double e = maxwell_energy(solver);
+    std::printf("%8.2f  %12.6f  %9.2f%%\n", solver.time(), e,
+                100.0 * e / e0);
+  }
+  const double kept = maxwell_energy(solver) / e0;
+  std::printf("energy retained after one box-crossing time: %.1f%%\n",
+              100.0 * kept);
+  return (kept > 0.5 && kept <= 1.0 + 1e-9) ? 0 : 1;
+}

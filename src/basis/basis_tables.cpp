@@ -1,0 +1,77 @@
+#include "exastp/basis/basis_tables.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "exastp/basis/lagrange.h"
+#include "exastp/common/check.h"
+#include "exastp/common/taylor.h"
+
+namespace exastp {
+
+AlignedVector BasisTables::padded_diff(int ld) const {
+  EXASTP_CHECK(ld >= n);
+  AlignedVector out(static_cast<std::size_t>(n) * ld, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      out[static_cast<std::size_t>(i) * ld + j] =
+          diff[static_cast<std::size_t>(i) * n + j];
+  return out;
+}
+
+AlignedVector BasisTables::padded_diff_t(int ld) const {
+  EXASTP_CHECK(ld >= n);
+  AlignedVector out(static_cast<std::size_t>(n) * ld, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      out[static_cast<std::size_t>(i) * ld + j] =
+          diff_t[static_cast<std::size_t>(i) * n + j];
+  return out;
+}
+
+namespace {
+
+std::unique_ptr<BasisTables> build_tables(int n, NodeFamily family) {
+  auto t = std::make_unique<BasisTables>();
+  t->n = n;
+  t->family = family;
+  QuadratureRule rule = make_quadrature(n, family);
+  t->nodes = rule.nodes;
+  t->weights = rule.weights;
+
+  std::vector<double> d = derivative_matrix(t->nodes);
+  t->diff.assign(d.begin(), d.end());
+  t->diff_t.resize(d.size());
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      t->diff_t[static_cast<std::size_t>(j) * n + i] =
+          d[static_cast<std::size_t>(i) * n + j];
+
+  t->phi_left.resize(n);
+  t->phi_right.resize(n);
+  t->lift_left.resize(n);
+  t->lift_right.resize(n);
+  for (int j = 0; j < n; ++j) {
+    t->phi_left[j] = lagrange_value(t->nodes, j, 0.0);
+    t->phi_right[j] = lagrange_value(t->nodes, j, 1.0);
+    t->lift_left[j] = t->phi_left[j] / t->weights[j];
+    t->lift_right[j] = t->phi_right[j] / t->weights[j];
+  }
+  return t;
+}
+
+}  // namespace
+
+const BasisTables& basis_tables(int n, NodeFamily family) {
+  EXASTP_CHECK_MSG(n >= 1 && n <= kMaxOrder, "order out of supported range");
+  static std::mutex mutex;
+  static std::map<std::pair<int, NodeFamily>, std::unique_ptr<BasisTables>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[{n, family}];
+  if (!slot) slot = build_tables(n, family);
+  return *slot;
+}
+
+}  // namespace exastp

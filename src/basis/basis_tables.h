@@ -1,0 +1,49 @@
+// Precomputed per-order operator tables.
+//
+// The paper's Kernel Generator hard-codes these matrices into the generated
+// kernels (Sec. III-C: "frequently used matrices ... can be precomputed").
+// Here they live in a process-wide cache keyed by (order, node family); the
+// optimized kernel templates capture a reference once at construction.
+#pragma once
+
+#include <vector>
+
+#include "exastp/common/aligned.h"
+#include "exastp/quadrature/quadrature.h"
+
+namespace exastp {
+
+struct BasisTables {
+  int n = 0;  ///< nodes per dimension (paper's order N)
+  NodeFamily family = NodeFamily::kGaussLegendre;
+
+  std::vector<double> nodes;    ///< quadrature nodes in [0,1]
+  std::vector<double> weights;  ///< quadrature weights (diagonal mass matrix)
+
+  /// Collocation derivative operator, row-major n x n: D[i*n+j] = l_j'(x_i).
+  AlignedVector diff;
+  /// Transpose of `diff`, row-major n x n (used by the AoSoA x-derivative,
+  /// Sec. V-B case 1: C^T = B^T A^T).
+  AlignedVector diff_t;
+
+  /// Basis values at the element faces: phi_left[j] = l_j(0),
+  /// phi_right[j] = l_j(1). These build the face-projection operator.
+  AlignedVector phi_left, phi_right;
+
+  /// Lift coefficients for the strong-form surface term:
+  /// lift_left[j] = l_j(0) / w_j, lift_right[j] = l_j(1) / w_j.
+  AlignedVector lift_left, lift_right;
+
+  /// diff with each row padded to `ld` doubles (zero fill). Used to hand
+  /// LIBXSMM-style microkernels an aligned leading dimension.
+  AlignedVector padded_diff(int ld) const;
+  /// diff_t with padded rows.
+  AlignedVector padded_diff_t(int ld) const;
+};
+
+/// Returns the cached tables for n nodes of the given family. Thread-safe
+/// for concurrent readers after first use; throws for n < 1 or n > kMaxOrder.
+const BasisTables& basis_tables(int n,
+                                NodeFamily family = NodeFamily::kGaussLegendre);
+
+}  // namespace exastp

@@ -1,0 +1,65 @@
+#include "exastp/basis/lagrange.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+std::vector<double> barycentric_weights(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<double> w(static_cast<std::size_t>(n), 1.0);
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < n; ++k) {
+      if (k != j) w[j] /= (nodes[j] - nodes[k]);
+    }
+  }
+  return w;
+}
+
+double lagrange_value(const std::vector<double>& nodes, int j, double x) {
+  const int n = static_cast<int>(nodes.size());
+  EXASTP_CHECK(j >= 0 && j < n);
+  double v = 1.0;
+  for (int k = 0; k < n; ++k) {
+    if (k != j) v *= (x - nodes[k]) / (nodes[j] - nodes[k]);
+  }
+  return v;
+}
+
+double lagrange_derivative(const std::vector<double>& nodes, int j, double x) {
+  const int n = static_cast<int>(nodes.size());
+  EXASTP_CHECK(j >= 0 && j < n);
+  // l_j'(x) = l_j(x) * sum_{k != j} 1/(x - x_k) away from nodes; at nodes the
+  // product form below stays finite and exact.
+  double sum = 0.0;
+  for (int m = 0; m < n; ++m) {
+    if (m == j) continue;
+    double term = 1.0 / (nodes[j] - nodes[m]);
+    for (int k = 0; k < n; ++k) {
+      if (k != j && k != m) term *= (x - nodes[k]) / (nodes[j] - nodes[k]);
+    }
+    sum += term;
+  }
+  return sum;
+}
+
+std::vector<double> derivative_matrix(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  const std::vector<double> w = barycentric_weights(nodes);
+  std::vector<double> d(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dij = (w[j] / w[i]) / (nodes[i] - nodes[j]);
+      d[static_cast<std::size_t>(i) * n + j] = dij;
+      diag -= dij;  // rows of D must sum to zero (derivative of constants)
+    }
+    d[static_cast<std::size_t>(i) * n + i] = diag;
+  }
+  return d;
+}
+
+}  // namespace exastp

@@ -1,0 +1,28 @@
+// Lagrange nodal basis on [0,1].
+//
+// The DG ansatz uses tensor products of 1-D Lagrange polynomials collocated
+// at quadrature nodes (paper Sec. II-A). This module provides pointwise
+// evaluation plus the classic barycentric construction of the collocation
+// derivative matrix D with D[i][j] = l_j'(x_i).
+#pragma once
+
+#include <vector>
+
+namespace exastp {
+
+/// Barycentric weights w_j = 1 / prod_{k != j} (x_j - x_k).
+std::vector<double> barycentric_weights(const std::vector<double>& nodes);
+
+/// Value of the j-th Lagrange polynomial at x (direct product form; exact
+/// at the nodes by construction).
+double lagrange_value(const std::vector<double>& nodes, int j, double x);
+
+/// Derivative of the j-th Lagrange polynomial at x.
+double lagrange_derivative(const std::vector<double>& nodes, int j, double x);
+
+/// Collocation derivative matrix, row-major n x n: D[i*n + j] = l_j'(x_i).
+/// Built from barycentric weights with the negative-sum trick for the
+/// diagonal, which guarantees exact differentiation of constants.
+std::vector<double> derivative_matrix(const std::vector<double>& nodes);
+
+}  // namespace exastp

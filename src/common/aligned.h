@@ -1,0 +1,63 @@
+// Aligned storage primitives shared by every exastp module.
+//
+// All hot tensors are 64-byte aligned so that AVX-512 loads of the padded
+// leading dimension are always aligned, mirroring the memory discipline the
+// paper's Kernel Generator emits (Sec. III-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace exastp {
+
+/// Alignment (bytes) used for every tensor allocation. One cache line; also
+/// the natural alignment of a full AVX-512 register.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Minimal C++17 aligned allocator so std::vector storage is usable with
+/// aligned SIMD loads and `__builtin_assume_aligned`.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    void* p = std::aligned_alloc(kAlignment, round_up_bytes(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+
+ private:
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  static std::size_t round_up_bytes(std::size_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+};
+
+/// Aligned vector of doubles: the workhorse storage type for DOFs, operator
+/// tables and kernel scratch space.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+/// Rounds `n` up to the next multiple of `multiple` (> 0). This is the
+/// zero-padding rule applied to the leading tensor dimension (Sec. III-A).
+constexpr int pad_to(int n, int multiple) {
+  return (n + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace exastp

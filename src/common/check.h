@@ -1,0 +1,37 @@
+// Lightweight invariant checking used at module boundaries.
+//
+// Hot kernels validate their inputs once per call (not per node); violations
+// throw std::invalid_argument / std::logic_error so the solver loop and the
+// tests can observe failures deterministically.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace exastp {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace exastp
+
+/// EXASTP_CHECK(cond) / EXASTP_CHECK_MSG(cond, "context"): argument and
+/// invariant validation that stays enabled in release builds (boundary-only,
+/// so the cost is negligible next to the kernels themselves).
+#define EXASTP_CHECK(cond)                                       \
+  do {                                                           \
+    if (!(cond)) ::exastp::fail_check(#cond, __FILE__, __LINE__, \
+                                      std::string());            \
+  } while (false)
+
+#define EXASTP_CHECK_MSG(cond, msg)                              \
+  do {                                                           \
+    if (!(cond)) ::exastp::fail_check(#cond, __FILE__, __LINE__, \
+                                      std::string(msg));         \
+  } while (false)

@@ -1,0 +1,29 @@
+#include "exastp/common/simd.h"
+
+namespace exastp {
+
+std::string isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool host_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512: return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+}
+
+Isa host_best_isa() {
+  if (host_supports(Isa::kAvx512)) return Isa::kAvx512;
+  if (host_supports(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+}  // namespace exastp

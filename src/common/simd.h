@@ -1,0 +1,39 @@
+// Instruction-set abstraction.
+//
+// The paper generates kernels per target architecture (Haswell/AVX2 vs
+// Skylake/AVX-512) from Jinja2 macros. Here the analogous knob is the `Isa`
+// enum: it selects the padding width of the leading tensor dimension and the
+// microkernel family used by the mini-GEMM library, so the Fig. 4 comparison
+// (LoG AVX-512 vs LoG AVX2) runs both code paths on the same machine.
+#pragma once
+
+#include <string>
+
+namespace exastp {
+
+enum class Isa {
+  kScalar,  ///< no SIMD: padding 1, scalar microkernels (generic kernels)
+  kAvx2,    ///< 256-bit: padding 4 doubles (Haswell-era code path)
+  kAvx512,  ///< 512-bit: padding 8 doubles (Skylake code path)
+};
+
+/// SIMD register width in units of doubles.
+constexpr int vector_width(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return 1;
+    case Isa::kAvx2: return 4;
+    case Isa::kAvx512: return 8;
+  }
+  return 1;
+}
+
+/// Human-readable name used in bench tables.
+std::string isa_name(Isa isa);
+
+/// True if the host CPU can execute code generated for `isa`.
+bool host_supports(Isa isa);
+
+/// Best ISA supported by the host.
+Isa host_best_isa();
+
+}  // namespace exastp

@@ -1,0 +1,86 @@
+#include "exastp/gemm/gemm.h"
+
+#include "exastp/common/check.h"
+#include "exastp/gemm/gemm_impl.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+namespace {
+
+void count_gemm_flops(Isa isa, int m, int n, int k, bool accumulate) {
+  // 2*M*N*K multiply-adds plus the zeroing pass when overwriting; zeroing
+  // stores are not FLOPs and are not counted. Padded columns of N execute
+  // real arithmetic and are included — same as a hardware counter.
+  (void)accumulate;
+  // Each of the n columns is a SIMD lane carrying 2*m*k multiply-adds;
+  // columns beyond the last full vector run in the compiler's remainder
+  // loop and count as scalar.
+  count_packed_flops(isa, n, 2ull * m * k);
+}
+
+void dispatch(Isa isa, bool accumulate, double alpha, int m, int n, int k,
+              const double* a, int lda, const double* b, int ldb, double* c,
+              int ldc) {
+  EXASTP_CHECK(m >= 0 && n >= 0 && k >= 0);
+  EXASTP_CHECK(lda >= k && ldb >= n && ldc >= n);
+  switch (isa) {
+    case Isa::kScalar:
+      detail::gemm_kernel_baseline(accumulate, alpha, m, n, k, a, lda, b, ldb,
+                                   c, ldc);
+      break;
+    case Isa::kAvx2:
+      EXASTP_CHECK_MSG(host_supports(Isa::kAvx2), "host lacks AVX2");
+      detail::gemm_kernel_avx2(accumulate, alpha, m, n, k, a, lda, b, ldb, c,
+                               ldc);
+      break;
+    case Isa::kAvx512:
+      EXASTP_CHECK_MSG(host_supports(Isa::kAvx512), "host lacks AVX-512");
+      detail::gemm_kernel_avx512(accumulate, alpha, m, n, k, a, lda, b, ldb,
+                                 c, ldc);
+      break;
+  }
+  count_gemm_flops(isa, m, n, k, accumulate);
+}
+
+}  // namespace
+
+WidthClass gemm_width_class(Isa isa) { return packed_width_class(isa); }
+
+void gemm_set(Isa isa, int m, int n, int k, const double* a, int lda,
+              const double* b, int ldb, double* c, int ldc) {
+  dispatch(isa, /*accumulate=*/false, 1.0, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_acc(Isa isa, int m, int n, int k, const double* a, int lda,
+              const double* b, int ldb, double* c, int ldc) {
+  dispatch(isa, /*accumulate=*/true, 1.0, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_acc_scaled(Isa isa, double alpha, int m, int n, int k,
+                     const double* a, int lda, const double* b, int ldb,
+                     double* c, int ldc) {
+  dispatch(isa, /*accumulate=*/true, alpha, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_set_scaled(Isa isa, double alpha, int m, int n, int k,
+                     const double* a, int lda, const double* b, int ldb,
+                     double* c, int ldc) {
+  dispatch(isa, /*accumulate=*/false, alpha, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_reference(bool accumulate, double alpha, int m, int n, int k,
+                    const double* a, int lda, const double* b, int ldb,
+                    double* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = accumulate ? c[static_cast<long>(i) * ldc + j] : 0.0;
+      for (int l = 0; l < k; ++l) {
+        acc += alpha * a[static_cast<long>(i) * lda + l] *
+               b[static_cast<long>(l) * ldb + j];
+      }
+      c[static_cast<long>(i) * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace exastp

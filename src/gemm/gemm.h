@@ -1,0 +1,58 @@
+// mini-GEMM: small dense matrix multiplication on tensor slices.
+//
+// Substitute for LIBXSMM (paper Sec. III-B). The kernels compute
+//
+//     C (M x N)  =/+=  A (M x K) * B (K x N)
+//
+// with independent leading dimensions lda/ldb/ldc, so a "matrix" may be a
+// strided slice of a tensor: the paper's trick of interpreting the slice
+// stride as the padded leading dimension (Fig. 3) maps 1:1 onto these
+// arguments. The N (column) dimension is the unit-stride one and is the
+// vectorized axis; callers arrange their layouts so that N is the padded
+// quantity dimension (AoS) or the padded x-line / fused dimensions (AoSoA).
+//
+// Three ISA paths are compiled into the library from one shared inner-loop
+// template (see gemm_impl.h): a baseline path (no -m flags: GCC emits SSE2,
+// mirroring "compiler heuristics" 128-bit packing), an AVX2 path and an
+// AVX-512 path. Dispatch is explicit via the Isa argument so benchmarks can
+// compare code paths on one machine (Fig. 4: LoG AVX-512 vs LoG AVX2).
+//
+// Every call reports its FLOPs (2*M*N*K, padding included) to FlopCounter,
+// classified by the packing width of the selected path.
+#pragma once
+
+#include "exastp/common/simd.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+/// C = A*B (overwrite). N columns of C/B must be unit-stride.
+void gemm_set(Isa isa, int m, int n, int k, const double* a, int lda,
+              const double* b, int ldb, double* c, int ldc);
+
+/// C += A*B (accumulate).
+void gemm_acc(Isa isa, int m, int n, int k, const double* a, int lda,
+              const double* b, int ldb, double* c, int ldc);
+
+/// C += alpha * A*B. Used for derivative operators carrying the 1/h mesh
+/// scaling so no separate scaling pass over C is needed.
+void gemm_acc_scaled(Isa isa, double alpha, int m, int n, int k,
+                     const double* a, int lda, const double* b, int ldb,
+                     double* c, int ldc);
+
+/// C = alpha * A*B (overwrite).
+void gemm_set_scaled(Isa isa, double alpha, int m, int n, int k,
+                     const double* a, int lda, const double* b, int ldb,
+                     double* c, int ldc);
+
+/// Reference triple loop without any vectorization pragmas; ground truth for
+/// the unit tests and the "naive" side of the bench_gemm comparison. Does
+/// not touch the FLOP counter.
+void gemm_reference(bool accumulate, double alpha, int m, int n, int k,
+                    const double* a, int lda, const double* b, int ldb,
+                    double* c, int ldc);
+
+/// WidthClass that `isa`'s code path reports to the FLOP counter.
+WidthClass gemm_width_class(Isa isa);
+
+}  // namespace exastp

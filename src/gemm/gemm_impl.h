@@ -1,0 +1,105 @@
+// Shared mini-GEMM inner loop, instantiated once per ISA translation unit.
+//
+// The three TUs (gemm_baseline.cpp / gemm_avx2.cpp / gemm_avx512.cpp) are
+// compiled with different -m flags; including this header gives each the
+// same schedule, which GCC vectorizes with the widest packing the TU's
+// target allows. This mirrors how LIBXSMM generates one microkernel per
+// ISA from one schedule.
+//
+// Schedule: register-blocked over the unit-stride C columns. A block of
+// compile-time width (32/16/8/4 doubles) of accumulators stays live across
+// the whole k-loop (GCC maps the fixed-size array onto vector registers),
+// so each C element is loaded/stored once per GEMM instead of once per k
+// iteration — the property that makes LIBXSMM-style small GEMMs
+// compute-bound.
+//
+// Everything here has internal linkage (anonymous namespace) ON PURPOSE:
+// each ISA TU must get its own copy compiled with its own -m flags; an
+// inline symbol would be merged across TUs by the linker and silently pick
+// one ISA for all three.
+#pragma once
+
+namespace exastp::detail {
+namespace {
+
+template <int JB>
+inline void gemm_block(bool accumulate, double alpha, int k, const double* ai,
+                       const double* b, int ldb, double* cj) {
+  double acc[JB];
+  if (accumulate) {
+#pragma omp simd
+    for (int jj = 0; jj < JB; ++jj) acc[jj] = cj[jj];
+  } else {
+#pragma omp simd
+    for (int jj = 0; jj < JB; ++jj) acc[jj] = 0.0;
+  }
+  for (int l = 0; l < k; ++l) {
+    const double ail = alpha * ai[l];
+    const double* bl = b + static_cast<long>(l) * ldb;
+#pragma omp simd
+    for (int jj = 0; jj < JB; ++jj) acc[jj] += ail * bl[jj];
+  }
+#pragma omp simd
+  for (int jj = 0; jj < JB; ++jj) cj[jj] = acc[jj];
+}
+
+inline void gemm_tail(bool accumulate, double alpha, int tail, int k,
+                      const double* ai, const double* b, int ldb,
+                      double* cj) {
+  for (int jj = 0; jj < tail; ++jj) {
+    double acc = accumulate ? cj[jj] : 0.0;
+    for (int l = 0; l < k; ++l)
+      acc += alpha * ai[l] * b[static_cast<long>(l) * ldb + jj];
+    cj[jj] = acc;
+  }
+}
+
+inline void gemm_kernel_body(bool accumulate, double alpha, int m, int n,
+                             int k, const double* a, int lda, const double* b,
+                             int ldb, double* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    double* ci = c + static_cast<long>(i) * ldc;
+    const double* ai = a + static_cast<long>(i) * lda;
+    int jb = 0;
+    for (; jb + 32 <= n; jb += 32)
+      gemm_block<32>(accumulate, alpha, k, ai, b + jb, ldb, ci + jb);
+    if (jb + 16 <= n) {
+      gemm_block<16>(accumulate, alpha, k, ai, b + jb, ldb, ci + jb);
+      jb += 16;
+    }
+    if (jb + 8 <= n) {
+      gemm_block<8>(accumulate, alpha, k, ai, b + jb, ldb, ci + jb);
+      jb += 8;
+    }
+    if (jb + 4 <= n) {
+      gemm_block<4>(accumulate, alpha, k, ai, b + jb, ldb, ci + jb);
+      jb += 4;
+    }
+    if (jb < n)
+      gemm_tail(accumulate, alpha, n - jb, k, ai, b + jb, ldb, ci + jb);
+  }
+}
+
+}  // namespace
+}  // namespace exastp::detail
+
+#define EXASTP_DEFINE_GEMM_KERNEL(NAME)                                      \
+  void NAME(bool accumulate, double alpha, int m, int n, int k,             \
+            const double* a, int lda, const double* b, int ldb, double* c,   \
+            int ldc) {                                                       \
+    gemm_kernel_body(accumulate, alpha, m, n, k, a, lda, b, ldb, c, ldc);    \
+  }
+
+namespace exastp::detail {
+
+void gemm_kernel_baseline(bool accumulate, double alpha, int m, int n, int k,
+                          const double* a, int lda, const double* b, int ldb,
+                          double* c, int ldc);
+void gemm_kernel_avx2(bool accumulate, double alpha, int m, int n, int k,
+                      const double* a, int lda, const double* b, int ldb,
+                      double* c, int ldc);
+void gemm_kernel_avx512(bool accumulate, double alpha, int m, int n, int k,
+                        const double* a, int lda, const double* b, int ldb,
+                        double* c, int ldc);
+
+}  // namespace exastp::detail

@@ -1,0 +1,7 @@
+#include "exastp/gemm/vecops_impl.h"
+
+namespace exastp::detail {
+
+EXASTP_DEFINE_VECOPS_KERNELS(avx2)
+
+}  // namespace exastp::detail

@@ -1,0 +1,33 @@
+// Shared element-wise loop bodies, instantiated once per ISA TU, same
+// pattern as gemm_impl.h.
+#pragma once
+
+#define EXASTP_DEFINE_VECOPS_KERNELS(SUFFIX)                         \
+  void vec_axpy_##SUFFIX(long n, double a, const double* x,         \
+                         double* y) {                               \
+    _Pragma("omp simd")                                             \
+    for (long i = 0; i < n; ++i) y[i] += a * x[i];                  \
+  }                                                                 \
+  void vec_scale_##SUFFIX(long n, double a, const double* x,        \
+                          double* y) {                              \
+    _Pragma("omp simd")                                             \
+    for (long i = 0; i < n; ++i) y[i] = a * x[i];                   \
+  }                                                                 \
+  void vec_add_##SUFFIX(long n, const double* x, double* y) {       \
+    _Pragma("omp simd")                                             \
+    for (long i = 0; i < n; ++i) y[i] += x[i];                      \
+  }
+
+namespace exastp::detail {
+
+void vec_axpy_baseline(long n, double a, const double* x, double* y);
+void vec_scale_baseline(long n, double a, const double* x, double* y);
+void vec_add_baseline(long n, const double* x, double* y);
+void vec_axpy_avx2(long n, double a, const double* x, double* y);
+void vec_scale_avx2(long n, double a, const double* x, double* y);
+void vec_add_avx2(long n, const double* x, double* y);
+void vec_axpy_avx512(long n, double a, const double* x, double* y);
+void vec_scale_avx512(long n, double a, const double* x, double* y);
+void vec_add_avx512(long n, const double* x, double* y);
+
+}  // namespace exastp::detail

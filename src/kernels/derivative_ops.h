@@ -1,0 +1,97 @@
+// Discrete derivative operators as Loop-over-GEMM (paper Sec. III-B).
+//
+// Every tensor contraction of the STP reduces to batched mini-GEMM calls on
+// matrix slices of the cell tensor (Fig. 3): the slice stride becomes the
+// leading dimension. Three batching shapes appear:
+//
+//   AoS,   x:  per (k3,k2) slice   out' = D * Q'      (n x n)(n x mPad)
+//   AoS,   y:  per k3 slab, fuse (k1,s):  D * (n x n*mPad)
+//   AoS,   z:  one GEMM, fuse (k2,k1,s):  D * (n x n^2*mPad)
+//   AoSoA, x:  per (k3,k2) line, transposed product  Q' * D^T  (Sec. V-B
+//              case 1: C^T = B^T A^T), vectorizing over the padded x-line
+//   AoSoA, y:  per k3 slab, fuse (s,k1):  D * (n x m*nPad)   (Fig. 7)
+//   AoSoA, z:  one GEMM, fuse (k2,s,k1):  D * (n x n*m*nPad)
+//
+// The 1/h mesh scaling rides along as the GEMM alpha so no separate scaling
+// pass over the output is needed.
+#pragma once
+
+#include "exastp/common/check.h"
+#include "exastp/gemm/gemm.h"
+#include "exastp/tensor/layout.h"
+
+namespace exastp {
+
+/// dst (+)= inv_h * d(src)/dxi_dir for AoS tensors. `diff` is the n x n
+/// derivative operator, row-major, lda = n.
+inline void aos_derivative(Isa isa, const AosLayout& aos, const double* diff,
+                           double inv_h, int dir, const double* src,
+                           double* dst, bool accumulate) {
+  const int n = aos.n;
+  const int ld = aos.m_pad;
+  auto run = accumulate ? gemm_acc_scaled : gemm_set_scaled;
+  switch (dir) {
+    case 0:
+      for (int k3 = 0; k3 < n; ++k3)
+        for (int k2 = 0; k2 < n; ++k2) {
+          const std::size_t off = aos.node_offset(k3, k2, 0);
+          run(isa, inv_h, n, ld, n, diff, n, src + off, ld, dst + off, ld);
+        }
+      break;
+    case 1:
+      for (int k3 = 0; k3 < n; ++k3) {
+        const std::size_t off = aos.node_offset(k3, 0, 0);
+        run(isa, inv_h, n, n * ld, n, diff, n, src + off, n * ld, dst + off,
+            n * ld);
+      }
+      break;
+    case 2:
+      run(isa, inv_h, n, n * n * ld, n, diff, n, src, n * n * ld, dst,
+          n * n * ld);
+      break;
+    default:
+      EXASTP_CHECK_MSG(false, "dir must be 0, 1 or 2");
+  }
+}
+
+/// dst (+)= inv_h * d(src)/dxi_dir for AoSoA tensors. `diff` as above;
+/// `diff_t_padded` is D^T with rows padded to aosoa.n_pad (basis_tables'
+/// padded_diff_t), required for dir == 0.
+inline void aosoa_derivative(Isa isa, const AosoaLayout& aosoa,
+                             const double* diff, const double* diff_t_padded,
+                             double inv_h, int dir, const double* src,
+                             double* dst, bool accumulate) {
+  const int n = aosoa.n;
+  const int m = aosoa.m;
+  const int np = aosoa.n_pad;
+  auto run = accumulate ? gemm_acc_scaled : gemm_set_scaled;
+  switch (dir) {
+    case 0:
+      // out[s][i] = sum_l src[s][l] * Dt[l][i]; unit stride over the padded
+      // x-line in both B and C.
+      for (int k3 = 0; k3 < n; ++k3)
+        for (int k2 = 0; k2 < n; ++k2) {
+          const std::size_t off = aosoa.line_offset(k3, k2);
+          run(isa, inv_h, m, np, n, src + off, np, diff_t_padded, np,
+              dst + off, np);
+        }
+      break;
+    case 1:
+      // Fuse (s, i): out[j][si] = sum_l D[j][l] src[l][si] (Fig. 7).
+      for (int k3 = 0; k3 < n; ++k3) {
+        const std::size_t off = aosoa.idx(k3, 0, 0, 0);
+        run(isa, inv_h, n, m * np, n, diff, n, src + off, m * np, dst + off,
+            m * np);
+      }
+      break;
+    case 2:
+      // Fuse (k2, s, i): one big GEMM over the whole tensor.
+      run(isa, inv_h, n, n * m * np, n, diff, n, src, n * m * np, dst,
+          n * m * np);
+      break;
+    default:
+      EXASTP_CHECK_MSG(false, "dir must be 0, 1 or 2");
+  }
+}
+
+}  // namespace exastp

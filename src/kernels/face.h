@@ -1,0 +1,159 @@
+// Face-level operations of the corrector step (paper eq. (5)).
+//
+// The STP emits the time-averaged state qavg; the corrector projects it to
+// the six element faces ("performed by a single matrix-matrix
+// multiplication, leaving no room for optimization" — Sec. II-B), solves a
+// Rusanov Riemann problem per face from both sides' projections, and applies
+// the strong-form DGSEM surface lift. For a linear PDE the numerical flux is
+// linear in its inputs (the assumption of Sec. II-A), so operating on
+// time-averaged quantities is exact.
+//
+// Face patch layout: AoS with the same quantity padding as the cell tensor;
+// node (a, b) are the two in-face coordinates in ascending dimension order
+// (x-face: (y,z), y-face: (x,z), z-face: (x,y)).
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "exastp/basis/basis_tables.h"
+#include "exastp/common/check.h"
+#include "exastp/kernels/stp_common.h"
+#include "exastp/pde/pde_base.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+/// Layout of one face patch: n^2 nodes, padded quantities.
+struct FaceLayout {
+  int n = 0;
+  int m = 0;
+  int m_pad = 0;
+
+  FaceLayout() = default;
+  FaceLayout(const AosLayout& aos) : n(aos.n), m(aos.m), m_pad(aos.m_pad) {}
+
+  std::size_t size() const { return static_cast<std::size_t>(n) * n * m_pad; }
+  std::size_t idx(int b, int a, int s) const {
+    return (static_cast<std::size_t>(b) * n + a) * m_pad + s;
+  }
+};
+
+/// Projects a cell tensor onto the face normal to `dir` on `side`
+/// (0 = lower/left, 1 = upper/right): face[(a,b),s] = sum_l phi_side[l] *
+/// q[node with dim-dir index l].
+inline void project_to_face(const AosLayout& aos, const BasisTables& basis,
+                            const double* q, int dir, int side,
+                            double* face) {
+  EXASTP_CHECK(dir >= 0 && dir < 3);
+  const int n = aos.n;
+  const int mp = aos.m_pad;
+  const FaceLayout fl(aos);
+  const double* phi =
+      side == 0 ? basis.phi_left.data() : basis.phi_right.data();
+  std::memset(face, 0, fl.size() * sizeof(double));
+  for (int b = 0; b < n; ++b)
+    for (int a = 0; a < n; ++a) {
+      double* dst = face + fl.idx(b, a, 0);
+      for (int l = 0; l < n; ++l) {
+        // Cell node with the dir coordinate = l and in-face coords (a, b).
+        int k1 = 0, k2 = 0, k3 = 0;
+        switch (dir) {
+          case 0: k1 = l; k2 = a; k3 = b; break;
+          case 1: k1 = a; k2 = l; k3 = b; break;
+          default: k1 = a; k2 = b; k3 = l; break;
+        }
+        const double* src = q + aos.idx(k3, k2, k1, 0);
+        const double p = phi[l];
+#pragma omp simd
+        for (int s = 0; s < mp; ++s) dst[s] += p * src[s];
+      }
+    }
+  FlopCounter::instance().add(WidthClass::k128,
+                              2ull * n * n * n * mp);
+}
+
+/// Normal "flux" of the linear PDE at a face state: F_dir(q) + B_dir(q) q.
+/// For linear systems this is the full normal Jacobian applied to q, which
+/// makes flux-form and NCP-form PDEs interchangeable at faces.
+inline void face_normal_flux(const PdeRuntime& pde, const FaceLayout& fl,
+                             const double* face, int dir, double* out) {
+  const int nn = fl.n * fl.n;
+  std::vector<double> tmp(fl.m);
+  for (int k = 0; k < nn; ++k) {
+    const double* qk = face + static_cast<std::size_t>(k) * fl.m_pad;
+    double* ok = out + static_cast<std::size_t>(k) * fl.m_pad;
+    pde.flux(qk, dir, ok);
+    pde.ncp(qk, qk, dir, tmp.data());
+    for (int s = 0; s < fl.m; ++s) ok[s] += tmp[s];
+    for (int s = fl.m; s < fl.m_pad; ++s) ok[s] = 0.0;
+  }
+  FlopCounter::instance().add(
+      WidthClass::kScalar,
+      static_cast<std::uint64_t>(nn) *
+          (pde.flux_flops() + pde.ncp_flops() + fl.m));
+}
+
+/// Rusanov (local Lax-Friedrichs) numerical flux for the convention
+/// dq/dt = d(F)/dx: F* = 1/2 (F_L + F_R) + 1/2 smax (q_R - q_L).
+/// Parameter rows of F* are forced to zero — material/geometry parameters do
+/// not evolve, even across material interfaces where q_R != q_L.
+inline void rusanov_flux(const PdeRuntime& pde, const FaceLayout& fl,
+                         const double* ql, const double* qr,
+                         const double* fleft, const double* fright, int dir,
+                         double* fstar) {
+  const int nn = fl.n * fl.n;
+  const int vars = pde.info().vars;
+  for (int k = 0; k < nn; ++k) {
+    const std::size_t off = static_cast<std::size_t>(k) * fl.m_pad;
+    const double s = std::max(pde.max_wave_speed(ql + off, dir),
+                              pde.max_wave_speed(qr + off, dir));
+    for (int v = 0; v < vars; ++v) {
+      const std::size_t i = off + v;
+      fstar[i] = 0.5 * (fleft[i] + fright[i]) + 0.5 * s * (qr[i] - ql[i]);
+    }
+    for (int s2 = vars; s2 < fl.m_pad; ++s2) fstar[off + s2] = 0.0;
+  }
+  FlopCounter::instance().add(WidthClass::kScalar,
+                              static_cast<std::uint64_t>(nn) * (5 * vars + 1));
+}
+
+/// Strong-form DGSEM surface lift. For the cell whose face (normal `dir`,
+/// `side` 0 = lower, 1 = upper) carries numerical flux fstar and own
+/// extrapolated flux fown, adds
+///   qnew_k += sign * scale * lift_side[k_dir] * (fstar - fown)(a, b)
+/// with sign +1 on the upper face and -1 on the lower face and
+/// scale = dt / h_dir. Derived from integrating dq/dt = dF/dx by parts
+/// twice; validated by the solver convergence tests.
+inline void apply_face_correction(const AosLayout& aos,
+                                  const BasisTables& basis, int dir, int side,
+                                  double scale, const double* fstar,
+                                  const double* fown, double* qnew) {
+  const int n = aos.n;
+  const int mp = aos.m_pad;
+  const FaceLayout fl(aos);
+  const double* lift =
+      side == 0 ? basis.lift_left.data() : basis.lift_right.data();
+  const double sign = side == 0 ? -1.0 : 1.0;
+  for (int b = 0; b < n; ++b)
+    for (int a = 0; a < n; ++a) {
+      const double* df = fstar + fl.idx(b, a, 0);
+      const double* fo = fown + fl.idx(b, a, 0);
+      for (int l = 0; l < n; ++l) {
+        int k1 = 0, k2 = 0, k3 = 0;
+        switch (dir) {
+          case 0: k1 = l; k2 = a; k3 = b; break;
+          case 1: k1 = a; k2 = l; k3 = b; break;
+          default: k1 = a; k2 = b; k3 = l; break;
+        }
+        double* dst = qnew + aos.idx(k3, k2, k1, 0);
+        const double c = sign * scale * lift[l];
+#pragma omp simd
+        for (int s = 0; s < mp; ++s) dst[s] += c * (df[s] - fo[s]);
+      }
+    }
+  FlopCounter::instance().add(WidthClass::k128, 3ull * n * n * n * mp);
+}
+
+}  // namespace exastp

@@ -1,0 +1,18 @@
+#include "exastp/kernels/registry.h"
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+StpVariant parse_variant(const std::string& name) {
+  if (name == "generic") return StpVariant::kGeneric;
+  if (name == "log") return StpVariant::kLog;
+  if (name == "splitck") return StpVariant::kSplitCk;
+  if (name == "aosoa_splitck" || name == "aosoa")
+    return StpVariant::kAosoaSplitCk;
+  if (name == "soa_uf_splitck") return StpVariant::kSoaUfSplitCk;
+  EXASTP_CHECK_MSG(false, "unknown STP variant name: " + name);
+  return StpVariant::kGeneric;
+}
+
+}  // namespace exastp

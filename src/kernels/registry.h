@@ -1,0 +1,92 @@
+// Kernel registry: the code-generation stand-in.
+//
+// The paper's Toolkit/Kernel Generator emits one tailored kernel per
+// (application, architecture, variant) before compilation; here the same
+// role is played by C++ templates instantiated per PDE type, with the order
+// and ISA as runtime configuration. make_stp_kernel is the single entry
+// point the engine and the benchmarks use to obtain a configured kernel.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exastp/kernels/aosoa_stp.h"
+#include "exastp/kernels/generic_stp.h"
+#include "exastp/kernels/log_stp.h"
+#include "exastp/kernels/soa_uf_stp.h"
+#include "exastp/kernels/splitck_stp.h"
+#include "exastp/kernels/stp_common.h"
+#include "exastp/pde/pde_base.h"
+
+namespace exastp {
+
+/// Parses "generic" / "log" / "splitck" / "aosoa_splitck"; throws on
+/// unknown names.
+StpVariant parse_variant(const std::string& name);
+
+/// All variants in the order the paper introduces them.
+inline constexpr StpVariant kAllVariants[] = {
+    StpVariant::kGeneric, StpVariant::kLog, StpVariant::kSplitCk,
+    StpVariant::kAosoaSplitCk};
+
+template <class Pde>
+StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
+                          NodeFamily family = NodeFamily::kGaussLegendre) {
+  switch (variant) {
+    case StpVariant::kGeneric: {
+      // The generic kernel is runtime-dimensioned and calls the PDE through
+      // the virtual interface, like ExaHyPE's default kernels. It always
+      // uses the unpadded scalar layout regardless of `isa`.
+      auto adapter = std::make_shared<PdeAdapter<Pde>>(std::move(pde));
+      return make_generic_stp(adapter, order, family);
+    }
+    case StpVariant::kLog: {
+      auto impl =
+          std::make_shared<LogStp<Pde>>(std::move(pde), order, isa, family);
+      return StpKernel(variant, impl->layout(), impl->workspace_bytes(),
+                       [impl](const double* q, double dt,
+                              const std::array<double, 3>& inv_dx,
+                              const SourceTerm* source,
+                              const StpOutputs& out) {
+                         impl->compute(q, dt, inv_dx, source, out);
+                       });
+    }
+    case StpVariant::kSplitCk: {
+      auto impl = std::make_shared<SplitCkStp<Pde>>(std::move(pde), order,
+                                                    isa, family);
+      return StpKernel(variant, impl->layout(), impl->workspace_bytes(),
+                       [impl](const double* q, double dt,
+                              const std::array<double, 3>& inv_dx,
+                              const SourceTerm* source,
+                              const StpOutputs& out) {
+                         impl->compute(q, dt, inv_dx, source, out);
+                       });
+    }
+    case StpVariant::kAosoaSplitCk: {
+      auto impl =
+          std::make_shared<AosoaStp<Pde>>(std::move(pde), order, isa, family);
+      return StpKernel(variant, impl->layout(), impl->workspace_bytes(),
+                       [impl](const double* q, double dt,
+                              const std::array<double, 3>& inv_dx,
+                              const SourceTerm* source,
+                              const StpOutputs& out) {
+                         impl->compute(q, dt, inv_dx, source, out);
+                       });
+    }
+    case StpVariant::kSoaUfSplitCk: {
+      auto impl =
+          std::make_shared<SoaUfStp<Pde>>(std::move(pde), order, isa, family);
+      return StpKernel(variant, impl->layout(), impl->workspace_bytes(),
+                       [impl](const double* q, double dt,
+                              const std::array<double, 3>& inv_dx,
+                              const SourceTerm* source,
+                              const StpOutputs& out) {
+                         impl->compute(q, dt, inv_dx, source, out);
+                       });
+    }
+  }
+  EXASTP_CHECK_MSG(false, "unknown STP variant");
+  return {};
+}
+
+}  // namespace exastp

@@ -1,0 +1,139 @@
+// SplitCK STP kernel — dimension-split Cauchy-Kowalewsky scheme
+// (paper Sec. IV, Fig. 5 pseudocode with the typos fixed per DESIGN.md).
+//
+// The reformulation that removes the L2-cache bottleneck: instead of keeping
+// the entire space-time predictor alive, only four cell-sized tensors exist
+// (p, ptemp, flux/scratch, gradQ) — O(N^d m) instead of O(N^{d+1} m d). The
+// time integration happens on the fly (qavg accumulates each Taylor term as
+// soon as it is produced), every dimension reuses the same scratch tensors,
+// and the time-averaged fluctuations favg[d] are recomputed at the end from
+// the time-averaged state (legal because the scheme is linear and the
+// parameter rows of the averaged state are exact).
+//
+// Costs one extra flux+derivative sweep after the time loop (the paper's
+// "almost one iteration"), which vanishes relative to the N-order loop at
+// high order.
+#pragma once
+
+#include <cstring>
+
+#include "exastp/basis/basis_tables.h"
+#include "exastp/common/check.h"
+#include "exastp/common/taylor.h"
+#include "exastp/gemm/vecops.h"
+#include "exastp/kernels/derivative_ops.h"
+#include "exastp/kernels/stp_common.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+template <class Pde>
+class SplitCkStp {
+ public:
+  static constexpr int kQuants = Pde::kQuants;
+
+  SplitCkStp(Pde pde, int order, Isa isa,
+             NodeFamily family = NodeFamily::kGaussLegendre)
+      : pde_(std::move(pde)),
+        basis_(basis_tables(order, family)),
+        isa_(isa),
+        n_(order),
+        aos_(order, kQuants, isa),
+        cell_(aos_.size()) {
+    EXASTP_CHECK_MSG(order >= 2, "STP needs at least 2 nodes per dimension");
+    p_.assign(cell_, 0.0);
+    ptemp_.assign(cell_, 0.0);
+    flux_.assign(cell_, 0.0);
+    gradq_.assign(cell_, 0.0);
+  }
+
+  const AosLayout& layout() const { return aos_; }
+
+  std::size_t workspace_bytes() const {
+    return (p_.size() + ptemp_.size() + flux_.size() + gradq_.size()) *
+           sizeof(double);
+  }
+
+  void compute(const double* q, double dt,
+               const std::array<double, 3>& inv_dx, const SourceTerm* source,
+               const StpOutputs& out) {
+    const int n = n_;
+    const auto coeff = time_average_coefficients(dt, n);
+    FlopCounter& fc = FlopCounter::instance();
+
+    // qavg starts with the o = 0 term: coeff[0] * q = q.
+    vec_copy(static_cast<long>(cell_), q, p_.data());
+    vec_scale(isa_, static_cast<long>(cell_), coeff[0], q, out.qavg);
+
+    // Time loop: each iteration turns p = d^o q/dt^o into d^{o+1} q/dt^{o+1}
+    // and folds it into qavg immediately.
+    for (int o = 0; o + 1 < n; ++o) {
+      vec_zero(static_cast<long>(cell_), ptemp_.data());
+      for (int d = 0; d < 3; ++d) {
+        apply_volume_dimension(d, inv_dx[d], p_.data(), ptemp_.data(), fc);
+      }
+      if (source != nullptr) apply_source(ptemp_.data(), source, o, fc);
+      vec_axpy(isa_, static_cast<long>(cell_), coeff[o + 1], ptemp_.data(),
+               out.qavg);
+      p_.swap(ptemp_);
+      // The new derivative tensor has zero parameter rows; user functions
+      // in the next iteration need the real parameters.
+      refresh_aos_param_rows(aos_, Pde::kVars, q, p_.data());
+    }
+
+    // Restore the constant parameter rows of the averaged state, then
+    // recompute favg[d] from it (exploiting linearity):
+    // favg[d] = D_d F_d(qavg) + B_d(qavg) D_d qavg.
+    refresh_aos_param_rows(aos_, Pde::kVars, q, out.qavg);
+    for (int d = 0; d < 3; ++d) {
+      vec_zero(static_cast<long>(cell_), out.favg[d]);
+      apply_volume_dimension(d, inv_dx[d], out.qavg, out.favg[d], fc);
+    }
+  }
+
+ private:
+  /// dst += inv_h * D_d F_d(src) + B_d(src, inv_h * D_d src).
+  void apply_volume_dimension(int d, double inv_h, const double* src,
+                              double* dst, FlopCounter& fc) {
+    const int mp = aos_.m_pad;
+    const std::size_t nodes = static_cast<std::size_t>(n_) * n_ * n_;
+    const double* diff = basis_.diff.data();
+    // flux = F_d(src) — pointwise user function, scalar.
+    for (std::size_t k = 0; k < nodes; ++k)
+      pde_.flux(src + k * mp, d, flux_.data() + k * mp);
+    fc.add(WidthClass::kScalar, nodes * Pde::kFluxFlops);
+    // dst += inv_h * D_d flux.
+    aos_derivative(isa_, aos_, diff, inv_h, d, flux_.data(), dst,
+                   /*accumulate=*/true);
+    // gradQ = inv_h * D_d src; dst += B_d(src) gradQ (pointwise, scalar).
+    aos_derivative(isa_, aos_, diff, inv_h, d, src, gradq_.data(),
+                   /*accumulate=*/false);
+    for (std::size_t k = 0; k < nodes; ++k) {
+      pde_.ncp(src + k * mp, gradq_.data() + k * mp, d, ncp_tmp_);
+      for (int s = 0; s < kQuants; ++s) dst[k * mp + s] += ncp_tmp_[s];
+    }
+    fc.add(WidthClass::kScalar, nodes * (Pde::kNcpFlops + kQuants));
+  }
+
+  void apply_source(double* dst, const SourceTerm* source, int o,
+                    FlopCounter& fc) {
+    const int mp = aos_.m_pad;
+    const double sdo = source->dt_derivatives[o];
+    const std::size_t nodes = static_cast<std::size_t>(n_) * n_ * n_;
+    for (std::size_t k = 0; k < nodes; ++k)
+      dst[k * mp + source->quantity] += source->psi[k] * sdo;
+    fc.add(WidthClass::kScalar, 2 * nodes);
+  }
+
+  Pde pde_;
+  const BasisTables& basis_;
+  Isa isa_;
+  int n_;
+  AosLayout aos_;
+  std::size_t cell_;
+
+  AlignedVector p_, ptemp_, flux_, gradq_;
+  double ncp_tmp_[kQuants] = {};
+};
+
+}  // namespace exastp

@@ -1,0 +1,122 @@
+// Shared definitions for the Space-Time Predictor kernel variants.
+//
+// Kernel contract (all variants):
+//
+//   inputs   q        — cell DOFs at t_n in padded AoS layout
+//            dt       — time step
+//            inv_dx   — 1/h per dimension (reference-to-physical scaling)
+//            source   — optional point source prepared for this cell
+//   outputs  qavg     — time-AVERAGED state (1/dt) * integral of q over
+//                       [t_n, t_n+dt]; constant parameter rows pass through
+//                       unchanged so flux/ncp of qavg stay well defined
+//            favg[d]  — time-averaged volume fluctuation per dimension:
+//                       (1/dt) * integral of (d/dx_d F_d(q) + B_d dq/dx_d)
+//
+// The corrector then computes q^{n+1} = q + dt * sum_d favg[d] + surface
+// terms built from qavg (see face.h and solver/ader_dg_solver.cpp). All
+// buffers use the layout
+// returned by StpKernel::layout; padding lanes are kept at exactly zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exastp/common/aligned.h"
+#include "exastp/common/simd.h"
+#include "exastp/pde/point_source.h"
+#include "exastp/tensor/layout.h"
+
+namespace exastp {
+
+/// The four kernel variants of the paper, in the order they are introduced.
+enum class StpVariant {
+  kGeneric,       ///< Sec. II-B / Fig. 1: scalar reference implementation
+  kLog,           ///< Sec. III: AoS + Loop-over-GEMM
+  kSplitCk,       ///< Sec. IV / Fig. 5: dimension-split low-footprint CK
+  kAosoaSplitCk,  ///< Sec. V: hybrid layout + vectorized user functions
+  kSoaUfSplitCk,  ///< Sec. V-A: the REJECTED per-call AoS<->SoA transpose
+                  ///< scheme, kept as a measured ablation variant
+};
+
+std::string variant_name(StpVariant v);
+
+/// Copies the parameter rows (s in [vars, m)) of the original state into a
+/// derivative tensor. The time derivatives of the constant material/geometry
+/// parameters are zero, but the PDE user functions read parameters from the
+/// node they are called on (e.g. 1/rho), so every tensor handed to
+/// flux()/ncp() must carry the *original* parameter values. All kernel
+/// variants maintain this invariant; qavg's parameter rows are restored the
+/// same way after the Taylor accumulation so that flux(qavg) is well defined
+/// (see DESIGN.md on the SplitCK favg recomputation).
+inline void refresh_aos_param_rows(const AosLayout& aos, int vars,
+                                   const double* q, double* dst) {
+  if (vars == aos.m) return;
+  const std::size_t nodes =
+      static_cast<std::size_t>(aos.n) * aos.n * aos.n;
+  for (std::size_t k = 0; k < nodes; ++k)
+    for (int s = vars; s < aos.m; ++s)
+      dst[k * aos.m_pad + s] = q[k * aos.m_pad + s];
+}
+
+/// Same invariant for AoSoA tensors.
+inline void refresh_aosoa_param_rows(const AosoaLayout& aosoa, int vars,
+                                     const double* q, double* dst) {
+  if (vars == aosoa.m) return;
+  for (int k3 = 0; k3 < aosoa.n; ++k3)
+    for (int k2 = 0; k2 < aosoa.n; ++k2)
+      for (int s = vars; s < aosoa.m; ++s) {
+        const std::size_t off = aosoa.idx(k3, k2, s, 0);
+        for (int k1 = 0; k1 < aosoa.n_pad; ++k1)
+          dst[off + k1] = q[off + k1];
+      }
+}
+
+/// Per-dimension time-averaged fluctuation outputs.
+struct StpOutputs {
+  double* qavg = nullptr;
+  std::array<double*, 3> favg{};
+};
+
+/// Type-erased handle to a configured kernel instance. Create through
+/// make_stp_kernel (registry.h); reuse across cells — the workspace is
+/// allocated once at construction time.
+class StpKernel {
+ public:
+  using RunFn = std::function<void(const double* q, double dt,
+                                   const std::array<double, 3>& inv_dx,
+                                   const SourceTerm* source,
+                                   const StpOutputs& out)>;
+
+  StpKernel() = default;
+  StpKernel(StpVariant variant, AosLayout layout, std::size_t footprint,
+            RunFn run)
+      : variant_(variant), layout_(layout),
+        workspace_bytes_(footprint), run_(std::move(run)) {}
+
+  StpVariant variant() const { return variant_; }
+  /// Engine-facing AoS layout of q/qavg/favg buffers. The generic variant
+  /// uses the unpadded layout (m_pad == m), the optimized ones pad to the
+  /// ISA width.
+  const AosLayout& layout() const { return layout_; }
+  /// Bytes of kernel-internal scratch (the memory-footprint metric of
+  /// Sec. IV-A; excludes the engine-owned in/out buffers).
+  std::size_t workspace_bytes() const { return workspace_bytes_; }
+
+  void run(const double* q, double dt, const std::array<double, 3>& inv_dx,
+           const SourceTerm* source, const StpOutputs& out) const {
+    run_(q, dt, inv_dx, source, out);
+  }
+
+  explicit operator bool() const { return static_cast<bool>(run_); }
+
+ private:
+  StpVariant variant_ = StpVariant::kGeneric;
+  AosLayout layout_;
+  std::size_t workspace_bytes_ = 0;
+  RunFn run_;
+};
+
+}  // namespace exastp

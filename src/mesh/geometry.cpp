@@ -1,0 +1,17 @@
+#include "exastp/mesh/geometry.h"
+
+#include <cmath>
+
+namespace exastp {
+
+std::array<double, 9> SineMap::metric(const std::array<double, 3>& x) const {
+  // xi_r = x_r + A sin(k x_{r+1}) => G = I + off-diagonal cosine terms.
+  const double a = amplitude_ * wavenumber_;
+  std::array<double, 9> g{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  g[0 * 3 + 1] = a * std::cos(wavenumber_ * x[1]);
+  g[1 * 3 + 2] = a * std::cos(wavenumber_ * x[2]);
+  g[2 * 3 + 0] = a * std::cos(wavenumber_ * x[0]);
+  return g;
+}
+
+}  // namespace exastp

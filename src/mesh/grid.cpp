@@ -1,0 +1,65 @@
+#include "exastp/mesh/grid.h"
+
+#include <cmath>
+
+namespace exastp {
+
+Grid::Grid(const GridSpec& spec)
+    : spec_(spec),
+      nx_(spec.cells[0]),
+      ny_(spec.cells[1]),
+      nz_(spec.cells[2]) {
+  for (int d = 0; d < 3; ++d) {
+    EXASTP_CHECK_MSG(spec.cells[d] >= 1, "grid needs at least one cell");
+    EXASTP_CHECK_MSG(spec.extent[d] > 0.0, "grid extent must be positive");
+    dx_[d] = spec.extent[d] / spec.cells[d];
+  }
+}
+
+std::array<int, 3> Grid::coords(int cell) const {
+  EXASTP_CHECK(cell >= 0 && cell < num_cells());
+  const int cx = cell % nx_;
+  const int cy = (cell / nx_) % ny_;
+  const int cz = cell / (nx_ * ny_);
+  return {cx, cy, cz};
+}
+
+std::array<double, 3> Grid::cell_origin(int cell) const {
+  const auto c = coords(cell);
+  return {spec_.origin[0] + c[0] * dx_[0], spec_.origin[1] + c[1] * dx_[1],
+          spec_.origin[2] + c[2] * dx_[2]};
+}
+
+NeighborRef Grid::neighbor(int cell, int dir, int side) const {
+  EXASTP_CHECK(dir >= 0 && dir < 3 && (side == 0 || side == 1));
+  auto c = coords(cell);
+  const int n[3] = {nx_, ny_, nz_};
+  int v = c[dir] + (side == 0 ? -1 : 1);
+  if (v < 0 || v >= n[dir]) {
+    if (spec_.boundary[dir] == BoundaryKind::kPeriodic) {
+      v = (v + n[dir]) % n[dir];
+    } else {
+      return {-1, true, spec_.boundary[dir]};
+    }
+  }
+  c[dir] = v;
+  return {index(c[0], c[1], c[2]), false, spec_.boundary[dir]};
+}
+
+int Grid::locate(const std::array<double, 3>& x,
+                 std::array<double, 3>* xi) const {
+  std::array<int, 3> c{};
+  std::array<double, 3> ref{};
+  const int n[3] = {nx_, ny_, nz_};
+  for (int d = 0; d < 3; ++d) {
+    const double rel = (x[d] - spec_.origin[d]) / dx_[d];
+    EXASTP_CHECK_MSG(rel >= 0.0 && rel <= n[d] + 1e-12,
+                     "point outside the domain");
+    c[d] = std::min(static_cast<int>(rel), n[d] - 1);
+    ref[d] = std::min(std::max(rel - c[d], 0.0), 1.0);
+  }
+  if (xi != nullptr) *xi = ref;
+  return index(c[0], c[1], c[2]);
+}
+
+}  // namespace exastp

@@ -1,0 +1,76 @@
+// Uniform Cartesian hexahedral mesh.
+//
+// Peano substitute (see DESIGN.md): the paper's results are single-socket
+// and entirely dominated by element-local kernels, so a uniform structured
+// grid with periodic / outflow / reflecting-wall boundaries carries every
+// experiment. Cells are unit-aspect boxes; the curvilinear geometry of the
+// benchmark enters through per-node metric quantities (mesh/geometry.h),
+// not through the grid itself — exactly like the boundary-fitted meshes of
+// [8] store the transformation at each vertex.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+enum class BoundaryKind {
+  kPeriodic,  ///< wraps to the opposite side
+  kOutflow,   ///< copies the interior state (absorbing, first order)
+  kWall,      ///< reflecting wall via the PDE's mirror state
+};
+
+struct GridSpec {
+  std::array<int, 3> cells{1, 1, 1};
+  std::array<double, 3> origin{0.0, 0.0, 0.0};
+  std::array<double, 3> extent{1.0, 1.0, 1.0};
+  std::array<BoundaryKind, 3> boundary{BoundaryKind::kPeriodic,
+                                       BoundaryKind::kPeriodic,
+                                       BoundaryKind::kPeriodic};
+};
+
+/// Result of a neighbour query: either an interior cell or a boundary face.
+struct NeighborRef {
+  int cell = -1;  ///< neighbour cell index, or -1 at a non-periodic boundary
+  bool boundary = false;
+  BoundaryKind kind = BoundaryKind::kPeriodic;
+};
+
+class Grid {
+ public:
+  explicit Grid(const GridSpec& spec);
+
+  int num_cells() const { return nx_ * ny_ * nz_; }
+  const GridSpec& spec() const { return spec_; }
+
+  std::array<int, 3> coords(int cell) const;
+  int index(int cx, int cy, int cz) const {
+    return (cz * ny_ + cy) * nx_ + cx;
+  }
+
+  double dx(int d) const { return dx_[d]; }
+  std::array<double, 3> dx() const { return dx_; }
+  std::array<double, 3> inv_dx() const {
+    return {1.0 / dx_[0], 1.0 / dx_[1], 1.0 / dx_[2]};
+  }
+  /// Physical coordinates of the lower corner of a cell.
+  std::array<double, 3> cell_origin(int cell) const;
+  double cell_volume() const { return dx_[0] * dx_[1] * dx_[2]; }
+
+  /// Neighbour across the face normal to `dir` on `side` (0 lower, 1 upper).
+  NeighborRef neighbor(int cell, int dir, int side) const;
+
+  /// Cell containing a physical point plus its reference coordinates in
+  /// [0,1]^3; throws if the point lies outside the domain.
+  int locate(const std::array<double, 3>& x,
+             std::array<double, 3>* xi = nullptr) const;
+
+ private:
+  GridSpec spec_;
+  int nx_, ny_, nz_;
+  std::array<double, 3> dx_;
+};
+
+}  // namespace exastp

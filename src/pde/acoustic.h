@@ -1,0 +1,93 @@
+// 3-D linear acoustics in pressure/velocity form.
+//
+//   dp/dt  = -rho c^2  div(v)
+//   dv/dt  = -(1/rho) grad(p)
+//
+// Material parameters rho (density) and c (sound speed) ride along as
+// per-node quantities with zero flux rows, the same storage discipline the
+// paper uses for its m = 21 elastic benchmark. With cell-wise constant
+// material the system is conservative, and plane waves
+// p = sin(k.x - w t), v = (k/(rho c |k|)) sin(k.x - w t) give exact
+// solutions for the solver convergence tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "exastp/common/simd.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+struct AcousticPde {
+  static constexpr int kVars = 4;    // p, vx, vy, vz
+  static constexpr int kParams = 2;  // rho, c
+  static constexpr int kQuants = kVars + kParams;
+  static constexpr const char* kName = "acoustic";
+  // p-row: rho*c*c*v_d (3 mults), v-row: p/rho (1 div counted as 1 flop).
+  static constexpr std::uint64_t kFluxFlops = 4;
+  static constexpr std::uint64_t kNcpFlops = 0;
+
+  static constexpr int kP = 0, kVx = 1, kRho = 4, kC = 5;
+
+  void flux(const double* q, int dir, double* f) const {
+    const double rho = q[kRho], c = q[kC];
+    f[kP] = -rho * c * c * q[kVx + dir];
+    f[kVx + 0] = 0.0;
+    f[kVx + 1] = 0.0;
+    f[kVx + 2] = 0.0;
+    f[kVx + dir] = -q[kP] / rho;
+    f[kRho] = 0.0;
+    f[kC] = 0.0;
+  }
+
+  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
+           double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  }
+
+  double max_wave_speed(const double* q, int /*dir*/) const {
+    return q[kC];
+  }
+
+  /// Rigid wall: normal velocity mirrors, pressure and tangential velocity
+  /// copy — the classic ghost state that zeroes v.n at the face.
+  void wall_reflect(const double* q, int dir, double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = q[s];
+    out[kVx + dir] = -q[kVx + dir];
+  }
+
+  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+                 int stride) const {
+    const double* p = q + kP * stride;
+    const double* vd = q + (kVx + dir) * stride;
+    const double* rho = q + kRho * stride;
+    const double* c = q + kC * stride;
+    double* fp = f + kP * stride;
+    for (int s = kVx; s < kQuants; ++s) {
+      double* fs = f + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+    }
+    double* fvd = f + (kVx + dir) * stride;
+#pragma omp simd
+    for (int i = 0; i < len; ++i) {
+      fp[i] = -rho[i] * c[i] * c[i] * vd[i];
+      // Padded lanes carry rho = 0; guard the division so zero-padding stays
+      // a valid input (the numerical hazard Sec. V-C warns about).
+      fvd[i] = rho[i] != 0.0 ? -p[i] / rho[i] : 0.0;
+    }
+    count_packed_flops(Isa::kScalar, len, kFluxFlops);
+  }
+
+  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
+                int /*dir*/, double* out, int len, int stride) const {
+    for (int s = 0; s < kQuants; ++s) {
+      double* os = out + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) os[i] = 0.0;
+    }
+  }
+};
+
+}  // namespace exastp

@@ -1,0 +1,117 @@
+// Linear advection systems — the simplest linear hyperbolic PDE, used for
+// exact-solution convergence tests and for the flux-vs-NCP equivalence
+// property (the same physics expressed through both user-function paths must
+// give identical discrete solutions).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "exastp/common/simd.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+/// m decoupled advected quantities, all moving with one velocity vector:
+/// dq/dt + a . grad q = 0, written in conservative form F_d = -a_d q.
+struct AdvectionPde {
+  static constexpr int kVars = 5;
+  static constexpr int kParams = 0;
+  static constexpr int kQuants = kVars + kParams;
+  static constexpr const char* kName = "advection";
+  static constexpr std::uint64_t kFluxFlops = kVars;  // one mult per quantity
+  static constexpr std::uint64_t kNcpFlops = 0;
+
+  std::array<double, 3> velocity{1.0, 0.5, 0.25};
+
+  void flux(const double* q, int dir, double* f) const {
+    const double a = -velocity[dir];
+    for (int s = 0; s < kQuants; ++s) f[s] = a * q[s];
+  }
+
+  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
+           double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  }
+
+  double max_wave_speed(const double* /*q*/, int dir) const {
+    return std::abs(velocity[dir]);
+  }
+
+  /// Vectorized user function on an SoA chunk: quantity s occupies
+  /// q[s*stride + i] for lanes i in [0, len). Mirrors Fig. 8 of the paper.
+  /// Header implementation compiles at baseline ISA; counted as such.
+  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+                 int stride) const {
+    const double a = -velocity[dir];
+    for (int s = 0; s < kQuants; ++s) {
+      const double* qs = q + s * stride;
+      double* fs = f + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) fs[i] = a * qs[i];
+    }
+    count_packed_flops(Isa::kScalar, len, kFluxFlops);
+  }
+
+  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
+                int /*dir*/, double* out, int len, int stride) const {
+    for (int s = 0; s < kQuants; ++s) {
+      double* os = out + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) os[i] = 0.0;
+    }
+  }
+};
+
+/// The same physics expressed purely through the non-conservative product:
+/// F = 0 and B_d = -a_d * I. Discretely equivalent to AdvectionPde because
+/// the velocity is constant — the kernels' flux and NCP code paths must
+/// produce identical predictors (tested in test_kernels.cpp).
+struct AdvectionNcpPde {
+  static constexpr int kVars = 5;
+  static constexpr int kParams = 0;
+  static constexpr int kQuants = kVars + kParams;
+  static constexpr const char* kName = "advection_ncp";
+  static constexpr std::uint64_t kFluxFlops = 0;
+  static constexpr std::uint64_t kNcpFlops = kVars;
+
+  std::array<double, 3> velocity{1.0, 0.5, 0.25};
+
+  void flux(const double* /*q*/, int /*dir*/, double* f) const {
+    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+  }
+
+  void ncp(const double* /*q*/, const double* grad, int dir,
+           double* out) const {
+    const double a = -velocity[dir];
+    for (int s = 0; s < kQuants; ++s) out[s] = a * grad[s];
+  }
+
+  double max_wave_speed(const double* /*q*/, int dir) const {
+    return std::abs(velocity[dir]);
+  }
+
+  void flux_line(Isa /*isa*/, const double* /*q*/, int /*dir*/, double* f,
+                 int len, int stride) const {
+    for (int s = 0; s < kQuants; ++s) {
+      double* fs = f + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+    }
+  }
+
+  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* grad,
+                int dir, double* out, int len, int stride) const {
+    const double a = -velocity[dir];
+    for (int s = 0; s < kQuants; ++s) {
+      const double* gs = grad + s * stride;
+      double* os = out + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) os[i] = a * gs[i];
+    }
+    count_packed_flops(Isa::kScalar, len, kNcpFlops);
+  }
+};
+
+}  // namespace exastp

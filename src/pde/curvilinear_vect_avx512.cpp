@@ -1,0 +1,7 @@
+#include "exastp/pde/curvilinear_vect_impl.h"
+
+namespace exastp::detail {
+
+EXASTP_DEFINE_CURVI_KERNELS(avx512)
+
+}  // namespace exastp::detail

@@ -1,0 +1,159 @@
+// 3-D isotropic linear elastodynamics in first-order velocity-stress form,
+// conservative flux formulation (cell-wise constant material):
+//
+//   rho dv_i/dt      = sum_j d(sigma_ij)/dx_j
+//   d(sigma_ij)/dt   = lambda delta_ij div(v) + mu (dv_i/dx_j + dv_j/dx_i)
+//
+// Quantities: v (3), sigma in Voigt order (xx, yy, zz, yz, xz, xy), and the
+// material parameters rho, cp, cs per node. This is the 9+3 = 12 quantity
+// system underlying the paper's seismic application [8]; the full m = 21
+// benchmark adds nine curvilinear-geometry entries (curvilinear_elastic.h).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "exastp/common/simd.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+struct ElasticPde {
+  static constexpr int kVars = 9;
+  static constexpr int kParams = 3;
+  static constexpr int kQuants = kVars + kParams;
+  static constexpr const char* kName = "elastic";
+  // lambda/mu: 5, velocity rows: 3 divides, stress rows: 8 mult/add.
+  static constexpr std::uint64_t kFluxFlops = 16;
+  static constexpr std::uint64_t kNcpFlops = 0;
+
+  // Quantity indices.
+  static constexpr int kVx = 0, kVy = 1, kVz = 2;
+  static constexpr int kSxx = 3, kSyy = 4, kSzz = 5;
+  static constexpr int kSyz = 6, kSxz = 7, kSxy = 8;
+  static constexpr int kRho = 9, kCp = 10, kCs = 11;
+
+  /// sigma column for direction d: the stresses acting on the d-face.
+  /// stress_col[d] = {sigma_xd, sigma_yd, sigma_zd} as Voigt indices.
+  static constexpr int kStressCol[3][3] = {
+      {kSxx, kSxy, kSxz}, {kSxy, kSyy, kSyz}, {kSxz, kSyz, kSzz}};
+
+  static double lame_lambda(const double* q) {
+    return q[kRho] * (q[kCp] * q[kCp] - 2.0 * q[kCs] * q[kCs]);
+  }
+  static double lame_mu(const double* q) {
+    return q[kRho] * q[kCs] * q[kCs];
+  }
+
+  void flux(const double* q, int dir, double* f) const {
+    const double rho = q[kRho];
+    const double lam = lame_lambda(q);
+    const double mu = lame_mu(q);
+    const double lam2mu = lam + 2.0 * mu;
+    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+    // Velocity rows: F_d(v_i) = sigma_{i d} / rho.
+    f[kVx] = q[kStressCol[dir][0]] / rho;
+    f[kVy] = q[kStressCol[dir][1]] / rho;
+    f[kVz] = q[kStressCol[dir][2]] / rho;
+    // Stress rows: F_d(sigma_ij) = lambda delta_ij v_d
+    //                              + mu (delta_id v_j + delta_jd v_i).
+    const double vd = q[kVx + dir];
+    f[kSxx] = (dir == 0 ? lam2mu : lam) * vd;
+    f[kSyy] = (dir == 1 ? lam2mu : lam) * vd;
+    f[kSzz] = (dir == 2 ? lam2mu : lam) * vd;
+    switch (dir) {
+      case 0:
+        f[kSxz] = mu * q[kVz];
+        f[kSxy] = mu * q[kVy];
+        break;
+      case 1:
+        f[kSyz] = mu * q[kVz];
+        f[kSxy] = mu * q[kVx];
+        break;
+      case 2:
+        f[kSyz] = mu * q[kVy];
+        f[kSxz] = mu * q[kVx];
+        break;
+    }
+  }
+
+  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
+           double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  }
+
+  double max_wave_speed(const double* q, int /*dir*/) const {
+    return q[kCp];
+  }
+
+  /// Rigid wall: the normal velocity component mirrors.
+  void wall_reflect(const double* q, int dir, double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = q[s];
+    out[kVx + dir] = -q[kVx + dir];
+  }
+
+  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+                 int stride) const {
+    auto row = [&](int s) { return q + s * stride; };
+    auto out = [&](int s) { return f + s * stride; };
+    for (int s = 0; s < kQuants; ++s) {
+      double* fs = out(s);
+#pragma omp simd
+      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+    }
+    const double* rho = row(kRho);
+    const double* cp = row(kCp);
+    const double* cs = row(kCs);
+    const double* vd = row(kVx + dir);
+    const int c0 = kStressCol[dir][0], c1 = kStressCol[dir][1],
+              c2 = kStressCol[dir][2];
+    double* fvx = out(kVx);
+    double* fvy = out(kVy);
+    double* fvz = out(kVz);
+    double* fsxx = out(kSxx);
+    double* fsyy = out(kSyy);
+    double* fszz = out(kSzz);
+#pragma omp simd
+    for (int i = 0; i < len; ++i) {
+      // Guard against zero-padded lanes (rho = 0): Sec. V-C.
+      const double inv_rho = rho[i] != 0.0 ? 1.0 / rho[i] : 0.0;
+      const double mu = rho[i] * cs[i] * cs[i];
+      const double lam = rho[i] * cp[i] * cp[i] - 2.0 * mu;
+      fvx[i] = row(c0)[i] * inv_rho;
+      fvy[i] = row(c1)[i] * inv_rho;
+      fvz[i] = row(c2)[i] * inv_rho;
+      fsxx[i] = (dir == 0 ? lam + 2.0 * mu : lam) * vd[i];
+      fsyy[i] = (dir == 1 ? lam + 2.0 * mu : lam) * vd[i];
+      fszz[i] = (dir == 2 ? lam + 2.0 * mu : lam) * vd[i];
+    }
+    double* fa = nullptr;
+    double* fb = nullptr;
+    const double* va = nullptr;
+    const double* vb = nullptr;
+    switch (dir) {
+      case 0: fa = out(kSxz); va = row(kVz); fb = out(kSxy); vb = row(kVy); break;
+      case 1: fa = out(kSyz); va = row(kVz); fb = out(kSxy); vb = row(kVx); break;
+      case 2: fa = out(kSyz); va = row(kVy); fb = out(kSxz); vb = row(kVx); break;
+    }
+    const double* rho2 = row(kRho);
+    const double* cs2 = row(kCs);
+#pragma omp simd
+    for (int i = 0; i < len; ++i) {
+      const double mu = rho2[i] * cs2[i] * cs2[i];
+      fa[i] = mu * va[i];
+      fb[i] = mu * vb[i];
+    }
+    count_packed_flops(Isa::kScalar, len, kFluxFlops);
+  }
+
+  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
+                int /*dir*/, double* out, int len, int stride) const {
+    for (int s = 0; s < kQuants; ++s) {
+      double* os = out + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) os[i] = 0.0;
+    }
+  }
+};
+
+}  // namespace exastp

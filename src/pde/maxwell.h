@@ -1,0 +1,108 @@
+// Source-free Maxwell's equations in linear isotropic media — a second
+// full application domain for the engine (ExaHyPE's scope is "a wide class
+// of systems of linear and non-linear hyperbolic PDEs", Sec. II):
+//
+//   dE/dt =  (1/eps) curl H        F_j(E_i) =  levi(i,j,k) H_k / eps
+//   dH/dt = -(1/mu)  curl E        F_j(H_i) = -levi(i,j,k) E_k / mu
+//
+// Quantities: E (3), H (3), parameters eps, mu per node. Conservative flux
+// form for cell-wise constant media; wave speed c = 1/sqrt(eps mu). A PEC
+// (perfect electric conductor) wall mirrors the tangential E and the normal
+// H components.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "exastp/common/simd.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+struct MaxwellPde {
+  static constexpr int kVars = 6;
+  static constexpr int kParams = 2;
+  static constexpr int kQuants = kVars + kParams;
+  static constexpr const char* kName = "maxwell";
+  // Per pointwise call: 2 divides + 4 signed copies ~ 6.
+  static constexpr std::uint64_t kFluxFlops = 6;
+  static constexpr std::uint64_t kNcpFlops = 0;
+
+  static constexpr int kEx = 0, kEy = 1, kEz = 2;
+  static constexpr int kHx = 3, kHy = 4, kHz = 5;
+  static constexpr int kEps = 6, kMu = 7;
+
+  /// Levi-Civita symbol, 0-indexed.
+  static constexpr double levi(int i, int j, int k) {
+    if (i == j || j == k || i == k) return 0.0;
+    return ((j - i + 3) % 3 == 1) ? 1.0 : -1.0;
+  }
+
+  void flux(const double* q, int dir, double* f) const {
+    const double inv_eps = 1.0 / q[kEps];
+    const double inv_mu = 1.0 / q[kMu];
+    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+    for (int i = 0; i < 3; ++i)
+      for (int k = 0; k < 3; ++k) {
+        const double e = levi(i, dir, k);
+        if (e == 0.0) continue;
+        f[kEx + i] += e * q[kHx + k] * inv_eps;
+        f[kHx + i] -= e * q[kEx + k] * inv_mu;
+      }
+  }
+
+  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
+           double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  }
+
+  double max_wave_speed(const double* q, int /*dir*/) const {
+    return 1.0 / std::sqrt(q[kEps] * q[kMu]);
+  }
+
+  /// PEC wall: tangential E and normal H flip sign.
+  void wall_reflect(const double* q, int dir, double* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = q[s];
+    for (int i = 0; i < 3; ++i)
+      if (i != dir) out[kEx + i] = -q[kEx + i];
+    out[kHx + dir] = -q[kHx + dir];
+  }
+
+  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+                 int stride) const {
+    for (int s = 0; s < kQuants; ++s) {
+      double* fs = f + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+    }
+    const double* eps = q + kEps * stride;
+    const double* mu = q + kMu * stride;
+    for (int i = 0; i < 3; ++i)
+      for (int k = 0; k < 3; ++k) {
+        const double e = levi(i, dir, k);
+        if (e == 0.0) continue;
+        double* fe = f + (kEx + i) * stride;
+        double* fh = f + (kHx + i) * stride;
+        const double* hk = q + (kHx + k) * stride;
+        const double* ek = q + (kEx + k) * stride;
+#pragma omp simd
+        for (int l = 0; l < len; ++l) {
+          // Zero-padded lanes carry eps = mu = 0; guard the divisions.
+          fe[l] += eps[l] != 0.0 ? e * hk[l] / eps[l] : 0.0;
+          fh[l] -= mu[l] != 0.0 ? e * ek[l] / mu[l] : 0.0;
+        }
+      }
+    count_packed_flops(Isa::kScalar, len, kFluxFlops);
+  }
+
+  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
+                int /*dir*/, double* out, int len, int stride) const {
+    for (int s = 0; s < kQuants; ++s) {
+      double* os = out + s * stride;
+#pragma omp simd
+      for (int i = 0; i < len; ++i) os[i] = 0.0;
+    }
+  }
+};
+
+}  // namespace exastp

@@ -1,0 +1,72 @@
+#include "exastp/pde/point_source.h"
+
+#include <cmath>
+
+#include "exastp/basis/lagrange.h"
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+double hermite(int n, double x) {
+  // H_0 = 1, H_1 = 2x, H_{n+1} = 2x H_n - 2n H_{n-1}.
+  double h0 = 1.0, h1 = 2.0 * x;
+  if (n == 0) return h0;
+  for (int j = 2; j <= n; ++j) {
+    const double h2 = 2.0 * x * h1 - 2.0 * (j - 1) * h0;
+    h0 = h1;
+    h1 = h2;
+  }
+  return h1;
+}
+
+double RickerWavelet::derivative(double t, int o) const {
+  const double tau = t - t0_;
+  const double sqrt_a = std::sqrt(a_);
+  // g(t) = exp(-a tau^2); g^{(n)}(t) = (-sqrt(a))^n H_n(sqrt(a) tau) g(t).
+  // s(t) = -g''(t) / (2a)  =>  s^{(o)}(t) = -g^{(o+2)}(t) / (2a).
+  const int n = o + 2;
+  const double g = std::exp(-a_ * tau * tau);
+  const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+  const double gn = sign * std::pow(sqrt_a, n) * hermite(n, sqrt_a * tau) * g;
+  return -gn / (2.0 * a_);
+}
+
+double PolynomialWavelet::derivative(double t, int o) const {
+  // d^o/dt^o sum_i c_i t^i = sum_{i>=o} c_i * i!/(i-o)! * t^{i-o}.
+  double value = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(o); i < c_.size(); ++i) {
+    double factor = 1.0;
+    for (std::size_t j = i; j > i - static_cast<std::size_t>(o); --j)
+      factor *= static_cast<double>(j);
+    value += c_[i] * factor * std::pow(t, static_cast<double>(i) - o);
+  }
+  return value;
+}
+
+AlignedVector project_point_source(const BasisTables& basis,
+                                   const std::array<double, 3>& xi0,
+                                   double volume) {
+  EXASTP_CHECK_MSG(volume > 0.0, "cell volume must be positive");
+  for (double c : xi0)
+    EXASTP_CHECK_MSG(c >= 0.0 && c <= 1.0,
+                     "source must lie inside the reference cell");
+  const int n = basis.n;
+  std::array<std::vector<double>, 3> phi;
+  for (int d = 0; d < 3; ++d) {
+    phi[d].resize(n);
+    for (int j = 0; j < n; ++j)
+      phi[d][j] = lagrange_value(basis.nodes, j, xi0[d]);
+  }
+  AlignedVector psi(static_cast<std::size_t>(n) * n * n);
+  for (int k3 = 0; k3 < n; ++k3)
+    for (int k2 = 0; k2 < n; ++k2)
+      for (int k1 = 0; k1 < n; ++k1) {
+        const double mass =
+            basis.weights[k1] * basis.weights[k2] * basis.weights[k3] * volume;
+        psi[(static_cast<std::size_t>(k3) * n + k2) * n + k1] =
+            phi[2][k3] * phi[1][k2] * phi[0][k1] / mass;
+      }
+  return psi;
+}
+
+}  // namespace exastp

@@ -1,0 +1,79 @@
+// Point sources: delta_x0 * s(t) right-hand sides (paper eq. (1)).
+//
+// The Cauchy-Kowalewsky predictor needs the o-th time derivative of the
+// source amplitude at t_n (Fig. 1: "derive(pointSource, dim=time, order=o)")
+// and the projection of delta_x0 onto the nodal basis through the operator P
+// (Sec. II-A). We provide the Ricker wavelet customary in seismic benchmarks
+// such as LOH1 [19], with analytic derivatives of any order via Hermite
+// polynomials, plus a polynomial source whose Taylor expansion is exact —
+// used to unit-test the predictor's source handling to machine precision.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "exastp/basis/basis_tables.h"
+#include "exastp/common/aligned.h"
+#include "exastp/common/taylor.h"
+
+namespace exastp {
+
+/// Time signature s(t) of a point source.
+class SourceWavelet {
+ public:
+  virtual ~SourceWavelet() = default;
+  /// d^o s / dt^o evaluated at t (o = 0 is the value itself).
+  virtual double derivative(double t, int o) const = 0;
+};
+
+/// Ricker wavelet s(t) = (1 - 2 a tau^2) exp(-a tau^2), tau = t - t0,
+/// a = pi^2 f^2. All derivatives come from the Gaussian-Hermite identity
+/// d^n/dt^n exp(-a tau^2) = (-sqrt(a))^n H_n(sqrt(a) tau) exp(-a tau^2)
+/// using s(t) = -g''(t) / (2a).
+class RickerWavelet final : public SourceWavelet {
+ public:
+  RickerWavelet(double frequency, double delay)
+      : a_(9.869604401089358 * frequency * frequency),  // pi^2 f^2
+        t0_(delay) {}
+
+  double derivative(double t, int o) const override;
+
+ private:
+  double a_;
+  double t0_;
+};
+
+/// s(t) = sum_i c_i t^i. Its Taylor series terminates, so an order-N
+/// predictor with N > degree reproduces the time integral exactly.
+class PolynomialWavelet final : public SourceWavelet {
+ public:
+  explicit PolynomialWavelet(std::vector<double> coefficients)
+      : c_(std::move(coefficients)) {}
+
+  double derivative(double t, int o) const override;
+
+ private:
+  std::vector<double> c_;
+};
+
+/// Physicists' Hermite polynomial H_n(x) (exposed for tests).
+double hermite(int n, double x);
+
+/// Projection of delta_{x0} onto the n^3 nodal basis functions of one cell:
+/// psi_k = phi_k(xi0) / (w_k1 w_k2 w_k3 * volume), where xi0 is the source
+/// position in reference coordinates (all components in [0,1]) and `volume`
+/// the physical cell volume. Adding psi_k * s(t) to dq_k/dt is the discrete
+/// equivalent of the delta right-hand side.
+AlignedVector project_point_source(const BasisTables& basis,
+                                   const std::array<double, 3>& xi0,
+                                   double volume);
+
+/// A source term prepared for one STP kernel invocation on one cell.
+struct SourceTerm {
+  const double* psi = nullptr;  ///< n^3 projection weights
+  int quantity = 0;             ///< quantity row receiving the source
+  /// dt_derivatives[o] = d^o s/dt^o at t_n, o = 0..order.
+  std::array<double, kMaxOrder + 2> dt_derivatives{};
+};
+
+}  // namespace exastp

@@ -1,0 +1,145 @@
+#include "exastp/perf/cachesim.h"
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  EXASTP_CHECK(config.size_bytes > 0 && config.associativity > 0);
+  EXASTP_CHECK(config.line_bytes > 0 &&
+               (config.line_bytes & (config.line_bytes - 1)) == 0);
+  num_sets_ = static_cast<int>(config.size_bytes /
+                               (config.line_bytes * config.associativity));
+  EXASTP_CHECK_MSG(num_sets_ > 0, "cache smaller than one set");
+  ways_.assign(static_cast<std::size_t>(num_sets_) * config.associativity,
+               Way{});
+}
+
+bool CacheLevel::access_line(std::uint64_t line) {
+  const int set = static_cast<int>(line % static_cast<std::uint64_t>(num_sets_));
+  Way* base = ways_.data() + static_cast<std::size_t>(set) *
+                                 config_.associativity;
+  ++tick_;
+  Way* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    if (base[w].tag == line) {
+      base[w].last_use = tick_;
+      return true;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+  victim->tag = line;
+  victim->last_use = tick_;
+  return false;
+}
+
+void CacheLevel::reset() {
+  ways_.assign(ways_.size(), Way{});
+  tick_ = 0;
+}
+
+CacheSim::CacheSim(const CacheConfig& l1, const CacheConfig& l2,
+                   const CacheConfig& l3)
+    : line_bytes_(l1.line_bytes) {
+  EXASTP_CHECK_MSG(l1.line_bytes == l2.line_bytes &&
+                       l2.line_bytes == l3.line_bytes,
+                   "levels must share the line size");
+  levels_.emplace_back(l1);
+  levels_.emplace_back(l2);
+  levels_.emplace_back(l3);
+}
+
+CacheSim CacheSim::skylake_sp() {
+  return CacheSim({32 * 1024, 8, 64},          // L1D
+                  {1024 * 1024, 16, 64},       // private L2 (Sec. IV-A)
+                  {1408 * 1024, 11, 64});      // 1.375 MiB L3 slice
+}
+
+void CacheSim::access(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  // Prefetcher stream matching: if this access continues a tracked stream
+  // (starts at or just after its tail), the whole range is prefetched;
+  // otherwise the head line is a demand access and the rest trains a new
+  // stream.
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+  bool continues = false;
+  for (int t = 0; t < kStreamTrackers; ++t) {
+    if (first == stream_tails_[t] || first == stream_tails_[t] + 1) {
+      stream_tails_[t] = last;
+      continues = true;
+      break;
+    }
+  }
+  if (!continues) {
+    stream_tails_[next_tracker_] = last;
+    next_tracker_ = (next_tracker_ + 1) % kStreamTrackers;
+    access_impl(addr, std::min<std::size_t>(bytes, line_bytes_),
+                /*demand=*/true);
+    const std::size_t head = line_bytes_ - (addr % line_bytes_);
+    if (bytes > head) access_impl(addr + head, bytes - head, false);
+    return;
+  }
+  access_impl(addr, bytes, /*demand=*/false);
+}
+
+void CacheSim::access_strided(std::uint64_t addr, int rows,
+                              std::size_t row_bytes,
+                              std::size_t stride_bytes) {
+  for (int r = 0; r < rows; ++r)
+    access_impl(addr + static_cast<std::uint64_t>(r) * stride_bytes,
+                row_bytes, /*demand=*/true);
+}
+
+void CacheSim::access_impl(std::uint64_t addr, std::size_t bytes,
+                           bool demand) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++stats_.accesses;
+    for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+      if (levels_[lvl].access_line(line)) break;
+      ++stats_.misses[lvl];
+      if (demand) ++stats_.demand_misses[lvl];
+    }
+  }
+}
+
+void CacheSim::reset() {
+  for (auto& level : levels_) level.reset();
+  stream_tails_.fill(0);
+  next_tracker_ = 0;
+  reset_stats();
+}
+
+double StallModel::stall_fraction(
+    const CacheStats& stats,
+    const std::array<std::uint64_t, 4>& flops_by_width) const {
+  // misses[i] counts lines that missed level i; a line missing L1 and L2
+  // appears in both, so the increments are the *extra* cost of going one
+  // level further out. Demand (strided) misses additionally pay the
+  // latency difference over the prefetched fill cost.
+  const auto seq = [&](int lvl) {
+    return static_cast<double>(stats.misses[lvl] - stats.demand_misses[lvl]);
+  };
+  const auto dem = [&](int lvl) {
+    return static_cast<double>(stats.demand_misses[lvl]);
+  };
+  const double mem_cycles =
+      seq(0) * l2_fill_cycles + dem(0) * l2_latency_cycles / mlp +
+      seq(1) * (l3_fill_cycles - l2_fill_cycles) +
+      dem(1) * (l3_latency_cycles - l2_latency_cycles) / mlp +
+      seq(2) * (dram_fill_cycles - l3_fill_cycles) +
+      dem(2) * (dram_latency_cycles - l3_latency_cycles) / mlp;
+  // Dual-FMA throughput per packing class (flops/cycle): scalar 2, 128-bit
+  // 4, 256-bit 8, 512-bit 16.
+  static constexpr double kRate[4] = {2.0, 4.0, 8.0, 16.0};
+  double compute_cycles = 0.0;
+  for (int c = 0; c < 4; ++c)
+    compute_cycles += static_cast<double>(flops_by_width[c]) / kRate[c];
+  if (mem_cycles + compute_cycles <= 0.0) return 0.0;
+  return mem_cycles / (mem_cycles + compute_cycles);
+}
+
+}  // namespace exastp

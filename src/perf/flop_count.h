@@ -1,0 +1,102 @@
+// Dynamic floating-point-operation accounting.
+//
+// Substitutes for the VTune FLOP / instruction-mix counters used in the
+// paper's Figs. 4, 6, 9, 10. Every compute path (mini-GEMM, element-wise
+// kernel loops, PDE user functions) reports the FLOPs it executed, classified
+// by the SIMD packing width of the loop that performed them:
+//
+//   kScalar — genuinely scalar code (pointwise user functions, runtime-dim
+//             generic loops the compiler cannot vectorize),
+//   k128    — baseline-ISA auto-vectorization (the build uses no -march, so
+//             GCC's default x86-64 SSE2 packs 2 doubles; this is the "128
+//             bits" class of Fig. 9),
+//   k256    — AVX2 code paths (4 doubles),
+//   k512    — AVX-512 code paths (8 doubles).
+//
+// Counts include the zero-padding work, exactly as a hardware counter would.
+// Single-threaded accounting (the benches are single-core, like the paper's
+// per-core analysis); the counter is process-global and reset per section.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "exastp/common/simd.h"
+
+namespace exastp {
+
+enum class WidthClass : int { kScalar = 0, k128 = 1, k256 = 2, k512 = 3 };
+
+inline constexpr int kNumWidthClasses = 4;
+
+struct FlopCounter {
+  std::array<std::uint64_t, kNumWidthClasses> flops{};
+
+  void add(WidthClass w, std::uint64_t count) {
+    flops[static_cast<int>(w)] += count;
+  }
+  void reset() { flops = {}; }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto f : flops) t += f;
+    return t;
+  }
+  /// Fraction of FLOPs in the given class (0 if nothing was counted).
+  double fraction(WidthClass w) const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(flops[static_cast<int>(w)]) /
+                        static_cast<double>(t);
+  }
+
+  FlopCounter& operator+=(const FlopCounter& other) {
+    for (int i = 0; i < kNumWidthClasses; ++i) flops[i] += other.flops[i];
+    return *this;
+  }
+
+  static FlopCounter& instance() {
+    static FlopCounter counter;
+    return counter;
+  }
+};
+
+/// Packing class produced by a loop compiled for (and dispatched to) `isa`.
+/// The baseline build carries no -m flags, so its auto-vectorized loops pack
+/// at 128 bits (SSE2) — the Fig. 9 "128 bits" class.
+constexpr WidthClass packed_width_class(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return WidthClass::k128;
+    case Isa::kAvx2: return WidthClass::k256;
+    case Isa::kAvx512: return WidthClass::k512;
+  }
+  return WidthClass::kScalar;
+}
+
+/// Accounts for a vectorized sweep of `lanes` elements at `flops_per_lane`;
+/// the remainder that does not fill a vector register counts as scalar.
+inline void count_packed_flops(Isa isa, long lanes,
+                               std::uint64_t flops_per_lane) {
+  const int w = vector_width(isa);
+  const long packed = lanes / w * w;
+  FlopCounter::instance().add(packed_width_class(isa),
+                              flops_per_lane * packed);
+  FlopCounter::instance().add(WidthClass::kScalar,
+                              flops_per_lane * (lanes - packed));
+}
+
+/// RAII helper: snapshots the global counter and returns the delta.
+class FlopSection {
+ public:
+  FlopSection() : start_(FlopCounter::instance()) {}
+  FlopCounter delta() const {
+    FlopCounter d = FlopCounter::instance();
+    for (int i = 0; i < kNumWidthClasses; ++i)
+      d.flops[i] -= start_.flops[i];
+    return d;
+  }
+
+ private:
+  FlopCounter start_;
+};
+
+}  // namespace exastp

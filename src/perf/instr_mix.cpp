@@ -1,0 +1,25 @@
+#include "exastp/perf/instr_mix.h"
+
+#include <cstdio>
+
+namespace exastp {
+
+InstrMix instruction_mix(const FlopCounter& counter) {
+  InstrMix mix;
+  const double total = static_cast<double>(counter.total());
+  if (total <= 0.0) return mix;
+  for (int c = 0; c < kNumWidthClasses; ++c)
+    mix.percent[c] = 100.0 * static_cast<double>(counter.flops[c]) / total;
+  return mix;
+}
+
+std::string format_mix(const InstrMix& mix) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "scalar %5.1f%% | 128 %5.1f%% | 256 %5.1f%% | 512 %5.1f%%",
+                mix.percent[0], mix.percent[1], mix.percent[2],
+                mix.percent[3]);
+  return buf;
+}
+
+}  // namespace exastp

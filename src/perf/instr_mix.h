@@ -1,0 +1,33 @@
+// Instruction-mix reporting (paper Fig. 9).
+//
+// The dynamic FLOP counters classify every executed floating-point operation
+// by the packing width of the loop that performed it (see flop_count.h).
+// This header turns a counter delta into the percentage mix the paper plots:
+// Scalar / 128-bit / 256-bit / 512-bit.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+
+struct InstrMix {
+  /// Percentages (0..100), indexed like WidthClass; sums to ~100.
+  std::array<double, kNumWidthClasses> percent{};
+
+  double scalar() const { return percent[0]; }
+  double p128() const { return percent[1]; }
+  double p256() const { return percent[2]; }
+  double p512() const { return percent[3]; }
+  /// Fraction executed with any SIMD packing.
+  double packed() const { return 100.0 - percent[0]; }
+};
+
+InstrMix instruction_mix(const FlopCounter& counter);
+
+/// "scalar 12.3% | 128 4.5% | 256 0.0% | 512 83.2%"
+std::string format_mix(const InstrMix& mix);
+
+}  // namespace exastp

@@ -1,0 +1,51 @@
+#include "exastp/perf/peak.h"
+
+#include <chrono>
+
+#include "exastp/common/aligned.h"
+#include "exastp/common/check.h"
+#include "exastp/perf/peak_impl.h"
+
+namespace exastp {
+namespace {
+
+double run_kernel(Isa isa, std::int64_t iters, double* acc) {
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::peak_kernel_baseline(iters, 0.999999, 1e-7, acc);
+    case Isa::kAvx2:
+      return detail::peak_kernel_avx2(iters, 0.999999, 1e-7, acc);
+    case Isa::kAvx512:
+      return detail::peak_kernel_avx512(iters, 0.999999, 1e-7, acc);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double measure_peak_gflops(Isa isa, double seconds) {
+  EXASTP_CHECK_MSG(host_supports(isa), "host lacks requested ISA");
+  AlignedVector acc(128, 1.0);
+  // Warm up and estimate the iteration rate.
+  using clock = std::chrono::steady_clock;
+  std::int64_t iters = 1 << 14;
+  double best = 0.0;
+  volatile double sink = 0.0;
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto t0 = clock::now();
+    sink = sink + run_kernel(isa, iters, acc.data());
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    const double gflops = 2.0 * 128.0 * static_cast<double>(iters) / dt / 1e9;
+    best = std::max(best, gflops);
+    // Scale the iteration count toward the requested measurement window.
+    if (dt < seconds / 3.0) iters *= 2;
+  }
+  return best;
+}
+
+double available_peak_gflops() {
+  static const double peak = measure_peak_gflops(host_best_isa());
+  return peak;
+}
+
+}  // namespace exastp

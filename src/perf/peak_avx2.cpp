@@ -1,0 +1,7 @@
+#include "exastp/perf/peak_impl.h"
+
+namespace exastp::detail {
+
+EXASTP_DEFINE_PEAK_KERNEL(avx2)
+
+}  // namespace exastp::detail

@@ -1,0 +1,29 @@
+// Register-blocked FMA throughput kernel, instantiated once per ISA TU.
+// 16 independent accumulator vectors of 8 doubles give enough ILP to
+// saturate two FMA pipes; the compiler maps the inner loop to packed FMAs
+// at the TU's target width.
+#pragma once
+
+#include <cstdint>
+
+#define EXASTP_DEFINE_PEAK_KERNEL(SUFFIX)                              \
+  double peak_kernel_##SUFFIX(std::int64_t iters, double x, double y, \
+                              double* acc) {                          \
+    for (std::int64_t it = 0; it < iters; ++it) {                     \
+      _Pragma("omp simd")                                             \
+      for (int j = 0; j < 128; ++j) acc[j] = acc[j] * x + y;          \
+    }                                                                 \
+    double sum = 0.0;                                                 \
+    for (int j = 0; j < 128; ++j) sum += acc[j];                      \
+    return sum;                                                       \
+  }
+
+namespace exastp::detail {
+
+double peak_kernel_baseline(std::int64_t iters, double x, double y,
+                            double* acc);
+double peak_kernel_avx2(std::int64_t iters, double x, double y, double* acc);
+double peak_kernel_avx512(std::int64_t iters, double x, double y,
+                          double* acc);
+
+}  // namespace exastp::detail

@@ -1,0 +1,116 @@
+#include "exastp/perf/report.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+ReportTable::ReportTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  EXASTP_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void ReportTable::print(const std::string& title) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << (c == 0 ? "" : "  ");
+      std::cout.width(static_cast<std::streamsize>(width[c]));
+      std::cout << row[c];
+    }
+    std::cout << "\n";
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+AsciiChart::AsciiChart(std::string y_label, int width, int height)
+    : y_label_(std::move(y_label)), width_(width), height_(height) {
+  EXASTP_CHECK(width >= 10 && height >= 4);
+}
+
+void AsciiChart::add_series(const std::string& name,
+                            const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  EXASTP_CHECK(x.size() == y.size() && !x.empty());
+  static constexpr char kSymbols[] = "*o+x#@%&";
+  Series s;
+  s.name = name;
+  s.symbol = kSymbols[series_.size() % (sizeof(kSymbols) - 1)];
+  s.x = x;
+  s.y = y;
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::print(const std::string& title) const {
+  if (series_.empty()) return;
+  double xmin = series_[0].x[0], xmax = xmin, ymin = 0.0, ymax = 1e-300;
+  for (const auto& s : series_)
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  ymax *= 1.05;
+  const double xspan = std::max(xmax - xmin, 1e-12);
+  const double yspan = std::max(ymax - ymin, 1e-12);
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  for (const auto& s : series_)
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = static_cast<int>((s.x[i] - xmin) / xspan * (width_ - 1));
+      const int row = height_ - 1 -
+                      static_cast<int>((s.y[i] - ymin) / yspan * (height_ - 1));
+      canvas[row][col] = s.symbol;
+    }
+
+  std::cout << "\n-- " << title << " --\n";
+  for (int r = 0; r < height_; ++r) {
+    const double yvalue = ymin + (height_ - 1 - r) * yspan / (height_ - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%7.1f |", yvalue);
+    std::cout << label << canvas[r] << "\n";
+  }
+  std::cout << "        +" << std::string(width_, '-') << "\n";
+  char xl[160];
+  std::snprintf(xl, sizeof(xl), "        %-4g%*s%4g\n", xmin,
+                width_ - 8, "", xmax);
+  std::cout << xl << "        " << y_label_ << "; series:";
+  for (const auto& s : series_)
+    std::cout << "  [" << s.symbol << "] " << s.name;
+  std::cout << "\n";
+  std::cout.flush();
+}
+
+void ReportTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  EXASTP_CHECK_MSG(out.good(), "cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c == 0 ? "" : ",") << row[c];
+    out << "\n";
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+}  // namespace exastp

@@ -1,0 +1,53 @@
+// Bench report helpers: aligned console tables + CSV sidecar files, so each
+// bench binary prints the rows of its paper figure and leaves a
+// machine-readable copy next to it.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace exastp {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Prints an aligned table to stdout with a title line.
+  void print(const std::string& title) const;
+  /// Writes the table as CSV.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Terminal line chart so each figure bench can render the paper's curves
+/// directly in the console (one symbol per series, shared y-axis).
+class AsciiChart {
+ public:
+  AsciiChart(std::string y_label, int width = 60, int height = 14);
+
+  /// Adds a series; x values are shared category positions (e.g. orders).
+  void add_series(const std::string& name, const std::vector<double>& x,
+                  const std::vector<double>& y);
+
+  void print(const std::string& title) const;
+
+ private:
+  std::string y_label_;
+  int width_, height_;
+  struct Series {
+    std::string name;
+    char symbol;
+    std::vector<double> x, y;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace exastp

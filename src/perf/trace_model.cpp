@@ -1,0 +1,538 @@
+#include "exastp/perf/trace_model.h"
+
+#include <vector>
+
+#include "exastp/common/aligned.h"
+#include "exastp/common/check.h"
+#include "exastp/tensor/layout.h"
+
+namespace exastp {
+namespace {
+
+constexpr std::uint64_t kWord = sizeof(double);
+
+/// Bump allocator for virtual array addresses (64-byte aligned, padded so
+/// distinct arrays never share a line).
+class VirtualArena {
+ public:
+  std::uint64_t alloc(std::size_t doubles) {
+    const std::uint64_t addr = next_;
+    next_ += pad_to(static_cast<int>(doubles), 8) * kWord;
+    next_ = (next_ + 63) / 64 * 64;
+    logical_ += doubles * kWord;
+    return addr;
+  }
+  /// Exact bytes of the allocated arrays (matches the real kernels'
+  /// workspace_bytes accounting, which sums vector sizes).
+  std::size_t bytes() const { return logical_; }
+
+ private:
+  std::uint64_t next_ = 4096;
+  std::size_t logical_ = 0;
+};
+
+/// Mirrors the mini-GEMM inner loops: C rows and A rows stream once per i,
+/// B rows restream per (i, l). FLOPs via the same helper gemm uses.
+void trace_gemm(CacheSim& sim, Isa isa, int m, int n, int k, std::uint64_t a,
+                int lda, std::uint64_t b, int ldb, std::uint64_t c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    sim.access(c + static_cast<std::uint64_t>(i) * ldc * kWord, n * kWord);
+    sim.access(a + static_cast<std::uint64_t>(i) * lda * kWord, k * kWord);
+    for (int l = 0; l < k; ++l)
+      sim.access(b + static_cast<std::uint64_t>(l) * ldb * kWord, n * kWord);
+  }
+  count_packed_flops(isa, n, 2ull * m * k);
+}
+
+/// Mirrors aos_derivative's batching (derivative_ops.h).
+void trace_aos_derivative(CacheSim& sim, Isa isa, int n, int mp,
+                          std::uint64_t diff, std::uint64_t src,
+                          std::uint64_t dst, int dir) {
+  const std::uint64_t slab = static_cast<std::uint64_t>(n) * mp * kWord;
+  switch (dir) {
+    case 0:
+      for (int k3 = 0; k3 < n; ++k3)
+        for (int k2 = 0; k2 < n; ++k2) {
+          const std::uint64_t off = (static_cast<std::uint64_t>(k3) * n + k2) * slab;
+          trace_gemm(sim, isa, n, mp, n, diff, n, src + off, mp, dst + off,
+                     mp);
+        }
+      break;
+    case 1:
+      for (int k3 = 0; k3 < n; ++k3) {
+        const std::uint64_t off = static_cast<std::uint64_t>(k3) * n * slab;
+        trace_gemm(sim, isa, n, n * mp, n, diff, n, src + off, n * mp,
+                   dst + off, n * mp);
+      }
+      break;
+    default:
+      trace_gemm(sim, isa, n, n * n * mp, n, diff, n, src, n * n * mp, dst,
+                 n * n * mp);
+  }
+}
+
+/// Mirrors aosoa_derivative's batching.
+void trace_aosoa_derivative(CacheSim& sim, Isa isa, int n, int m, int np,
+                            std::uint64_t diff, std::uint64_t diff_t,
+                            std::uint64_t src, std::uint64_t dst, int dir) {
+  const std::uint64_t line = static_cast<std::uint64_t>(m) * np * kWord;
+  switch (dir) {
+    case 0:
+      for (int k3 = 0; k3 < n; ++k3)
+        for (int k2 = 0; k2 < n; ++k2) {
+          const std::uint64_t off =
+              (static_cast<std::uint64_t>(k3) * n + k2) * line;
+          trace_gemm(sim, isa, m, np, n, src + off, np, diff_t, np, dst + off,
+                     np);
+        }
+      break;
+    case 1:
+      for (int k3 = 0; k3 < n; ++k3) {
+        const std::uint64_t off = static_cast<std::uint64_t>(k3) * n * line;
+        trace_gemm(sim, isa, n, m * np, n, diff, n, src + off, m * np,
+                   dst + off, m * np);
+      }
+      break;
+    default:
+      trace_gemm(sim, isa, n, n * m * np, n, diff, n, src, n * m * np, dst,
+                 n * m * np);
+  }
+}
+
+/// Pointwise user-function sweep over a cell: stream src, stream dst.
+void trace_pointwise(CacheSim& sim, std::uint64_t src, std::uint64_t dst,
+                     std::size_t cell_bytes, std::uint64_t nodes,
+                     std::uint64_t flops_per_node) {
+  sim.access(src, cell_bytes);
+  sim.access(dst, cell_bytes);
+  FlopCounter::instance().add(WidthClass::kScalar, nodes * flops_per_node);
+}
+
+/// Element-wise vecop over a full tensor.
+void trace_vecop(CacheSim& sim, Isa isa, std::uint64_t src, std::uint64_t dst,
+                 std::size_t elems, std::uint64_t flops_per_elem) {
+  sim.access(src, elems * kWord);
+  sim.access(dst, elems * kWord);
+  if (flops_per_elem > 0)
+    count_packed_flops(isa, static_cast<long>(elems), flops_per_elem);
+}
+
+/// Per-cell corrector pattern (mirrors solver/ader_dg_solver.cpp and
+/// kernels/face.h): volume update, then per direction one owned face with
+/// two projections, two normal-flux evaluations, one Riemann solve and two
+/// surface lifts.
+void trace_corrector_cell(CacheSim& sim, int n, int mp, const TwinPde& pde,
+                          std::uint64_t q, std::uint64_t qavg,
+                          const std::vector<std::uint64_t>& favg,
+                          VirtualArena& arena) {
+  const std::size_t cell = static_cast<std::size_t>(n) * n * n * mp;
+  const std::size_t cell_bytes = cell * kWord;
+  const std::size_t face = static_cast<std::size_t>(n) * n * mp;
+  const std::size_t face_bytes = face * kWord;
+  const std::uint64_t nn = static_cast<std::uint64_t>(n) * n;
+  FlopCounter& fc = FlopCounter::instance();
+
+  const std::uint64_t qnew = arena.alloc(cell);
+  const std::uint64_t qavg_nb = arena.alloc(cell);
+  const std::uint64_t face_own = arena.alloc(face);
+  const std::uint64_t face_nb = arena.alloc(face);
+  const std::uint64_t fl = arena.alloc(face);
+  const std::uint64_t fr = arena.alloc(face);
+  const std::uint64_t fstar = arena.alloc(face);
+
+  // Volume update qnew = q + dt * sum_d favg[d].
+  sim.access(q, cell_bytes);
+  sim.access(qnew, cell_bytes);
+  for (std::uint64_t f : favg) sim.access(f, cell_bytes);
+  fc.add(WidthClass::k128, 6ull * cell);
+
+  for (int d = 0; d < 3; ++d) {
+    // Projections of both sides' averaged states onto the shared face.
+    sim.access(qavg, cell_bytes);
+    sim.access(face_own, face_bytes);
+    fc.add(WidthClass::k128, 2ull * n * nn * mp);
+    sim.access(qavg_nb, cell_bytes);
+    sim.access(face_nb, face_bytes);
+    fc.add(WidthClass::k128, 2ull * n * nn * mp);
+    // Normal fluxes of both traces.
+    sim.access(face_own, face_bytes);
+    sim.access(fl, face_bytes);
+    fc.add(WidthClass::kScalar,
+           nn * (pde.flux_flops + pde.ncp_flops + pde.quants));
+    sim.access(face_nb, face_bytes);
+    sim.access(fr, face_bytes);
+    fc.add(WidthClass::kScalar,
+           nn * (pde.flux_flops + pde.ncp_flops + pde.quants));
+    // Rusanov solve.
+    for (std::uint64_t a : {face_own, face_nb, fl, fr, fstar})
+      sim.access(a, face_bytes);
+    fc.add(WidthClass::kScalar, nn * (5ull * pde.vars + 1));
+    // Surface lifts into both adjacent cells' updates.
+    for (std::uint64_t own : {fl, fr}) {
+      sim.access(fstar, face_bytes);
+      sim.access(own, face_bytes);
+      sim.access(qnew, cell_bytes);
+      fc.add(WidthClass::k128, 3ull * n * nn * mp);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic twin (mirrors generic_stp.cpp).
+
+TwinResult trace_generic(int order, const TwinPde& pde, CacheSim& sim,
+                         int warmup, int reps, bool corrector) {
+  const int n = order, m = pde.quants;
+  const std::size_t cell = static_cast<std::size_t>(n) * n * n * m;
+  const std::size_t cell_bytes = cell * kWord;
+  const std::uint64_t nodes = static_cast<std::uint64_t>(n) * n * n;
+
+  VirtualArena arena;
+  std::uint64_t p = arena.alloc((n + 1) * cell);
+  std::uint64_t flux = arena.alloc(3ull * n * cell);
+  std::uint64_t df = arena.alloc(3ull * n * cell);
+  std::uint64_t gradq = arena.alloc(3ull * n * cell);
+  const std::size_t workspace = arena.bytes();
+  std::uint64_t qavg = arena.alloc(cell);
+  std::vector<std::uint64_t> favg = {arena.alloc(cell), arena.alloc(cell),
+                                     arena.alloc(cell)};
+
+  auto p_at = [&](int o) { return p + static_cast<std::uint64_t>(o) * cell_bytes; };
+  auto od_at = [&](std::uint64_t base, int o, int d) {
+    return base + (static_cast<std::uint64_t>(o) * 3 + d) * cell_bytes;
+  };
+
+  TwinResult result;
+  result.workspace_bytes = workspace;
+  for (int rep = 0; rep < warmup + reps; ++rep) {
+    if (rep == warmup) {
+      sim.reset_stats();
+      FlopCounter::instance().reset();
+    }
+    // Fresh input cell per repetition (mesh traversal).
+    std::uint64_t q = arena.alloc(cell);
+    trace_vecop(sim, Isa::kScalar, q, p_at(0), cell, 0);  // memcpy
+
+    const int node_bytes = m * static_cast<int>(kWord);
+    for (int o = 0; o < n; ++o) {
+      for (int d = 0; d < 3; ++d)
+        trace_pointwise(sim, p_at(o), od_at(flux, o, d), cell_bytes, nodes,
+                        pde.flux_flops);
+      // Naive derivative: per output node, one strided read sweep.
+      for (int d = 0; d < 3; ++d) {
+        const std::uint64_t stride =
+            (d == 0 ? static_cast<std::uint64_t>(m)
+                    : d == 1 ? static_cast<std::uint64_t>(m) * n
+                             : static_cast<std::uint64_t>(m) * n * n) * kWord;
+        for (std::uint64_t k = 0; k < nodes; ++k) {
+          const std::uint64_t out = k * m * kWord;
+          sim.access(od_at(df, o, d) + out, node_bytes);
+          sim.access(od_at(gradq, o, d) + out, node_bytes);
+          // Line base along the derivative dimension.
+          const int kd = d == 0 ? static_cast<int>(k % n)
+                       : d == 1 ? static_cast<int>((k / n) % n)
+                                : static_cast<int>(k / (static_cast<std::uint64_t>(n) * n));
+          const std::uint64_t line0 = out - kd * stride;
+          sim.access_strided(od_at(flux, o, d) + line0, n, node_bytes,
+                             stride);
+          sim.access_strided(p_at(o) + line0, n, node_bytes, stride);
+        }
+        FlopCounter::instance().add(WidthClass::kScalar,
+                                    nodes * m * (4ull * n + 2));
+      }
+      for (int d = 0; d < 3; ++d) {
+        trace_pointwise(sim, p_at(o), od_at(df, o, d), cell_bytes, nodes,
+                        pde.ncp_flops + m);
+        sim.access(od_at(gradq, o, d), cell_bytes);
+      }
+      // p[o+1] = sum_d dF.
+      sim.access(p_at(o + 1), cell_bytes);
+      for (int d = 0; d < 3; ++d) sim.access(od_at(df, o, d), cell_bytes);
+      FlopCounter::instance().add(WidthClass::k128, 3 * cell);
+    }
+    // Taylor accumulation.
+    sim.access(qavg, cell_bytes);
+    for (auto f : favg) sim.access(f, cell_bytes);
+    for (int o = 0; o < n; ++o) {
+      sim.access(p_at(o), cell_bytes);
+      sim.access(qavg, cell_bytes);
+      for (int d = 0; d < 3; ++d) {
+        sim.access(od_at(df, o, d), cell_bytes);
+        sim.access(favg[d], cell_bytes);
+      }
+    }
+    FlopCounter::instance().add(WidthClass::k128, 8ull * n * cell);
+    if (corrector)
+      trace_corrector_cell(sim, n, m, pde, q, qavg, favg, arena);
+  }
+  result.cache = sim.stats();
+  result.flops = FlopCounter::instance();
+  result.measured_reps = reps;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// LoG twin (mirrors log_stp.h).
+
+TwinResult trace_log(int order, const TwinPde& pde, Isa isa, CacheSim& sim,
+                     int warmup, int reps, bool corrector) {
+  const int n = order;
+  const int mp = pad_to(pde.quants, vector_width(isa));
+  const std::size_t cell = static_cast<std::size_t>(n) * n * n * mp;
+  const std::size_t cell_bytes = cell * kWord;
+  const std::uint64_t nodes = static_cast<std::uint64_t>(n) * n * n;
+
+  VirtualArena arena;
+  std::uint64_t p = arena.alloc((n + 1) * cell);
+  std::uint64_t flux = arena.alloc(3ull * n * cell);
+  std::uint64_t df = arena.alloc(3ull * n * cell);
+  std::uint64_t gradq = arena.alloc(3ull * n * cell);
+  const std::size_t workspace = arena.bytes();
+  std::uint64_t diff = arena.alloc(static_cast<std::size_t>(n) * n);
+  std::uint64_t qavg = arena.alloc(cell);
+  std::vector<std::uint64_t> favg = {arena.alloc(cell), arena.alloc(cell),
+                                     arena.alloc(cell)};
+
+  auto p_at = [&](int o) { return p + static_cast<std::uint64_t>(o) * cell_bytes; };
+  auto od_at = [&](std::uint64_t base, int o, int d) {
+    return base + (static_cast<std::uint64_t>(o) * 3 + d) * cell_bytes;
+  };
+
+  TwinResult result;
+  result.workspace_bytes = workspace;
+  for (int rep = 0; rep < warmup + reps; ++rep) {
+    if (rep == warmup) {
+      sim.reset_stats();
+      FlopCounter::instance().reset();
+    }
+    std::uint64_t q = arena.alloc(cell);
+    trace_vecop(sim, isa, q, p_at(0), cell, 0);
+
+    for (int o = 0; o < n; ++o) {
+      for (int d = 0; d < 3; ++d)
+        trace_pointwise(sim, p_at(o), od_at(flux, o, d), cell_bytes, nodes,
+                        pde.flux_flops);
+      for (int d = 0; d < 3; ++d) {
+        trace_aos_derivative(sim, isa, n, mp, diff, od_at(flux, o, d),
+                             od_at(df, o, d), d);
+        trace_aos_derivative(sim, isa, n, mp, diff, p_at(o),
+                             od_at(gradq, o, d), d);
+      }
+      for (int d = 0; d < 3; ++d) {
+        trace_pointwise(sim, p_at(o), od_at(df, o, d), cell_bytes, nodes,
+                        pde.ncp_flops + pde.quants);
+        sim.access(od_at(gradq, o, d), cell_bytes);
+      }
+      sim.access(p_at(o + 1), cell_bytes);
+      for (int d = 0; d < 3; ++d)
+        trace_vecop(sim, isa, od_at(df, o, d), p_at(o + 1), cell, 1);
+      sim.access(q, cell_bytes);  // parameter-row refresh reads q
+    }
+    sim.access(qavg, cell_bytes);
+    for (auto f : favg) sim.access(f, cell_bytes);
+    for (int o = 0; o < n; ++o) {
+      trace_vecop(sim, isa, p_at(o), qavg, cell, 2);
+      for (int d = 0; d < 3; ++d)
+        trace_vecop(sim, isa, od_at(df, o, d), favg[d], cell, 2);
+    }
+    sim.access(q, cell_bytes);
+    if (corrector)
+      trace_corrector_cell(sim, n, mp, pde, q, qavg, favg, arena);
+  }
+  result.cache = sim.stats();
+  result.flops = FlopCounter::instance();
+  result.measured_reps = reps;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SplitCK twin (mirrors splitck_stp.h).
+
+TwinResult trace_splitck(int order, const TwinPde& pde, Isa isa,
+                         CacheSim& sim, int warmup, int reps, bool corrector) {
+  const int n = order;
+  const int mp = pad_to(pde.quants, vector_width(isa));
+  const std::size_t cell = static_cast<std::size_t>(n) * n * n * mp;
+  const std::size_t cell_bytes = cell * kWord;
+  const std::uint64_t nodes = static_cast<std::uint64_t>(n) * n * n;
+
+  VirtualArena arena;
+  std::uint64_t p = arena.alloc(cell);
+  std::uint64_t ptemp = arena.alloc(cell);
+  std::uint64_t flux = arena.alloc(cell);
+  std::uint64_t gradq = arena.alloc(cell);
+  const std::size_t workspace = arena.bytes();
+  std::uint64_t diff = arena.alloc(static_cast<std::size_t>(n) * n);
+  std::uint64_t qavg = arena.alloc(cell);
+  std::vector<std::uint64_t> favg = {arena.alloc(cell), arena.alloc(cell),
+                                     arena.alloc(cell)};
+
+  auto volume_dim = [&](int d, std::uint64_t src, std::uint64_t dst) {
+    trace_pointwise(sim, src, flux, cell_bytes, nodes, pde.flux_flops);
+    trace_aos_derivative(sim, isa, n, mp, diff, flux, dst, d);
+    trace_aos_derivative(sim, isa, n, mp, diff, src, gradq, d);
+    trace_pointwise(sim, src, dst, cell_bytes, nodes,
+                    pde.ncp_flops + pde.quants);
+    sim.access(gradq, cell_bytes);
+  };
+
+  TwinResult result;
+  result.workspace_bytes = workspace;
+  for (int rep = 0; rep < warmup + reps; ++rep) {
+    if (rep == warmup) {
+      sim.reset_stats();
+      FlopCounter::instance().reset();
+    }
+    std::uint64_t q = arena.alloc(cell);
+    trace_vecop(sim, isa, q, p, cell, 0);         // copy
+    trace_vecop(sim, isa, q, qavg, cell, 1);      // scale
+    for (int o = 0; o + 1 < n; ++o) {
+      sim.access(ptemp, cell_bytes);              // zero
+      for (int d = 0; d < 3; ++d) volume_dim(d, p, ptemp);
+      trace_vecop(sim, isa, ptemp, qavg, cell, 2);
+      std::swap(p, ptemp);
+      sim.access(q, cell_bytes);                  // param refresh
+      sim.access(p, cell_bytes);
+    }
+    sim.access(q, cell_bytes);
+    sim.access(qavg, cell_bytes);
+    for (int d = 0; d < 3; ++d) {
+      sim.access(favg[d], cell_bytes);            // zero
+      volume_dim(d, qavg, favg[d]);
+    }
+    if (corrector)
+      trace_corrector_cell(sim, n, mp, pde, q, qavg, favg, arena);
+  }
+  result.cache = sim.stats();
+  result.flops = FlopCounter::instance();
+  result.measured_reps = reps;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// AoSoA twin (mirrors aosoa_stp.h).
+
+TwinResult trace_aosoa(int order, const TwinPde& pde, Isa isa, CacheSim& sim,
+                       int warmup, int reps, bool corrector) {
+  const int n = order;
+  const int m = pde.quants;
+  const int np = pad_to(n, vector_width(isa));
+  const std::size_t cell = static_cast<std::size_t>(n) * n * m * np;
+  const std::size_t cell_bytes = cell * kWord;
+  const std::size_t line = static_cast<std::size_t>(m) * np;
+  const std::size_t line_bytes = line * kWord;
+
+  VirtualArena arena;
+  std::uint64_t q_a = arena.alloc(cell);
+  std::uint64_t p = arena.alloc(cell);
+  std::uint64_t ptemp = arena.alloc(cell);
+  std::uint64_t flux = arena.alloc(cell);
+  std::uint64_t gradq = arena.alloc(cell);
+  std::uint64_t qavg_a = arena.alloc(cell);
+  std::vector<std::uint64_t> favg_a = {arena.alloc(cell), arena.alloc(cell),
+                                       arena.alloc(cell)};
+  std::uint64_t line_buf = arena.alloc(line);
+  const std::size_t workspace = arena.bytes();
+  std::uint64_t diff = arena.alloc(static_cast<std::size_t>(n) * n);
+  std::uint64_t diff_t = arena.alloc(static_cast<std::size_t>(n) * np);
+  const std::size_t aos_cell =
+      static_cast<std::size_t>(n) * n * n * pad_to(m, vector_width(isa));
+  std::uint64_t qavg_out = arena.alloc(aos_cell);
+  std::vector<std::uint64_t> favg_out = {
+      arena.alloc(aos_cell), arena.alloc(aos_cell), arena.alloc(aos_cell)};
+
+  auto volume_dim = [&](int d, std::uint64_t src, std::uint64_t dst) {
+    for (int l = 0; l < n * n; ++l) {
+      const std::uint64_t off = static_cast<std::uint64_t>(l) * line_bytes;
+      sim.access(src + off, line_bytes);
+      sim.access(flux + off, line_bytes);
+      count_packed_flops(isa, np, pde.flux_flops);
+    }
+    trace_aosoa_derivative(sim, isa, n, m, np, diff, diff_t, flux, dst, d);
+    trace_aosoa_derivative(sim, isa, n, m, np, diff, diff_t, src, gradq, d);
+    for (int l = 0; l < n * n; ++l) {
+      const std::uint64_t off = static_cast<std::uint64_t>(l) * line_bytes;
+      sim.access(src + off, line_bytes);
+      sim.access(gradq + off, line_bytes);
+      sim.access(line_buf, line_bytes);
+      count_packed_flops(isa, np, pde.ncp_flops);
+      trace_vecop(sim, isa, line_buf, dst + off, line, 1);
+    }
+  };
+
+  TwinResult result;
+  result.workspace_bytes = workspace;
+  for (int rep = 0; rep < warmup + reps; ++rep) {
+    if (rep == warmup) {
+      sim.reset_stats();
+      FlopCounter::instance().reset();
+    }
+    std::uint64_t q = arena.alloc(aos_cell);
+    trace_vecop(sim, Isa::kScalar, q, q_a, aos_cell, 0);  // AoS -> AoSoA
+    trace_vecop(sim, isa, q_a, p, cell, 0);
+    trace_vecop(sim, isa, q_a, qavg_a, cell, 1);
+    for (int o = 0; o + 1 < n; ++o) {
+      sim.access(ptemp, cell_bytes);
+      for (int d = 0; d < 3; ++d) volume_dim(d, p, ptemp);
+      trace_vecop(sim, isa, ptemp, qavg_a, cell, 2);
+      std::swap(p, ptemp);
+      sim.access(q_a, cell_bytes);
+      sim.access(p, cell_bytes);
+    }
+    sim.access(q_a, cell_bytes);
+    sim.access(qavg_a, cell_bytes);
+    trace_vecop(sim, Isa::kScalar, qavg_a, qavg_out, cell, 0);  // transpose
+    for (int d = 0; d < 3; ++d) {
+      sim.access(favg_a[d], cell_bytes);
+      volume_dim(d, qavg_a, favg_a[d]);
+      trace_vecop(sim, Isa::kScalar, favg_a[d], favg_out[d], cell, 0);
+    }
+    if (corrector)
+      trace_corrector_cell(sim, n, pad_to(m, vector_width(isa)), pde, q,
+                           qavg_out, favg_out, arena);
+  }
+  result.cache = sim.stats();
+  result.flops = FlopCounter::instance();
+  result.measured_reps = reps;
+  return result;
+}
+
+}  // namespace
+
+TwinResult trace_stp(StpVariant variant, int order, const TwinPde& pde,
+                     Isa isa, CacheSim& sim, int warmup, int reps,
+                     bool include_corrector) {
+  EXASTP_CHECK(order >= 2 && pde.quants > 0 && reps >= 1);
+  // Validate before touching global state: the exceptional path must not
+  // clobber the caller's FLOP counter.
+  EXASTP_CHECK_MSG(variant != StpVariant::kSoaUfSplitCk,
+                   "no trace twin for the rejected SoA-UF ablation variant; "
+                   "measure it directly");
+  // The twin borrows the global FlopCounter; preserve the caller's counts.
+  const FlopCounter saved = FlopCounter::instance();
+  FlopCounter::instance().reset();
+  TwinResult result;
+  switch (variant) {
+    case StpVariant::kGeneric:
+      result = trace_generic(order, pde, sim, warmup, reps, include_corrector);
+      break;
+    case StpVariant::kLog:
+      result = trace_log(order, pde, isa, sim, warmup, reps, include_corrector);
+      break;
+    case StpVariant::kSplitCk:
+      result = trace_splitck(order, pde, isa, sim, warmup, reps, include_corrector);
+      break;
+    case StpVariant::kAosoaSplitCk:
+      result = trace_aosoa(order, pde, isa, sim, warmup, reps, include_corrector);
+      break;
+    case StpVariant::kSoaUfSplitCk:
+      EXASTP_CHECK_MSG(false,
+                       "no trace twin for the rejected SoA-UF ablation "
+                       "variant; measure it directly");
+      break;
+  }
+  FlopCounter::instance() = saved;
+  return result;
+}
+
+}  // namespace exastp

@@ -1,0 +1,118 @@
+#include "exastp/quadrature/quadrature.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+namespace {
+
+// Newton solve for the k-th root of P_n on [-1,1], seeded with the Chebyshev
+// approximation; converges in < 10 iterations to machine precision.
+double legendre_root(int n, int k) {
+  double x = -std::cos(std::numbers::pi * (k + 0.75) / (n + 0.5));
+  for (int it = 0; it < 100; ++it) {
+    double p, dp;
+    legendre_eval(n, x, &p, &dp);
+    const double dx = p / dp;
+    x -= dx;
+    if (std::abs(dx) < 1e-15) break;
+  }
+  return x;
+}
+
+QuadratureRule gauss_legendre(int n) {
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  for (int k = 0; k < n; ++k) {
+    const double x = legendre_root(n, k);
+    double p, dp;
+    legendre_eval(n, x, &p, &dp);
+    // Weight on [-1,1] is 2 / ((1-x^2) P_n'(x)^2); halved by the map to [0,1].
+    const double w = 2.0 / ((1.0 - x * x) * dp * dp);
+    rule.nodes[k] = 0.5 * (x + 1.0);
+    rule.weights[k] = 0.5 * w;
+  }
+  return rule;
+}
+
+// Interior Lobatto nodes are the roots of P_{n-1}'; found by bisection+Newton
+// on the derivative, bracketed by the Gauss-Legendre roots of P_{n-1}.
+QuadratureRule gauss_lobatto(int n) {
+  QuadratureRule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  const int m = n - 1;  // polynomial degree involved
+  rule.nodes.front() = 0.0;
+  rule.nodes.back() = 1.0;
+
+  for (int k = 1; k < n - 1; ++k) {
+    // Seed between adjacent roots of P_m (derivative roots interlace).
+    double lo = legendre_root(m, k - 1);
+    double hi = legendre_root(m, k);
+    double x = 0.5 * (lo + hi);
+    for (int it = 0; it < 100; ++it) {
+      // Newton on f(x) = P_m'(x). f'(x) from the Legendre ODE:
+      // (1-x^2) P_m'' = 2x P_m' - m(m+1) P_m.
+      double p, dp;
+      legendre_eval(m, x, &p, &dp);
+      const double ddp =
+          (2.0 * x * dp - m * (m + 1) * p) / (1.0 - x * x);
+      const double dx = dp / ddp;
+      x -= dx;
+      if (x <= lo || x >= hi) x = 0.5 * (lo + hi);  // keep the bracket
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.nodes[k] = 0.5 * (x + 1.0);
+  }
+
+  for (int k = 0; k < n; ++k) {
+    const double x = 2.0 * rule.nodes[k] - 1.0;
+    double p, dp;
+    legendre_eval(m, x, &p, &dp);
+    // Lobatto weight on [-1,1]: 2 / (n(n-1) P_{n-1}(x)^2); halved for [0,1].
+    rule.weights[k] = 1.0 / (n * (n - 1) * p * p);
+  }
+  return rule;
+}
+
+}  // namespace
+
+void legendre_eval(int n, double x, double* value, double* derivative) {
+  double p0 = 1.0, p1 = x;
+  if (n == 0) {
+    *value = 1.0;
+    *derivative = 0.0;
+    return;
+  }
+  for (int j = 2; j <= n; ++j) {
+    const double p2 = ((2.0 * j - 1.0) * x * p1 - (j - 1.0) * p0) / j;
+    p0 = p1;
+    p1 = p2;
+  }
+  *value = p1;
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); endpoints use the closed form
+  // P_n'(±1) = (±1)^{n-1} n(n+1)/2.
+  if (std::abs(x) == 1.0) {
+    *derivative = (x > 0 ? 1.0 : ((n % 2 == 1) ? 1.0 : -1.0)) * 0.5 * n * (n + 1);
+  } else {
+    *derivative = n * (x * p1 - p0) / (x * x - 1.0);
+  }
+}
+
+QuadratureRule make_quadrature(int n, NodeFamily family) {
+  switch (family) {
+    case NodeFamily::kGaussLegendre:
+      EXASTP_CHECK_MSG(n >= 1, "Gauss-Legendre needs n >= 1");
+      return gauss_legendre(n);
+    case NodeFamily::kGaussLobatto:
+      EXASTP_CHECK_MSG(n >= 2, "Gauss-Lobatto needs n >= 2");
+      return gauss_lobatto(n);
+  }
+  EXASTP_CHECK_MSG(false, "unknown node family");
+  return {};
+}
+
+}  // namespace exastp

@@ -1,0 +1,33 @@
+// Gauss-Legendre and Gauss-Lobatto quadrature on the reference interval
+// [0, 1].
+//
+// ExaHyPE's nodal DG basis collocates Lagrange polynomials at these points
+// (paper Sec. II-A); all operator tables in src/basis are derived from them.
+#pragma once
+
+#include <vector>
+
+namespace exastp {
+
+enum class NodeFamily {
+  kGaussLegendre,  ///< interior points, default in ExaHyPE
+  kGaussLobatto,   ///< includes interval endpoints (needs n >= 2)
+};
+
+struct QuadratureRule {
+  std::vector<double> nodes;    ///< in (0,1) resp. [0,1], ascending
+  std::vector<double> weights;  ///< positive, sums to 1
+};
+
+/// Returns the n-point rule of the requested family on [0,1].
+///
+/// Gauss-Legendre integrates polynomials up to degree 2n-1 exactly,
+/// Gauss-Lobatto up to degree 2n-3. Throws std::invalid_argument for n < 1
+/// (Legendre) or n < 2 (Lobatto).
+QuadratureRule make_quadrature(int n, NodeFamily family);
+
+/// Legendre polynomial P_n and derivative P_n' at x in [-1,1], evaluated by
+/// the three-term recurrence. Exposed for tests and for the Lobatto solver.
+void legendre_eval(int n, double x, double* value, double* derivative);
+
+}  // namespace exastp

@@ -1,0 +1,43 @@
+#include "exastp/scenarios/loh1.h"
+
+#include "exastp/kernels/registry.h"
+#include "exastp/pde/elastic.h"
+
+namespace exastp {
+
+std::unique_ptr<AderDgSolver> make_loh1_solver(const Loh1Config& config,
+                                               Isa isa) {
+  GridSpec spec;
+  spec.cells = config.cells;
+  spec.origin = {0.0, 0.0, 0.0};
+  spec.extent = config.extent;
+  // Absorbing sides and bottom; reflecting top surface.
+  spec.boundary = {BoundaryKind::kOutflow, BoundaryKind::kOutflow,
+                   BoundaryKind::kWall};
+
+  ElasticPde pde;
+  auto runtime = std::make_shared<PdeAdapter<ElasticPde>>(pde);
+  StpKernel kernel = make_stp_kernel(pde, config.variant, config.order, isa);
+  auto solver = std::make_unique<AderDgSolver>(runtime, std::move(kernel),
+                                               spec);
+
+  const Loh1Config c = config;
+  solver->set_initial_condition(
+      [c](const std::array<double, 3>& x, double* q) {
+        for (int s = 0; s < ElasticPde::kVars; ++s) q[s] = 0.0;
+        const bool in_layer = x[2] < c.layer_depth;
+        q[ElasticPde::kRho] = in_layer ? c.layer_rho : c.half_rho;
+        q[ElasticPde::kCp] = in_layer ? c.layer_cp : c.half_cp;
+        q[ElasticPde::kCs] = in_layer ? c.layer_cs : c.half_cs;
+      });
+
+  MeshPointSource source;
+  source.position = config.source_position;
+  source.quantity = ElasticPde::kVz;
+  source.wavelet = std::make_shared<RickerWavelet>(config.source_frequency,
+                                                   config.source_delay);
+  solver->add_point_source(source);
+  return solver;
+}
+
+}  // namespace exastp

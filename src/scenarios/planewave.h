@@ -1,0 +1,42 @@
+// Acoustic plane-wave scenario: initial condition + exact solution,
+// used by the convergence example and the solver tests.
+//
+//   p(x, t) = sin(k . x - w t),  v = khat / (rho c) * p,  w = c |k|.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "exastp/pde/acoustic.h"
+
+namespace exastp {
+
+struct PlaneWave {
+  std::array<double, 3> wave_vector{2.0 * 3.14159265358979323846, 0.0, 0.0};
+  double rho = 1.0;
+  double c = 1.0;
+
+  double omega() const {
+    return c * std::sqrt(wave_vector[0] * wave_vector[0] +
+                         wave_vector[1] * wave_vector[1] +
+                         wave_vector[2] * wave_vector[2]);
+  }
+
+  double pressure(const std::array<double, 3>& x, double t) const {
+    return std::sin(wave_vector[0] * x[0] + wave_vector[1] * x[1] +
+                    wave_vector[2] * x[2] - omega() * t);
+  }
+
+  /// Fills one node of the acoustic state vector at t = 0.
+  void initial_condition(const std::array<double, 3>& x, double* q) const {
+    const double p = pressure(x, 0.0);
+    const double knorm = omega() / c;
+    q[AcousticPde::kP] = p;
+    for (int d = 0; d < 3; ++d)
+      q[AcousticPde::kVx + d] = wave_vector[d] / knorm / (rho * c) * p;
+    q[AcousticPde::kRho] = rho;
+    q[AcousticPde::kC] = c;
+  }
+};
+
+}  // namespace exastp

@@ -1,0 +1,290 @@
+#include "exastp/solver/ader_dg_solver.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "exastp/basis/lagrange.h"
+#include "exastp/common/taylor.h"
+#include "exastp/gemm/vecops.h"
+
+namespace exastp {
+
+AderDgSolver::AderDgSolver(std::shared_ptr<const PdeRuntime> pde,
+                           StpKernel kernel, const GridSpec& grid_spec,
+                           NodeFamily family)
+    : pde_(std::move(pde)),
+      kernel_(std::move(kernel)),
+      grid_(grid_spec),
+      basis_(basis_tables(kernel_.layout().n, family)),
+      layout_(kernel_.layout()),
+      face_layout_(layout_),
+      cell_size_(layout_.size()),
+      vars_(pde_ ? pde_->info().vars : 0) {
+  EXASTP_CHECK_MSG(pde_ != nullptr && kernel_, "solver needs pde and kernel");
+  EXASTP_CHECK_MSG(pde_->info().quants == layout_.m,
+                   "kernel layout does not match the PDE");
+  const std::size_t total =
+      static_cast<std::size_t>(grid_.num_cells()) * cell_size_;
+  q_.assign(total, 0.0);
+  qnew_.assign(total, 0.0);
+  qavg_.assign(total, 0.0);
+  face_l_.assign(face_layout_.size(), 0.0);
+  face_r_.assign(face_layout_.size(), 0.0);
+  flux_l_.assign(face_layout_.size(), 0.0);
+  flux_r_.assign(face_layout_.size(), 0.0);
+  fstar_.assign(face_layout_.size(), 0.0);
+}
+
+void AderDgSolver::set_initial_condition(
+    const std::function<void(const std::array<double, 3>&, double*)>& init) {
+  const int n = layout_.n;
+  std::vector<double> node(layout_.m);
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    double* cell = mutable_cell_dofs(c);
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1) {
+          init(node_position(c, k1, k2, k3), node.data());
+          double* dst = cell + layout_.idx(k3, k2, k1, 0);
+          std::memcpy(dst, node.data(), layout_.m * sizeof(double));
+          for (int s = layout_.m; s < layout_.m_pad; ++s) dst[s] = 0.0;
+        }
+  }
+  time_ = 0.0;
+}
+
+void AderDgSolver::add_point_source(const MeshPointSource& source) {
+  EXASTP_CHECK_MSG(source.wavelet != nullptr, "source needs a wavelet");
+  EXASTP_CHECK_MSG(source.quantity >= 0 &&
+                       source.quantity < pde_->info().vars,
+                   "source quantity must be an evolved variable");
+  PreparedSource prepared;
+  std::array<double, 3> xi{};
+  prepared.cell = grid_.locate(source.position, &xi);
+  for (const auto& existing : sources_)
+    EXASTP_CHECK_MSG(existing.cell != prepared.cell,
+                     "only one point source per cell is supported");
+  prepared.source = source;
+  prepared.psi = project_point_source(basis_, xi, grid_.cell_volume());
+  sources_.push_back(std::move(prepared));
+}
+
+std::array<double, 3> AderDgSolver::node_position(int cell, int k1, int k2,
+                                                  int k3) const {
+  const auto o = grid_.cell_origin(cell);
+  return {o[0] + grid_.dx(0) * basis_.nodes[k1],
+          o[1] + grid_.dx(1) * basis_.nodes[k2],
+          o[2] + grid_.dx(2) * basis_.nodes[k3]};
+}
+
+double AderDgSolver::stable_dt(double cfl) const {
+  const int n = layout_.n;
+  double smax = 1e-300;
+  const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    const double* cell = cell_dofs(c);
+    for (std::size_t k = 0; k < nodes; ++k)
+      for (int d = 0; d < 3; ++d)
+        smax = std::max(smax,
+                        pde_->max_wave_speed(cell + k * layout_.m_pad, d));
+  }
+  const double hmin =
+      std::min({grid_.dx(0), grid_.dx(1), grid_.dx(2)});
+  // Standard explicit-DG CFL bound ~ h / (c (2N - 1)) per dimension.
+  return cfl * hmin / (smax * (2.0 * n - 1.0) * 3.0);
+}
+
+void AderDgSolver::step(double dt) {
+  EXASTP_CHECK_MSG(dt > 0.0, "dt must be positive");
+  const auto inv_dx = grid_.inv_dx();
+  const auto integral_coeff = taylor_coefficients(dt, layout_.n);
+
+  // Predictor + volume update.
+  std::memcpy(qnew_.data(), q_.data(), q_.size() * sizeof(double));
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    const double* qc = cell_dofs(c);
+    double* qavg_c = qavg_.data() + static_cast<std::size_t>(c) * cell_size_;
+    double* qnew_c = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
+
+    // Reuse the face scratch-free favg buffers: favg goes straight into the
+    // volume update, so three temporaries per cell suffice.
+    static thread_local AlignedVector favg0, favg1, favg2;
+    favg0.assign(cell_size_, 0.0);
+    favg1.assign(cell_size_, 0.0);
+    favg2.assign(cell_size_, 0.0);
+
+    SourceTerm src;
+    const SourceTerm* src_ptr = nullptr;
+    for (const auto& prepared : sources_) {
+      if (prepared.cell != c) continue;
+      src.psi = prepared.psi.data();
+      src.quantity = prepared.source.quantity;
+      for (int o = 0; o <= layout_.n; ++o)
+        src.dt_derivatives[o] =
+            prepared.source.wavelet->derivative(time_, o);
+      src_ptr = &src;
+      break;  // one source per cell supported; add_point_source validates
+    }
+
+    StpOutputs out{qavg_c, {favg0.data(), favg1.data(), favg2.data()}};
+    kernel_.run(qc, dt, inv_dx, src_ptr, out);
+
+    for (const double* f : {favg0.data(), favg1.data(), favg2.data()})
+      for (std::size_t i = 0; i < cell_size_; ++i) qnew_c[i] += dt * f[i];
+    FlopCounter::instance().add(WidthClass::k128, 6ull * cell_size_);
+
+    if (src_ptr != nullptr) {
+      // Direct time integral of the source: qnew += psi * int s dt.
+      double integral = 0.0;
+      for (int o = 0; o < layout_.n; ++o)
+        integral += src.dt_derivatives[o] * integral_coeff[o];
+      const int n = layout_.n;
+      for (int k3 = 0; k3 < n; ++k3)
+        for (int k2 = 0; k2 < n; ++k2)
+          for (int k1 = 0; k1 < n; ++k1)
+            qnew_c[layout_.idx(k3, k2, k1, src.quantity)] +=
+                src.psi[(static_cast<std::size_t>(k3) * n + k2) * n + k1] *
+                integral;
+    }
+  }
+
+  apply_corrector(dt);
+
+  q_.swap(qnew_);
+  time_ += dt;
+  check_finite();
+}
+
+void AderDgSolver::apply_corrector(double dt) {
+  const int n = layout_.n;
+  const auto inv_dx = grid_.inv_dx();
+  std::vector<double> ghost_node(layout_.m);
+
+  // Sweep the three face directions; each interior face is visited once
+  // (owned by the cell on its lower side).
+  for (int dir = 0; dir < 3; ++dir) {
+    const double scale = dt * inv_dx[dir];
+    for (int c = 0; c < grid_.num_cells(); ++c) {
+      // Face between cell c (upper side) and its +dir neighbour.
+      const NeighborRef nb = grid_.neighbor(c, dir, 1);
+      const double* qavg_l =
+          qavg_.data() + static_cast<std::size_t>(c) * cell_size_;
+      project_to_face(layout_, basis_, qavg_l, dir, 1, face_l_.data());
+
+      if (!nb.boundary) {
+        const double* qavg_r =
+            qavg_.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
+        project_to_face(layout_, basis_, qavg_r, dir, 0, face_r_.data());
+      } else {
+        // Ghost state from the boundary condition.
+        const int nn = n * n;
+        for (int k = 0; k < nn; ++k) {
+          const double* inner =
+              face_l_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
+          double* ghost =
+              face_r_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
+          if (nb.kind == BoundaryKind::kWall) {
+            pde_->wall_reflect(inner, dir, ghost_node.data());
+            std::memcpy(ghost, ghost_node.data(),
+                        layout_.m * sizeof(double));
+          } else {
+            // Absorbing outflow: zero wave state with copied parameters.
+            // The Rusanov flux then swallows the outgoing characteristics
+            // (a plain copy-ghost is the unstable extrapolation BC).
+            for (int s = 0; s < vars_; ++s) ghost[s] = 0.0;
+            for (int s = vars_; s < layout_.m; ++s) ghost[s] = inner[s];
+          }
+          for (int s = layout_.m; s < layout_.m_pad; ++s) ghost[s] = 0.0;
+        }
+      }
+
+      face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
+                       flux_l_.data());
+      face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
+                       flux_r_.data());
+      rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
+                   flux_l_.data(), flux_r_.data(), dir, fstar_.data());
+
+      double* qnew_l = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
+      apply_face_correction(layout_, basis_, dir, 1, scale, fstar_.data(),
+                            flux_l_.data(), qnew_l);
+      if (!nb.boundary) {
+        double* qnew_r =
+            qnew_.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
+        apply_face_correction(layout_, basis_, dir, 0, scale, fstar_.data(),
+                              flux_r_.data(), qnew_r);
+      }
+      // At a lower-side physical boundary, handle the face owned by nobody.
+      const NeighborRef lower = grid_.neighbor(c, dir, 0);
+      if (lower.boundary) {
+        project_to_face(layout_, basis_, qavg_l, dir, 0, face_r_.data());
+        const int nn = n * n;
+        for (int k = 0; k < nn; ++k) {
+          const double* inner =
+              face_r_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
+          double* ghost =
+              face_l_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
+          if (lower.kind == BoundaryKind::kWall) {
+            pde_->wall_reflect(inner, dir, ghost_node.data());
+            std::memcpy(ghost, ghost_node.data(),
+                        layout_.m * sizeof(double));
+          } else {
+            for (int s = 0; s < vars_; ++s) ghost[s] = 0.0;
+            for (int s = vars_; s < layout_.m; ++s) ghost[s] = inner[s];
+          }
+          for (int s = layout_.m; s < layout_.m_pad; ++s) ghost[s] = 0.0;
+        }
+        face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
+                         flux_r_.data());
+        face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
+                         flux_l_.data());
+        rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
+                     flux_l_.data(), flux_r_.data(), dir, fstar_.data());
+        apply_face_correction(layout_, basis_, dir, 0, scale, fstar_.data(),
+                              flux_r_.data(), qnew_l);
+      }
+    }
+  }
+}
+
+void AderDgSolver::check_finite() const {
+  for (double v : q_) {
+    if (!std::isfinite(v))
+      throw std::runtime_error(
+          "AderDgSolver: solution became non-finite (CFL violation or "
+          "unstable setup)");
+  }
+}
+
+int AderDgSolver::run_until(double t_end, double cfl) {
+  int steps = 0;
+  while (time_ < t_end - 1e-14) {
+    double dt = stable_dt(cfl);
+    if (time_ + dt > t_end) dt = t_end - time_;
+    step(dt);
+    ++steps;
+  }
+  return steps;
+}
+
+double AderDgSolver::sample(const std::array<double, 3>& x,
+                            int quantity) const {
+  std::array<double, 3> xi{};
+  const int cell = grid_.locate(x, &xi);
+  const double* qc = cell_dofs(cell);
+  const int n = layout_.n;
+  double value = 0.0;
+  for (int k3 = 0; k3 < n; ++k3) {
+    const double p3 = lagrange_value(basis_.nodes, k3, xi[2]);
+    for (int k2 = 0; k2 < n; ++k2) {
+      const double p23 = p3 * lagrange_value(basis_.nodes, k2, xi[1]);
+      for (int k1 = 0; k1 < n; ++k1)
+        value += p23 * lagrange_value(basis_.nodes, k1, xi[0]) *
+                 qc[layout_.idx(k3, k2, k1, quantity)];
+    }
+  }
+  return value;
+}
+
+}  // namespace exastp

@@ -1,0 +1,111 @@
+// ADER-DG predictor-corrector time stepping (paper Sec. II, eq. (5)).
+//
+// One time step = one amortized mesh traversal:
+//   1. per cell: STP kernel -> time-averaged state qavg and volume
+//      fluctuations favg[d]; volume update qnew = q + dt sum_d favg[d]
+//      (+ the direct time-integral of any point source);
+//   2. per face: project both sides' qavg to the face, solve the Rusanov
+//      Riemann problem (linear in its inputs), apply the strong-form
+//      surface lift to both adjacent cells; boundary faces build a ghost
+//      state from the boundary condition;
+//   3. swap buffers, advance time, verify the solution stayed finite.
+//
+// DOF storage is one contiguous aligned block in the *kernel's* AoS layout
+// (padded for the optimized variants), so the engine exercises exactly the
+// data layout the paper optimizes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exastp/basis/basis_tables.h"
+#include "exastp/kernels/face.h"
+#include "exastp/kernels/stp_common.h"
+#include "exastp/mesh/grid.h"
+#include "exastp/pde/pde_base.h"
+#include "exastp/pde/point_source.h"
+
+namespace exastp {
+
+/// Point source attached to the mesh.
+struct MeshPointSource {
+  std::array<double, 3> position{};
+  int quantity = 0;
+  std::shared_ptr<const SourceWavelet> wavelet;
+};
+
+class AderDgSolver {
+ public:
+  /// `pde` is the runtime view used for face terms and boundary conditions;
+  /// `kernel` must have been built for the same PDE (same quantity count).
+  AderDgSolver(std::shared_ptr<const PdeRuntime> pde, StpKernel kernel,
+               const GridSpec& grid_spec,
+               NodeFamily family = NodeFamily::kGaussLegendre);
+
+  const Grid& grid() const { return grid_; }
+  const AosLayout& layout() const { return layout_; }
+  const BasisTables& basis() const { return basis_; }
+  double time() const { return time_; }
+  int order() const { return basis_.n; }
+
+  /// init(x, q_node) fills all m quantities at physical node position x.
+  void set_initial_condition(
+      const std::function<void(const std::array<double, 3>&, double*)>& init);
+
+  void add_point_source(const MeshPointSource& source);
+
+  /// CFL-limited stable time step from the current solution.
+  double stable_dt(double cfl = 0.4) const;
+
+  /// Advances by one step of size dt. Throws std::runtime_error if the
+  /// solution leaves the finite range (blow-up detection).
+  void step(double dt);
+
+  /// Runs until t_end (last step shortened to land exactly), returns the
+  /// number of steps taken.
+  int run_until(double t_end, double cfl = 0.4);
+
+  /// Read-only view of a cell's padded AoS DOFs.
+  const double* cell_dofs(int cell) const {
+    return q_.data() + static_cast<std::size_t>(cell) * cell_size_;
+  }
+  double* mutable_cell_dofs(int cell) {
+    return q_.data() + static_cast<std::size_t>(cell) * cell_size_;
+  }
+
+  /// Samples quantity s at the physical point x by evaluating the nodal
+  /// expansion of the containing cell (receiver extraction for seismograms).
+  double sample(const std::array<double, 3>& x, int quantity) const;
+
+  /// Physical position of a quadrature node of a cell.
+  std::array<double, 3> node_position(int cell, int k1, int k2, int k3) const;
+
+ private:
+  void apply_corrector(double dt);
+  void check_finite() const;
+
+  std::shared_ptr<const PdeRuntime> pde_;
+  StpKernel kernel_;
+  Grid grid_;
+  const BasisTables& basis_;
+  AosLayout layout_;
+  FaceLayout face_layout_;
+  std::size_t cell_size_;
+  int vars_ = 0;  ///< evolved quantities (parameters excluded)
+
+  AlignedVector q_, qnew_, qavg_;
+  // Face scratch buffers.
+  AlignedVector face_l_, face_r_, flux_l_, flux_r_, fstar_;
+
+  struct PreparedSource {
+    int cell = -1;
+    MeshPointSource source;
+    AlignedVector psi;
+  };
+  std::vector<PreparedSource> sources_;
+
+  double time_ = 0.0;
+};
+
+}  // namespace exastp

@@ -1,0 +1,71 @@
+// Physical energy functionals, evaluated with the nodal quadrature.
+//
+// Used for stability diagnostics (a Rusanov-flux DG scheme must never gain
+// energy on periodic or reflecting meshes) and in the example programs.
+#pragma once
+
+#include "exastp/pde/acoustic.h"
+#include "exastp/pde/elastic.h"
+#include "exastp/pde/maxwell.h"
+#include "exastp/solver/norms.h"
+
+namespace exastp {
+namespace detail {
+
+/// Integral of f(node_quantities) over the mesh.
+template <class Solver, class NodeFn>
+double integrate_nodes(const Solver& solver, NodeFn&& f) {
+  const auto& basis = solver.basis();
+  const auto& layout = solver.layout();
+  const int n = layout.n;
+  const double vol = solver.grid().cell_volume();
+  double sum = 0.0;
+  for (int c = 0; c < solver.grid().num_cells(); ++c) {
+    const double* qc = solver.cell_dofs(c);
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1)
+          sum += basis.weights[k1] * basis.weights[k2] * basis.weights[k3] *
+                 vol * f(qc + layout.idx(k3, k2, k1, 0));
+  }
+  return sum;
+}
+
+}  // namespace detail
+
+/// Acoustic energy: integral of p^2/(2 rho c^2) + rho |v|^2 / 2.
+template <class Solver>
+double acoustic_energy(const Solver& solver) {
+  return detail::integrate_nodes(solver, [](const double* q) {
+    const double rho = q[AcousticPde::kRho], c = q[AcousticPde::kC];
+    const double v2 = q[1] * q[1] + q[2] * q[2] + q[3] * q[3];
+    return q[AcousticPde::kP] * q[AcousticPde::kP] / (2.0 * rho * c * c) +
+           0.5 * rho * v2;
+  });
+}
+
+/// Electromagnetic energy: integral of (eps |E|^2 + mu |H|^2) / 2.
+template <class Solver>
+double maxwell_energy(const Solver& solver) {
+  return detail::integrate_nodes(solver, [](const double* q) {
+    double e2 = 0.0, h2 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      e2 += q[MaxwellPde::kEx + i] * q[MaxwellPde::kEx + i];
+      h2 += q[MaxwellPde::kHx + i] * q[MaxwellPde::kHx + i];
+    }
+    return 0.5 * (q[MaxwellPde::kEps] * e2 + q[MaxwellPde::kMu] * h2);
+  });
+}
+
+/// Elastic kinetic energy: integral of rho |v|^2 / 2 (the strain part needs
+/// the compliance tensor and is omitted; kinetic energy alone already bounds
+/// instabilities in the tests).
+template <class Solver>
+double elastic_kinetic_energy(const Solver& solver) {
+  return detail::integrate_nodes(solver, [](const double* q) {
+    const double v2 = q[0] * q[0] + q[1] * q[1] + q[2] * q[2];
+    return 0.5 * q[ElasticPde::kRho] * v2;
+  });
+}
+
+}  // namespace exastp

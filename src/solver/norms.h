@@ -1,0 +1,85 @@
+// Error norms against reference solutions, evaluated with the quadrature
+// rule underlying the nodal basis (exact for the ansatz space).
+//
+// Template over the solver type: any class exposing grid(), basis(),
+// layout(), time(), cell_dofs() and node_position() qualifies — both
+// AderDgSolver and the RK-DG baseline.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "exastp/solver/ader_dg_solver.h"
+
+namespace exastp {
+
+/// exact(x, t) -> value of `quantity` at physical position x and time t.
+using ExactSolution =
+    std::function<double(const std::array<double, 3>&, double)>;
+
+/// L2 norm of (q_h - exact) for one quantity over the whole mesh.
+template <class Solver>
+double l2_error(const Solver& solver, int quantity,
+                const ExactSolution& exact) {
+  const auto& basis = solver.basis();
+  const auto& layout = solver.layout();
+  const int n = layout.n;
+  const double vol = solver.grid().cell_volume();
+  double sum = 0.0;
+  for (int c = 0; c < solver.grid().num_cells(); ++c) {
+    const double* qc = solver.cell_dofs(c);
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1) {
+          const double w = basis.weights[k1] * basis.weights[k2] *
+                           basis.weights[k3] * vol;
+          const double e =
+              qc[layout.idx(k3, k2, k1, quantity)] -
+              exact(solver.node_position(c, k1, k2, k3), solver.time());
+          sum += w * e * e;
+        }
+  }
+  return std::sqrt(sum);
+}
+
+/// Max norm of the nodal error for one quantity.
+template <class Solver>
+double linf_error(const Solver& solver, int quantity,
+                  const ExactSolution& exact) {
+  const auto& layout = solver.layout();
+  const int n = layout.n;
+  double worst = 0.0;
+  for (int c = 0; c < solver.grid().num_cells(); ++c) {
+    const double* qc = solver.cell_dofs(c);
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1) {
+          const double e = std::abs(
+              qc[layout.idx(k3, k2, k1, quantity)] -
+              exact(solver.node_position(c, k1, k2, k3), solver.time()));
+          worst = std::max(worst, e);
+        }
+  }
+  return worst;
+}
+
+/// Integral of one quantity over the domain (conservation checks).
+template <class Solver>
+double integral(const Solver& solver, int quantity) {
+  const auto& basis = solver.basis();
+  const auto& layout = solver.layout();
+  const int n = layout.n;
+  const double vol = solver.grid().cell_volume();
+  double sum = 0.0;
+  for (int c = 0; c < solver.grid().num_cells(); ++c) {
+    const double* qc = solver.cell_dofs(c);
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1)
+          sum += basis.weights[k1] * basis.weights[k2] * basis.weights[k3] *
+                 vol * qc[layout.idx(k3, k2, k1, quantity)];
+  }
+  return sum;
+}
+
+}  // namespace exastp

@@ -1,0 +1,44 @@
+// Solution writers: CSV (nodal values) and legacy-VTK (cell averages),
+// the engine's "Plotters" role in Fig. 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exastp/solver/ader_dg_solver.h"
+
+namespace exastp {
+
+/// Writes every quadrature node as one CSV row:
+/// x,y,z,q0,...,q{m-1}. Intended for small meshes / debugging.
+void write_csv(const AderDgSolver& solver, const std::string& path);
+
+/// Writes cell averages of the listed quantities as a legacy-VTK
+/// STRUCTURED_POINTS file readable by ParaView.
+void write_vtk_cell_averages(const AderDgSolver& solver,
+                             const std::vector<int>& quantities,
+                             const std::vector<std::string>& names,
+                             const std::string& path);
+
+/// Time series recorder for receiver/seismogram output.
+class SeismogramRecorder {
+ public:
+  SeismogramRecorder(std::array<double, 3> position,
+                     std::vector<int> quantities)
+      : position_(position), quantities_(std::move(quantities)) {}
+
+  void record(const AderDgSolver& solver);
+  void write_csv(const std::string& path,
+                 const std::vector<std::string>& names) const;
+  std::size_t num_samples() const { return times_.size(); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<std::vector<double>>& samples() const { return samples_; }
+
+ private:
+  std::array<double, 3> position_;
+  std::vector<int> quantities_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> samples_;  // per record, one per quantity
+};
+
+}  // namespace exastp

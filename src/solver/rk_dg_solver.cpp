@@ -1,0 +1,222 @@
+#include "exastp/solver/rk_dg_solver.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "exastp/gemm/vecops.h"
+#include "exastp/kernels/derivative_ops.h"
+
+namespace exastp {
+
+RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
+                       Isa isa, const GridSpec& grid_spec, NodeFamily family)
+    : pde_(std::move(pde)),
+      grid_(grid_spec),
+      basis_(basis_tables(order, family)),
+      isa_(isa),
+      layout_(order, pde_->info().quants, isa),
+      face_layout_(layout_),
+      cell_size_(layout_.size()),
+      vars_(pde_->info().vars) {
+  const std::size_t total =
+      static_cast<std::size_t>(grid_.num_cells()) * cell_size_;
+  q_.assign(total, 0.0);
+  stage_.assign(total, 0.0);
+  rhs_.assign(total, 0.0);
+  accum_.assign(total, 0.0);
+  flux_.assign(cell_size_, 0.0);
+  gradq_.assign(cell_size_, 0.0);
+  face_l_.assign(face_layout_.size(), 0.0);
+  face_r_.assign(face_layout_.size(), 0.0);
+  flux_l_.assign(face_layout_.size(), 0.0);
+  flux_r_.assign(face_layout_.size(), 0.0);
+  fstar_.assign(face_layout_.size(), 0.0);
+}
+
+void RkDgSolver::set_initial_condition(
+    const std::function<void(const std::array<double, 3>&, double*)>& init) {
+  const int n = layout_.n;
+  std::vector<double> node(layout_.m);
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    double* cell = q_.data() + static_cast<std::size_t>(c) * cell_size_;
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1) {
+          init(node_position(c, k1, k2, k3), node.data());
+          double* dst = cell + layout_.idx(k3, k2, k1, 0);
+          std::memcpy(dst, node.data(), layout_.m * sizeof(double));
+          for (int s = layout_.m; s < layout_.m_pad; ++s) dst[s] = 0.0;
+        }
+  }
+  time_ = 0.0;
+}
+
+std::array<double, 3> RkDgSolver::node_position(int cell, int k1, int k2,
+                                                int k3) const {
+  const auto o = grid_.cell_origin(cell);
+  return {o[0] + grid_.dx(0) * basis_.nodes[k1],
+          o[1] + grid_.dx(1) * basis_.nodes[k2],
+          o[2] + grid_.dx(2) * basis_.nodes[k3]};
+}
+
+double RkDgSolver::stable_dt(double cfl) const {
+  const int n = layout_.n;
+  double smax = 1e-300;
+  const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    const double* cell = cell_dofs(c);
+    for (std::size_t k = 0; k < nodes; ++k)
+      for (int d = 0; d < 3; ++d)
+        smax = std::max(smax,
+                        pde_->max_wave_speed(cell + k * layout_.m_pad, d));
+  }
+  const double hmin = std::min({grid_.dx(0), grid_.dx(1), grid_.dx(2)});
+  return cfl * hmin / (smax * (2.0 * n - 1.0) * 3.0);
+}
+
+void RkDgSolver::evaluate_operator(const AlignedVector& state,
+                                   AlignedVector& rhs) {
+  ++operator_evals_;
+  const int n = layout_.n;
+  const int mp = layout_.m_pad;
+  const auto inv_dx = grid_.inv_dx();
+  const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
+  std::vector<double> ncp_tmp(layout_.m);
+  std::vector<double> ghost_node(layout_.m);
+  FlopCounter& fc = FlopCounter::instance();
+
+  std::memset(rhs.data(), 0, rhs.size() * sizeof(double));
+
+  // Volume terms, cell by cell.
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    const double* qc =
+        state.data() + static_cast<std::size_t>(c) * cell_size_;
+    double* rc = rhs.data() + static_cast<std::size_t>(c) * cell_size_;
+    for (int d = 0; d < 3; ++d) {
+      for (std::size_t k = 0; k < nodes; ++k)
+        pde_->flux(qc + k * mp, d, flux_.data() + k * mp);
+      fc.add(WidthClass::kScalar, nodes * pde_->flux_flops());
+      aos_derivative(isa_, layout_, basis_.diff.data(), inv_dx[d], d,
+                     flux_.data(), rc, /*accumulate=*/true);
+      aos_derivative(isa_, layout_, basis_.diff.data(), inv_dx[d], d, qc,
+                     gradq_.data(), /*accumulate=*/false);
+      for (std::size_t k = 0; k < nodes; ++k) {
+        pde_->ncp(qc + k * mp, gradq_.data() + k * mp, d, ncp_tmp.data());
+        for (int s = 0; s < layout_.m; ++s) rc[k * mp + s] += ncp_tmp[s];
+      }
+      fc.add(WidthClass::kScalar,
+             nodes * (pde_->ncp_flops() + layout_.m));
+    }
+  }
+
+  // Surface terms: each interior face once, from its lower-side owner.
+  auto make_ghost = [&](const double* inner, double* ghost,
+                        BoundaryKind kind, int dir) {
+    if (kind == BoundaryKind::kWall) {
+      pde_->wall_reflect(inner, dir, ghost_node.data());
+      std::memcpy(ghost, ghost_node.data(), layout_.m * sizeof(double));
+    } else {
+      for (int s = 0; s < vars_; ++s) ghost[s] = 0.0;
+      for (int s = vars_; s < layout_.m; ++s) ghost[s] = inner[s];
+    }
+    for (int s = layout_.m; s < layout_.m_pad; ++s) ghost[s] = 0.0;
+  };
+
+  for (int dir = 0; dir < 3; ++dir) {
+    for (int c = 0; c < grid_.num_cells(); ++c) {
+      const double* ql =
+          state.data() + static_cast<std::size_t>(c) * cell_size_;
+      project_to_face(layout_, basis_, ql, dir, 1, face_l_.data());
+      const NeighborRef nb = grid_.neighbor(c, dir, 1);
+      if (!nb.boundary) {
+        const double* qr =
+            state.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
+        project_to_face(layout_, basis_, qr, dir, 0, face_r_.data());
+      } else {
+        const int nn = n * n;
+        for (int k = 0; k < nn; ++k)
+          make_ghost(face_l_.data() + static_cast<std::size_t>(k) * mp,
+                     face_r_.data() + static_cast<std::size_t>(k) * mp,
+                     nb.kind, dir);
+      }
+      face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
+                       flux_l_.data());
+      face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
+                       flux_r_.data());
+      rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
+                   flux_l_.data(), flux_r_.data(), dir, fstar_.data());
+      double* rl = rhs.data() + static_cast<std::size_t>(c) * cell_size_;
+      apply_face_correction(layout_, basis_, dir, 1, inv_dx[dir],
+                            fstar_.data(), flux_l_.data(), rl);
+      if (!nb.boundary) {
+        double* rr =
+            rhs.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
+        apply_face_correction(layout_, basis_, dir, 0, inv_dx[dir],
+                              fstar_.data(), flux_r_.data(), rr);
+      }
+      const NeighborRef lower = grid_.neighbor(c, dir, 0);
+      if (lower.boundary) {
+        project_to_face(layout_, basis_, ql, dir, 0, face_r_.data());
+        const int nn = n * n;
+        for (int k = 0; k < nn; ++k)
+          make_ghost(face_r_.data() + static_cast<std::size_t>(k) * mp,
+                     face_l_.data() + static_cast<std::size_t>(k) * mp,
+                     lower.kind, dir);
+        face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
+                         flux_r_.data());
+        face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
+                         flux_l_.data());
+        rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
+                     flux_l_.data(), flux_r_.data(), dir, fstar_.data());
+        apply_face_correction(layout_, basis_, dir, 0, inv_dx[dir],
+                              fstar_.data(), flux_r_.data(), rl);
+      }
+    }
+  }
+}
+
+void RkDgSolver::step(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("RkDgSolver: dt must be > 0");
+  const long total = static_cast<long>(q_.size());
+
+  // Classical RK4: q += dt/6 (k1 + 2 k2 + 2 k3 + k4).
+  evaluate_operator(q_, rhs_);                       // k1
+  vec_copy(total, rhs_.data(), accum_.data());
+  vec_copy(total, q_.data(), stage_.data());
+  vec_axpy(isa_, total, 0.5 * dt, rhs_.data(), stage_.data());
+
+  evaluate_operator(stage_, rhs_);                   // k2
+  vec_axpy(isa_, total, 2.0, rhs_.data(), accum_.data());
+  vec_copy(total, q_.data(), stage_.data());
+  vec_axpy(isa_, total, 0.5 * dt, rhs_.data(), stage_.data());
+
+  evaluate_operator(stage_, rhs_);                   // k3
+  vec_axpy(isa_, total, 2.0, rhs_.data(), accum_.data());
+  vec_copy(total, q_.data(), stage_.data());
+  vec_axpy(isa_, total, dt, rhs_.data(), stage_.data());
+
+  evaluate_operator(stage_, rhs_);                   // k4
+  vec_add(isa_, total, rhs_.data(), accum_.data());
+
+  vec_axpy(isa_, total, dt / 6.0, accum_.data(), q_.data());
+  time_ += dt;
+
+  for (double v : q_) {
+    if (!std::isfinite(v))
+      throw std::runtime_error("RkDgSolver: solution became non-finite");
+  }
+}
+
+int RkDgSolver::run_until(double t_end, double cfl) {
+  int steps = 0;
+  while (time_ < t_end - 1e-14) {
+    double dt = stable_dt(cfl);
+    if (time_ + dt > t_end) dt = t_end - time_;
+    step(dt);
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace exastp

@@ -1,0 +1,94 @@
+// Data layouts for the per-cell degree-of-freedom tensor.
+//
+// The paper's central data-structure decision (Sec. III-A, Sec. V): a cell
+// stores n^3 quadrature nodes with m quantities each, and the layout of that
+// 4-D tensor decides what can be vectorized:
+//
+//  * AoS    Q[k3][k2][k1][s]  — quantity fastest; GEMMs vectorize over s,
+//                               user functions are pointwise/scalar. The
+//                               leading dimension s is zero-padded to the
+//                               SIMD width (m_pad).
+//  * SoA    Q[s][k3][k2][k1]  — node fastest; user functions vectorize,
+//                               GEMMs do not (only used for per-call chunks).
+//  * AoSoA  Q[k3][k2][s][k1]  — the paper's hybrid: GEMMs keep a unit-stride
+//                               leading dimension (k1, padded to n_pad) and
+//                               every (k3,k2) line is an SoA chunk the user
+//                               functions can vectorize over.
+#pragma once
+
+#include <cstddef>
+
+#include "exastp/common/aligned.h"
+#include "exastp/common/simd.h"
+
+namespace exastp {
+
+/// AoS layout with padded quantity dimension.
+struct AosLayout {
+  int n = 0;      ///< nodes per dimension
+  int m = 0;      ///< quantities per node
+  int m_pad = 0;  ///< m rounded up to the SIMD width
+
+  AosLayout() = default;
+  AosLayout(int n_, int m_, Isa isa)
+      : n(n_), m(m_), m_pad(pad_to(m_, vector_width(isa))) {}
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(n) * n * n * m_pad;
+  }
+  /// Flat index of quantity s at node (k1,k2,k3); k1 is x (fastest spatial).
+  std::size_t idx(int k3, int k2, int k1, int s) const {
+    return ((static_cast<std::size_t>(k3) * n + k2) * n + k1) * m_pad + s;
+  }
+  /// Offset of the node-local AoS chunk (s contiguous).
+  std::size_t node_offset(int k3, int k2, int k1) const {
+    return idx(k3, k2, k1, 0);
+  }
+};
+
+/// AoSoA layout: x-line fastest, padded; quantities in between.
+struct AosoaLayout {
+  int n = 0;      ///< nodes per dimension
+  int m = 0;      ///< quantities per node
+  int n_pad = 0;  ///< n rounded up to the SIMD width (x-line padding)
+
+  AosoaLayout() = default;
+  AosoaLayout(int n_, int m_, Isa isa)
+      : n(n_), m(m_), n_pad(pad_to(n_, vector_width(isa))) {}
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(n) * n * m * n_pad;
+  }
+  std::size_t idx(int k3, int k2, int s, int k1) const {
+    return ((static_cast<std::size_t>(k3) * n + k2) * m + s) * n_pad + k1;
+  }
+  /// Offset of the SoA chunk for line (k3,k2): m quantities with stride
+  /// n_pad, each holding the n nodes of the x-line.
+  std::size_t line_offset(int k3, int k2) const { return idx(k3, k2, 0, 0); }
+  /// Fraction of stored (and computed) values that are padding; the
+  /// "order 8 sweetspot / order 9 worst case" of Sec. V-A.
+  double padding_overhead() const {
+    return static_cast<double>(n_pad - n) / n_pad;
+  }
+};
+
+/// Plain SoA layout for a face patch or full cell (used by transposition
+/// ablations and the rejected per-user-function-call transpose variant).
+struct SoaLayout {
+  int n = 0;
+  int m = 0;
+  int n_pad = 0;  ///< padded length of the node index range (n^3 padded)
+
+  SoaLayout() = default;
+  SoaLayout(int n_, int m_, Isa isa)
+      : n(n_), m(m_),
+        n_pad(pad_to(n_ * n_ * n_, vector_width(isa))) {}
+
+  std::size_t size() const { return static_cast<std::size_t>(m) * n_pad; }
+  std::size_t idx(int s, int k3, int k2, int k1) const {
+    return static_cast<std::size_t>(s) * n_pad +
+           (static_cast<std::size_t>(k3) * n + k2) * n + k1;
+  }
+};
+
+}  // namespace exastp

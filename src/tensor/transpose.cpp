@@ -1,0 +1,74 @@
+#include "exastp/tensor/transpose.h"
+
+#include <cstring>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+void aos_to_aosoa(const double* src, const AosLayout& aos, double* dst,
+                  const AosoaLayout& aosoa) {
+  EXASTP_CHECK(aos.n == aosoa.n && aos.m == aosoa.m);
+  const int n = aos.n, m = aos.m;
+  std::memset(dst, 0, aosoa.size() * sizeof(double));
+  for (int k3 = 0; k3 < n; ++k3)
+    for (int k2 = 0; k2 < n; ++k2)
+      for (int k1 = 0; k1 < n; ++k1)
+        for (int s = 0; s < m; ++s)
+          dst[aosoa.idx(k3, k2, s, k1)] = src[aos.idx(k3, k2, k1, s)];
+}
+
+void aosoa_to_aos(const double* src, const AosoaLayout& aosoa, double* dst,
+                  const AosLayout& aos) {
+  EXASTP_CHECK(aos.n == aosoa.n && aos.m == aosoa.m);
+  const int n = aos.n, m = aos.m;
+  std::memset(dst, 0, aos.size() * sizeof(double));
+  for (int k3 = 0; k3 < n; ++k3)
+    for (int k2 = 0; k2 < n; ++k2)
+      for (int k1 = 0; k1 < n; ++k1)
+        for (int s = 0; s < m; ++s)
+          dst[aos.idx(k3, k2, k1, s)] = src[aosoa.idx(k3, k2, s, k1)];
+}
+
+void aos_to_soa(const double* src, const AosLayout& aos, double* dst,
+                const SoaLayout& soa) {
+  EXASTP_CHECK(aos.n == soa.n && aos.m == soa.m);
+  const int n = aos.n, m = aos.m;
+  std::memset(dst, 0, soa.size() * sizeof(double));
+  for (int k3 = 0; k3 < n; ++k3)
+    for (int k2 = 0; k2 < n; ++k2)
+      for (int k1 = 0; k1 < n; ++k1)
+        for (int s = 0; s < m; ++s)
+          dst[soa.idx(s, k3, k2, k1)] = src[aos.idx(k3, k2, k1, s)];
+}
+
+void soa_to_aos(const double* src, const SoaLayout& soa, double* dst,
+                const AosLayout& aos) {
+  EXASTP_CHECK(aos.n == soa.n && aos.m == soa.m);
+  const int n = aos.n, m = aos.m;
+  std::memset(dst, 0, aos.size() * sizeof(double));
+  for (int k3 = 0; k3 < n; ++k3)
+    for (int k2 = 0; k2 < n; ++k2)
+      for (int k1 = 0; k1 < n; ++k1)
+        for (int s = 0; s < m; ++s)
+          dst[aos.idx(k3, k2, k1, s)] = src[soa.idx(s, k3, k2, k1)];
+}
+
+void pad_aos(const double* src, int n, int m, double* dst,
+             const AosLayout& aos) {
+  EXASTP_CHECK(aos.n == n && aos.m == m);
+  std::memset(dst, 0, aos.size() * sizeof(double));
+  const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
+  for (std::size_t k = 0; k < nodes; ++k)
+    std::memcpy(dst + k * aos.m_pad, src + k * m, sizeof(double) * m);
+}
+
+void unpad_aos(const double* src, const AosLayout& aos, int m, double* dst) {
+  EXASTP_CHECK(aos.m == m);
+  const std::size_t nodes =
+      static_cast<std::size_t>(aos.n) * aos.n * aos.n;
+  for (std::size_t k = 0; k < nodes; ++k)
+    std::memcpy(dst + k * m, src + k * aos.m_pad, sizeof(double) * m);
+}
+
+}  // namespace exastp

@@ -1,0 +1,37 @@
+// Layout conversions.
+//
+// The AoSoA kernel keeps the engine-facing API in AoS: inputs are transposed
+// to AoSoA on kernel entry and outputs back to AoS on exit (paper Sec. V-B,
+// "the performance impact of these transpositions is minimal"). The
+// per-user-function-call AoS<->SoA transpose that the paper evaluated and
+// rejected for linear PDEs is also provided for the ablation benchmark.
+#pragma once
+
+#include "exastp/tensor/layout.h"
+
+namespace exastp {
+
+/// AoS -> AoSoA for one cell tensor. Padding lanes of the destination are
+/// zero-filled so downstream SIMD arithmetic on padded lanes is well defined.
+void aos_to_aosoa(const double* src, const AosLayout& aos, double* dst,
+                  const AosoaLayout& aosoa);
+
+/// AoSoA -> AoS. Padding lanes of the destination are zero-filled.
+void aosoa_to_aos(const double* src, const AosoaLayout& aosoa, double* dst,
+                  const AosLayout& aos);
+
+/// AoS -> SoA over the whole cell (rejected-variant ablation).
+void aos_to_soa(const double* src, const AosLayout& aos, double* dst,
+                const SoaLayout& soa);
+
+/// SoA -> AoS over the whole cell.
+void soa_to_aos(const double* src, const SoaLayout& soa, double* dst,
+                const AosLayout& aos);
+
+/// Copies an unpadded AoS tensor (leading dimension m) into a padded one
+/// (leading dimension aos.m_pad), zeroing the pad lanes, and back.
+void pad_aos(const double* src, int n, int m, double* dst,
+             const AosLayout& aos);
+void unpad_aos(const double* src, const AosLayout& aos, int m, double* dst);
+
+}  // namespace exastp

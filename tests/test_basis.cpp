@@ -1,0 +1,162 @@
+// Tests for src/basis: Lagrange evaluation, derivative operator identities,
+// face projection vectors, table caching and padding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exastp/basis/basis_tables.h"
+#include "exastp/basis/lagrange.h"
+#include "exastp/common/aligned.h"
+
+namespace exastp {
+namespace {
+
+struct BasisCase {
+  int n;
+  NodeFamily family;
+};
+
+void PrintTo(const BasisCase& c, std::ostream* os) {
+  *os << "n" << c.n
+      << (c.family == NodeFamily::kGaussLegendre ? "_legendre" : "_lobatto");
+}
+
+class BasisP : public ::testing::TestWithParam<BasisCase> {};
+
+TEST_P(BasisP, CardinalProperty) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (int j = 0; j < t.n; ++j)
+    for (int i = 0; i < t.n; ++i)
+      EXPECT_NEAR(lagrange_value(t.nodes, j, t.nodes[i]), i == j ? 1.0 : 0.0,
+                  1e-12);
+}
+
+TEST_P(BasisP, PartitionOfUnity) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (double x : {0.0, 0.123, 0.5, 0.87, 1.0}) {
+    double sum = 0.0;
+    for (int j = 0; j < t.n; ++j) sum += lagrange_value(t.nodes, j, x);
+    EXPECT_NEAR(sum, 1.0, 1e-11);
+  }
+}
+
+TEST_P(BasisP, DerivativeMatrixRowsSumToZero) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (int i = 0; i < t.n; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < t.n; ++j) sum += t.diff[i * t.n + j];
+    EXPECT_NEAR(sum, 0.0, 1e-11) << "row " << i;
+  }
+}
+
+TEST_P(BasisP, DerivativeMatrixExactOnPolynomials) {
+  // D applied to nodal values of x^p must reproduce p*x^{p-1} exactly for
+  // p < n (collocation differentiation is exact on the ansatz space).
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (int p = 0; p < t.n; ++p) {
+    for (int i = 0; i < t.n; ++i) {
+      double d = 0.0;
+      for (int j = 0; j < t.n; ++j)
+        d += t.diff[i * t.n + j] * std::pow(t.nodes[j], p);
+      const double exact = p == 0 ? 0.0 : p * std::pow(t.nodes[i], p - 1);
+      EXPECT_NEAR(d, exact, 1e-9) << "p=" << p << " node " << i;
+    }
+  }
+}
+
+TEST_P(BasisP, DerivativeMatrixMatchesPointwiseDerivative) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (int i = 0; i < t.n; ++i)
+    for (int j = 0; j < t.n; ++j)
+      EXPECT_NEAR(t.diff[i * t.n + j],
+                  lagrange_derivative(t.nodes, j, t.nodes[i]), 1e-9);
+}
+
+TEST_P(BasisP, TransposeIsConsistent) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (int i = 0; i < t.n; ++i)
+    for (int j = 0; j < t.n; ++j)
+      EXPECT_EQ(t.diff[i * t.n + j], t.diff_t[j * t.n + i]);
+}
+
+TEST_P(BasisP, FaceValuesInterpolateBoundary) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  // Interpolating f(x) = x^2 to the faces: sum_j phi_j(face) f(x_j).
+  double left = 0.0, right = 0.0;
+  for (int j = 0; j < t.n; ++j) {
+    left += t.phi_left[j] * t.nodes[j] * t.nodes[j];
+    right += t.phi_right[j] * t.nodes[j] * t.nodes[j];
+  }
+  if (t.n >= 3) {
+    EXPECT_NEAR(left, 0.0, 1e-11);
+    EXPECT_NEAR(right, 1.0, 1e-11);
+  }
+}
+
+TEST_P(BasisP, LiftEqualsFaceValueOverWeight) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  for (int j = 0; j < t.n; ++j) {
+    EXPECT_NEAR(t.lift_left[j], t.phi_left[j] / t.weights[j], 1e-12);
+    EXPECT_NEAR(t.lift_right[j], t.phi_right[j] / t.weights[j], 1e-12);
+  }
+}
+
+TEST_P(BasisP, PaddedOperatorsZeroFillAndPreserve) {
+  const auto& t = basis_tables(GetParam().n, GetParam().family);
+  const int ld = t.n + 5;
+  AlignedVector pd = t.padded_diff(ld);
+  AlignedVector pdt = t.padded_diff_t(ld);
+  for (int i = 0; i < t.n; ++i) {
+    for (int j = 0; j < t.n; ++j) {
+      EXPECT_EQ(pd[i * ld + j], t.diff[i * t.n + j]);
+      EXPECT_EQ(pdt[i * ld + j], t.diff_t[i * t.n + j]);
+    }
+    for (int j = t.n; j < ld; ++j) {
+      EXPECT_EQ(pd[i * ld + j], 0.0);
+      EXPECT_EQ(pdt[i * ld + j], 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BasisP,
+    ::testing::Values(BasisCase{2, NodeFamily::kGaussLegendre},
+                      BasisCase{3, NodeFamily::kGaussLegendre},
+                      BasisCase{4, NodeFamily::kGaussLegendre},
+                      BasisCase{6, NodeFamily::kGaussLegendre},
+                      BasisCase{8, NodeFamily::kGaussLegendre},
+                      BasisCase{11, NodeFamily::kGaussLegendre},
+                      BasisCase{2, NodeFamily::kGaussLobatto},
+                      BasisCase{4, NodeFamily::kGaussLobatto},
+                      BasisCase{7, NodeFamily::kGaussLobatto},
+                      BasisCase{11, NodeFamily::kGaussLobatto}));
+
+TEST(BasisTables, CacheReturnsSameInstance) {
+  const auto& a = basis_tables(5, NodeFamily::kGaussLegendre);
+  const auto& b = basis_tables(5, NodeFamily::kGaussLegendre);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(BasisTables, RejectsOutOfRangeOrder) {
+  EXPECT_THROW(basis_tables(0), std::invalid_argument);
+  EXPECT_THROW(basis_tables(99), std::invalid_argument);
+}
+
+TEST(BasisTables, LobattoFaceValuesAreCardinal) {
+  // With Lobatto nodes the first/last node sit on the faces.
+  const auto& t = basis_tables(6, NodeFamily::kGaussLobatto);
+  for (int j = 0; j < t.n; ++j) {
+    EXPECT_NEAR(t.phi_left[j], j == 0 ? 1.0 : 0.0, 1e-12);
+    EXPECT_NEAR(t.phi_right[j], j == t.n - 1 ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Barycentric, WeightsAlternateInSign) {
+  const auto& t = basis_tables(7, NodeFamily::kGaussLegendre);
+  auto w = barycentric_weights(t.nodes);
+  for (std::size_t j = 1; j < w.size(); ++j)
+    EXPECT_LT(w[j] * w[j - 1], 0.0) << "weights must alternate";
+}
+
+}  // namespace
+}  // namespace exastp

@@ -1,0 +1,132 @@
+// Tests for src/perf/cachesim: LRU behaviour, capacity/conflict misses,
+// hierarchy walking, strided access, and the stall model's monotonicity.
+#include <gtest/gtest.h>
+
+#include "exastp/perf/cachesim.h"
+
+namespace exastp {
+namespace {
+
+TEST(CacheLevel, HitsAfterInstall) {
+  CacheLevel level({1024, 2, 64});  // 8 sets x 2 ways
+  EXPECT_FALSE(level.access_line(0));
+  EXPECT_TRUE(level.access_line(0));
+  EXPECT_TRUE(level.access_line(0));
+}
+
+TEST(CacheLevel, LruEvictsOldest) {
+  CacheLevel level({1024, 2, 64});  // 8 sets, lines with equal set index
+  // Lines 0, 8, 16 all map to set 0 (line % 8).
+  EXPECT_FALSE(level.access_line(0));
+  EXPECT_FALSE(level.access_line(8));
+  EXPECT_TRUE(level.access_line(0));   // refresh 0 -> 8 becomes LRU
+  EXPECT_FALSE(level.access_line(16));  // evicts 8
+  EXPECT_TRUE(level.access_line(0));
+  EXPECT_FALSE(level.access_line(8));  // 8 was evicted
+}
+
+TEST(CacheLevel, FullyAssociativeBehaviour) {
+  CacheLevel level({256, 4, 64});  // one set, four ways
+  for (std::uint64_t l = 0; l < 4; ++l) EXPECT_FALSE(level.access_line(l));
+  for (std::uint64_t l = 0; l < 4; ++l) EXPECT_TRUE(level.access_line(l));
+  EXPECT_FALSE(level.access_line(99));  // evicts line 0 (LRU)
+  EXPECT_FALSE(level.access_line(0));
+}
+
+TEST(CacheSim, WorkingSetWithinL1ProducesNoSteadyStateMisses) {
+  CacheSim sim = CacheSim::skylake_sp();
+  constexpr std::size_t kBytes = 16 * 1024;  // half of L1
+  sim.access(0, kBytes);  // cold pass
+  sim.reset_stats();
+  for (int rep = 0; rep < 4; ++rep) sim.access(0, kBytes);
+  EXPECT_EQ(sim.stats().misses[0], 0u);
+  EXPECT_EQ(sim.stats().misses[1], 0u);
+  EXPECT_EQ(sim.stats().misses[2], 0u);
+  EXPECT_EQ(sim.stats().accesses, 4u * kBytes / 64);
+}
+
+TEST(CacheSim, WorkingSetBeyondL2SpillsToL3) {
+  CacheSim sim = CacheSim::skylake_sp();
+  constexpr std::size_t kBytes = 1200 * 1024;  // > 1 MiB L2, < L3 slice sum
+  sim.access(0, kBytes);
+  sim.reset_stats();
+  sim.access(0, kBytes);  // streaming re-walk: everything misses L1
+  const auto& s = sim.stats();
+  EXPECT_GT(s.misses[0], 0u);
+  EXPECT_GT(s.misses[1], 0u) << "must spill out of L2";
+}
+
+TEST(CacheSim, WorkingSetBeyondEverythingHitsDram) {
+  CacheSim sim = CacheSim::skylake_sp();
+  constexpr std::size_t kBytes = 8 * 1024 * 1024;
+  sim.access(0, kBytes);
+  sim.reset_stats();
+  sim.access(0, kBytes);
+  EXPECT_GT(sim.stats().misses[2], 0u);
+}
+
+TEST(CacheSim, StridedTouchesOneLinePerRow) {
+  CacheSim sim({4096, 4, 64}, {65536, 8, 64}, {1 << 20, 8, 64});
+  sim.access_strided(0, 10, 8, 4096);  // 8-byte rows, 4 KiB apart
+  EXPECT_EQ(sim.stats().accesses, 10u);
+}
+
+TEST(CacheSim, AccessSpanningLinesCountsEachLine) {
+  CacheSim sim = CacheSim::skylake_sp();
+  sim.access(60, 8);  // straddles a line boundary
+  EXPECT_EQ(sim.stats().accesses, 2u);
+  sim.reset_stats();
+  sim.access(64, 64);
+  EXPECT_EQ(sim.stats().accesses, 1u);
+  sim.reset_stats();
+  sim.access(0, 0);
+  EXPECT_EQ(sim.stats().accesses, 0u);
+}
+
+TEST(CacheSim, ResetDropsContents) {
+  CacheSim sim = CacheSim::skylake_sp();
+  sim.access(0, 4096);
+  sim.reset();
+  sim.access(0, 4096);
+  EXPECT_EQ(sim.stats().misses[0], 4096u / 64);
+}
+
+TEST(StallModel, MoreMissesMeanMoreStall) {
+  StallModel model;
+  std::array<std::uint64_t, 4> flops{0, 0, 0, 1000000};
+  CacheStats light, heavy;
+  light.misses = {100, 10, 0};
+  heavy.misses = {10000, 5000, 1000};
+  EXPECT_LT(model.stall_fraction(light, flops),
+            model.stall_fraction(heavy, flops));
+  EXPECT_GE(model.stall_fraction(light, flops), 0.0);
+  EXPECT_LE(model.stall_fraction(heavy, flops), 1.0);
+}
+
+TEST(StallModel, FasterComputeRaisesStallShare) {
+  // The same cache behaviour with faster (wider-packed) compute leaves a
+  // larger fraction of slots memory-bound — the paper's observation that
+  // vectorization increases the stress on memory (Sec. VI-B).
+  StallModel model;
+  CacheStats stats;
+  stats.misses = {50000, 20000, 100};
+  std::array<std::uint64_t, 4> scalar_flops{10000000, 0, 0, 0};
+  std::array<std::uint64_t, 4> avx512_flops{0, 0, 0, 10000000};
+  EXPECT_LT(model.stall_fraction(stats, scalar_flops),
+            model.stall_fraction(stats, avx512_flops));
+}
+
+TEST(StallModel, NoWorkNoStall) {
+  StallModel model;
+  EXPECT_EQ(model.stall_fraction({}, {0, 0, 0, 0}), 0.0);
+}
+
+TEST(CacheConfig, RejectsDegenerateGeometry) {
+  EXPECT_THROW(CacheLevel({0, 1, 64}), std::invalid_argument);
+  EXPECT_THROW(CacheLevel({1024, 1, 63}), std::invalid_argument);
+  EXPECT_THROW(CacheSim({1024, 2, 64}, {4096, 2, 32}, {8192, 2, 64}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace exastp

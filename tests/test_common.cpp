@@ -1,0 +1,103 @@
+// Tests for src/common: aligned allocation, padding, ISA queries, Taylor
+// coefficients, check macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "exastp/common/aligned.h"
+#include "exastp/common/check.h"
+#include "exastp/common/simd.h"
+#include "exastp/common/taylor.h"
+
+namespace exastp {
+namespace {
+
+TEST(Aligned, VectorStorageIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector v(n, 0.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(Aligned, PadToRoundsUpToMultiple) {
+  EXPECT_EQ(pad_to(1, 8), 8);
+  EXPECT_EQ(pad_to(8, 8), 8);
+  EXPECT_EQ(pad_to(9, 8), 16);
+  EXPECT_EQ(pad_to(21, 8), 24);  // the paper's m=21 elastic benchmark
+  EXPECT_EQ(pad_to(21, 4), 24);
+  EXPECT_EQ(pad_to(5, 1), 5);
+}
+
+TEST(Aligned, AllocatorRejectsOverflow) {
+  AlignedAllocator<double> alloc;
+  EXPECT_THROW(alloc.allocate(std::numeric_limits<std::size_t>::max()),
+               std::bad_alloc);
+}
+
+TEST(Simd, VectorWidths) {
+  EXPECT_EQ(vector_width(Isa::kScalar), 1);
+  EXPECT_EQ(vector_width(Isa::kAvx2), 4);
+  EXPECT_EQ(vector_width(Isa::kAvx512), 8);
+}
+
+TEST(Simd, ScalarAlwaysSupported) {
+  EXPECT_TRUE(host_supports(Isa::kScalar));
+}
+
+TEST(Simd, BestIsaIsSupported) {
+  EXPECT_TRUE(host_supports(host_best_isa()));
+}
+
+TEST(Simd, Names) {
+  EXPECT_EQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_EQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_EQ(isa_name(Isa::kAvx512), "avx512");
+}
+
+TEST(Taylor, MatchesFactorialFormula) {
+  const double dt = 0.37;
+  auto c = taylor_coefficients(dt, 6);
+  double fact = 1.0;
+  double pow = dt;
+  for (int o = 0; o < 6; ++o) {
+    fact *= (o + 1);
+    EXPECT_NEAR(c[o], pow / fact, 1e-18 + 1e-15 * c[o]) << "o=" << o;
+    pow *= dt;
+  }
+}
+
+TEST(Taylor, SumsToExpMinusOne) {
+  // sum_{o>=0} dt^{o+1}/(o+1)! = e^dt - 1; with 14 terms at dt=0.5 the
+  // truncation error is far below double precision.
+  const double dt = 0.5;
+  auto c = taylor_coefficients(dt, 14);
+  double sum = 0.0;
+  for (int o = 0; o < 14; ++o) sum += c[o];
+  EXPECT_NEAR(sum, std::exp(dt) - 1.0, 1e-14);
+}
+
+TEST(Taylor, HandlesZeroTerms) {
+  auto c = taylor_coefficients(0.1, 0);
+  EXPECT_EQ(c[0], 0.0);
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    EXASTP_CHECK_MSG(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(EXASTP_CHECK(1 + 1 == 2));
+}
+
+}  // namespace
+}  // namespace exastp

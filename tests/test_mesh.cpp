@@ -1,0 +1,119 @@
+// Tests for src/mesh: grid indexing, neighbours, boundaries, point location,
+// curvilinear maps.
+#include <gtest/gtest.h>
+
+#include "exastp/mesh/geometry.h"
+#include "exastp/mesh/grid.h"
+
+namespace exastp {
+namespace {
+
+GridSpec small_spec() {
+  GridSpec s;
+  s.cells = {3, 4, 2};
+  s.origin = {-1.0, 0.0, 2.0};
+  s.extent = {3.0, 2.0, 1.0};
+  return s;
+}
+
+TEST(Grid, CoordsIndexRoundTrip) {
+  Grid grid(small_spec());
+  for (int c = 0; c < grid.num_cells(); ++c) {
+    const auto xyz = grid.coords(c);
+    EXPECT_EQ(grid.index(xyz[0], xyz[1], xyz[2]), c);
+  }
+  EXPECT_EQ(grid.num_cells(), 24);
+}
+
+TEST(Grid, SpacingAndOrigins) {
+  Grid grid(small_spec());
+  EXPECT_DOUBLE_EQ(grid.dx(0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.dx(1), 0.5);
+  EXPECT_DOUBLE_EQ(grid.dx(2), 0.5);
+  const auto o = grid.cell_origin(grid.index(2, 1, 1));
+  EXPECT_DOUBLE_EQ(o[0], 1.0);
+  EXPECT_DOUBLE_EQ(o[1], 0.5);
+  EXPECT_DOUBLE_EQ(o[2], 2.5);
+  EXPECT_DOUBLE_EQ(grid.cell_volume(), 0.25);
+}
+
+TEST(Grid, PeriodicNeighborsWrap) {
+  Grid grid(small_spec());
+  const int c = grid.index(0, 0, 0);
+  auto nb = grid.neighbor(c, 0, 0);
+  EXPECT_FALSE(nb.boundary);
+  EXPECT_EQ(nb.cell, grid.index(2, 0, 0));
+  nb = grid.neighbor(grid.index(2, 3, 1), 1, 1);
+  EXPECT_EQ(nb.cell, grid.index(2, 0, 1));
+}
+
+TEST(Grid, NonPeriodicBoundariesAreReported) {
+  GridSpec s = small_spec();
+  s.boundary = {BoundaryKind::kOutflow, BoundaryKind::kWall,
+                BoundaryKind::kPeriodic};
+  Grid grid(s);
+  auto nb = grid.neighbor(grid.index(0, 0, 0), 0, 0);
+  EXPECT_TRUE(nb.boundary);
+  EXPECT_EQ(nb.kind, BoundaryKind::kOutflow);
+  nb = grid.neighbor(grid.index(0, 3, 0), 1, 1);
+  EXPECT_TRUE(nb.boundary);
+  EXPECT_EQ(nb.kind, BoundaryKind::kWall);
+  nb = grid.neighbor(grid.index(0, 0, 0), 2, 0);
+  EXPECT_FALSE(nb.boundary) << "z stays periodic";
+  nb = grid.neighbor(grid.index(1, 1, 0), 0, 1);
+  EXPECT_FALSE(nb.boundary) << "interior face";
+}
+
+TEST(Grid, LocateFindsCellAndReferenceCoords) {
+  Grid grid(small_spec());
+  std::array<double, 3> xi{};
+  const int c = grid.locate({-0.25, 1.2, 2.9}, &xi);
+  EXPECT_EQ(c, grid.index(0, 2, 1));
+  EXPECT_NEAR(xi[0], 0.75, 1e-12);
+  EXPECT_NEAR(xi[1], 0.4, 1e-12);
+  EXPECT_NEAR(xi[2], 0.8, 1e-12);
+}
+
+TEST(Grid, LocateRejectsOutsidePoints) {
+  Grid grid(small_spec());
+  EXPECT_THROW(grid.locate({5.0, 0.5, 2.5}), std::invalid_argument);
+  EXPECT_THROW(grid.locate({0.0, -0.5, 2.5}), std::invalid_argument);
+}
+
+TEST(Grid, RejectsDegenerateSpecs) {
+  GridSpec s = small_spec();
+  s.cells[1] = 0;
+  EXPECT_THROW(Grid{s}, std::invalid_argument);
+  s = small_spec();
+  s.extent[2] = -1.0;
+  EXPECT_THROW(Grid{s}, std::invalid_argument);
+}
+
+TEST(Geometry, IdentityMapIsIdentity) {
+  IdentityMap map;
+  auto g = map.metric({0.3, -2.0, 5.0});
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      EXPECT_EQ(g[3 * r + c], r == c ? 1.0 : 0.0);
+}
+
+TEST(Geometry, SineMapPerturbsOffDiagonalsOnly) {
+  SineMap map(0.05, 2.0);
+  auto g = map.metric({0.1, 0.2, 0.3});
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(g[3 * r + r], 1.0);
+  // Perturbation bounded by amplitude * wavenumber.
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c)
+      if (r != c) EXPECT_LE(std::abs(g[3 * r + c]), 0.05 * 2.0 + 1e-15);
+  EXPECT_NE(g[0 * 3 + 1], 0.0);
+}
+
+TEST(Geometry, SineMapWithZeroAmplitudeIsIdentity) {
+  SineMap map(0.0, 3.0);
+  auto g = map.metric({1.0, 2.0, 3.0});
+  IdentityMap id;
+  EXPECT_EQ(g, id.metric({1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace exastp

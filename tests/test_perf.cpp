@@ -1,0 +1,139 @@
+// Tests for flop counters, instruction-mix reporting, peak measurement and
+// the report-table helper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "exastp/perf/flop_count.h"
+#include "exastp/perf/instr_mix.h"
+#include "exastp/perf/peak.h"
+#include "exastp/perf/report.h"
+
+namespace exastp {
+namespace {
+
+TEST(FlopCounter, AccumulatesAndResets) {
+  FlopCounter c;
+  c.add(WidthClass::kScalar, 10);
+  c.add(WidthClass::k512, 90);
+  EXPECT_EQ(c.total(), 100u);
+  EXPECT_DOUBLE_EQ(c.fraction(WidthClass::k512), 0.9);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_DOUBLE_EQ(c.fraction(WidthClass::k512), 0.0);
+}
+
+TEST(FlopCounter, SectionMeasuresDelta) {
+  FlopCounter::instance().reset();
+  FlopCounter::instance().add(WidthClass::k256, 50);
+  FlopSection section;
+  FlopCounter::instance().add(WidthClass::k256, 7);
+  FlopCounter::instance().add(WidthClass::kScalar, 3);
+  FlopCounter d = section.delta();
+  EXPECT_EQ(d.flops[static_cast<int>(WidthClass::k256)], 7u);
+  EXPECT_EQ(d.flops[static_cast<int>(WidthClass::kScalar)], 3u);
+  EXPECT_EQ(d.total(), 10u);
+  FlopCounter::instance().reset();
+}
+
+TEST(FlopCounter, PackedHelperSplitsRemainder) {
+  FlopCounter::instance().reset();
+  count_packed_flops(Isa::kAvx512, 13, 10);  // 8 packed lanes + 5 remainder
+  const auto& f = FlopCounter::instance().flops;
+  EXPECT_EQ(f[static_cast<int>(WidthClass::k512)], 80u);
+  EXPECT_EQ(f[static_cast<int>(WidthClass::kScalar)], 50u);
+  FlopCounter::instance().reset();
+}
+
+TEST(InstrMix, PercentagesSumTo100) {
+  FlopCounter c;
+  c.add(WidthClass::kScalar, 25);
+  c.add(WidthClass::k128, 25);
+  c.add(WidthClass::k256, 25);
+  c.add(WidthClass::k512, 25);
+  InstrMix mix = instruction_mix(c);
+  EXPECT_DOUBLE_EQ(mix.scalar() + mix.p128() + mix.p256() + mix.p512(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(mix.packed(), 75.0);
+}
+
+TEST(InstrMix, EmptyCounterGivesZeros) {
+  InstrMix mix = instruction_mix(FlopCounter{});
+  for (double p : mix.percent) EXPECT_EQ(p, 0.0);
+}
+
+TEST(InstrMix, FormatContainsAllClasses) {
+  FlopCounter c;
+  c.add(WidthClass::k512, 100);
+  const std::string s = format_mix(instruction_mix(c));
+  EXPECT_NE(s.find("scalar"), std::string::npos);
+  EXPECT_NE(s.find("512"), std::string::npos);
+  EXPECT_NE(s.find("100.0"), std::string::npos);
+}
+
+TEST(Peak, MeasurementsArePositiveAndOrdered) {
+  // Wider ISA must never be slower than scalar on the same machine (both
+  // measured; small timing noise tolerated via the 0.8 factor).
+  const double scalar = measure_peak_gflops(Isa::kScalar, 0.05);
+  EXPECT_GT(scalar, 0.0);
+  if (host_supports(Isa::kAvx512)) {
+    const double wide = measure_peak_gflops(Isa::kAvx512, 0.05);
+    EXPECT_GT(wide, 0.8 * scalar);
+  }
+  EXPECT_GT(available_peak_gflops(), 0.0);
+  // Cached value is stable.
+  EXPECT_EQ(available_peak_gflops(), available_peak_gflops());
+}
+
+TEST(ReportTable, PrintsAndWritesCsv) {
+  ReportTable table({"order", "value"});
+  table.add_row({"4", ReportTable::num(1.23456, 3)});
+  table.add_row({"5", ReportTable::num(7.0, 1)});
+  EXPECT_EQ(ReportTable::num(1.23456, 3), "1.235");
+  const std::string path = "/tmp/exastp_report_test.csv";
+  table.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "order,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "4,1.235");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTable, RejectsMismatchedRow) {
+  ReportTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace exastp
+
+namespace exastp {
+namespace {
+
+TEST(AsciiChart, RendersAllSeriesSymbols) {
+  AsciiChart chart("y vs x", 30, 8);
+  chart.add_series("a", {1, 2, 3}, {0.0, 5.0, 10.0});
+  chart.add_series("b", {1, 2, 3}, {10.0, 5.0, 0.0});
+  ::testing::internal::CaptureStdout();
+  chart.print("test chart");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("[*] a"), std::string::npos);
+  EXPECT_NE(out.find("[o] b"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("y vs x"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsDegenerateInput) {
+  EXPECT_THROW(AsciiChart("y", 5, 2), std::invalid_argument);
+  AsciiChart chart("y");
+  EXPECT_THROW(chart.add_series("a", {1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(chart.add_series("a", {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace exastp

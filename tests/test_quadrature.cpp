@@ -1,0 +1,156 @@
+// Tests for src/quadrature: node/weight correctness of both families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "exastp/quadrature/quadrature.h"
+
+namespace exastp {
+namespace {
+
+double integrate_monomial(const QuadratureRule& rule, int power) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i)
+    sum += rule.weights[i] * std::pow(rule.nodes[i], power);
+  return sum;
+}
+
+class GaussLegendreP : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussLegendreP, WeightsSumToOne) {
+  auto rule = make_quadrature(GetParam(), NodeFamily::kGaussLegendre);
+  const double sum =
+      std::accumulate(rule.weights.begin(), rule.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST_P(GaussLegendreP, NodesAscendInOpenInterval) {
+  auto rule = make_quadrature(GetParam(), NodeFamily::kGaussLegendre);
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    EXPECT_GT(rule.nodes[i], 0.0);
+    EXPECT_LT(rule.nodes[i], 1.0);
+    if (i > 0) EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+  }
+}
+
+TEST_P(GaussLegendreP, NodesSymmetricAboutHalf) {
+  auto rule = make_quadrature(GetParam(), NodeFamily::kGaussLegendre);
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(rule.nodes[i] + rule.nodes[n - 1 - i], 1.0, 1e-14);
+    EXPECT_NEAR(rule.weights[i], rule.weights[n - 1 - i], 1e-14);
+  }
+}
+
+TEST_P(GaussLegendreP, ExactUpToDegree2nMinus1) {
+  const int n = GetParam();
+  auto rule = make_quadrature(n, NodeFamily::kGaussLegendre);
+  for (int p = 0; p <= 2 * n - 1; ++p) {
+    // int_0^1 x^p dx = 1/(p+1)
+    EXPECT_NEAR(integrate_monomial(rule, p), 1.0 / (p + 1), 1e-13)
+        << "degree " << p;
+  }
+}
+
+TEST_P(GaussLegendreP, NotExactAtDegree2n) {
+  const int n = GetParam();
+  auto rule = make_quadrature(n, NodeFamily::kGaussLegendre);
+  // Gauss quadrature has a strictly positive error for x^{2n} (the error
+  // functional is a positive multiple of the 2n-th derivative).
+  EXPECT_GT(std::abs(integrate_monomial(rule, 2 * n) - 1.0 / (2 * n + 1)),
+            1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLegendreP, ::testing::Range(1, 13));
+
+class GaussLobattoP : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussLobattoP, IncludesEndpoints) {
+  auto rule = make_quadrature(GetParam(), NodeFamily::kGaussLobatto);
+  EXPECT_DOUBLE_EQ(rule.nodes.front(), 0.0);
+  EXPECT_DOUBLE_EQ(rule.nodes.back(), 1.0);
+}
+
+TEST_P(GaussLobattoP, WeightsSumToOne) {
+  auto rule = make_quadrature(GetParam(), NodeFamily::kGaussLobatto);
+  const double sum =
+      std::accumulate(rule.weights.begin(), rule.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST_P(GaussLobattoP, ExactUpToDegree2nMinus3) {
+  const int n = GetParam();
+  auto rule = make_quadrature(n, NodeFamily::kGaussLobatto);
+  for (int p = 0; p <= 2 * n - 3; ++p) {
+    EXPECT_NEAR(integrate_monomial(rule, p), 1.0 / (p + 1), 1e-13)
+        << "degree " << p;
+  }
+}
+
+TEST_P(GaussLobattoP, NodesSymmetricAboutHalf) {
+  auto rule = make_quadrature(GetParam(), NodeFamily::kGaussLobatto);
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(rule.nodes[i] + rule.nodes[n - 1 - i], 1.0, 1e-13);
+    EXPECT_NEAR(rule.weights[i], rule.weights[n - 1 - i], 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussLobattoP, ::testing::Range(2, 13));
+
+TEST(QuadratureKnownValues, TwoPointGaussLegendre) {
+  auto rule = make_quadrature(2, NodeFamily::kGaussLegendre);
+  const double x = 0.5 - 0.5 / std::sqrt(3.0);
+  EXPECT_NEAR(rule.nodes[0], x, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 0.5, 1e-15);
+}
+
+TEST(QuadratureKnownValues, ThreePointGaussLegendre) {
+  auto rule = make_quadrature(3, NodeFamily::kGaussLegendre);
+  EXPECT_NEAR(rule.nodes[1], 0.5, 1e-15);
+  EXPECT_NEAR(rule.weights[1], 4.0 / 9.0, 1e-15);
+  EXPECT_NEAR(rule.nodes[0], 0.5 - 0.5 * std::sqrt(3.0 / 5.0), 1e-15);
+  EXPECT_NEAR(rule.weights[0], 5.0 / 18.0, 1e-15);
+}
+
+TEST(QuadratureKnownValues, ThreePointLobattoIsSimpson) {
+  auto rule = make_quadrature(3, NodeFamily::kGaussLobatto);
+  EXPECT_NEAR(rule.nodes[1], 0.5, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 1.0 / 6.0, 1e-15);
+  EXPECT_NEAR(rule.weights[1], 4.0 / 6.0, 1e-15);
+}
+
+TEST(QuadratureErrors, RejectsInvalidCounts) {
+  EXPECT_THROW(make_quadrature(0, NodeFamily::kGaussLegendre),
+               std::invalid_argument);
+  EXPECT_THROW(make_quadrature(1, NodeFamily::kGaussLobatto),
+               std::invalid_argument);
+}
+
+TEST(LegendreEval, MatchesClosedForms) {
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 0.8}) {
+    double p, dp;
+    legendre_eval(2, x, &p, &dp);
+    EXPECT_NEAR(p, 0.5 * (3 * x * x - 1), 1e-15);
+    EXPECT_NEAR(dp, 3 * x, 1e-15);
+    legendre_eval(3, x, &p, &dp);
+    EXPECT_NEAR(p, 0.5 * (5 * x * x * x - 3 * x), 1e-15);
+    EXPECT_NEAR(dp, 0.5 * (15 * x * x - 3), 1e-14);
+  }
+}
+
+TEST(LegendreEval, EndpointDerivatives) {
+  for (int n : {1, 2, 3, 4, 5, 8}) {
+    double p, dp;
+    legendre_eval(n, 1.0, &p, &dp);
+    EXPECT_NEAR(p, 1.0, 1e-15);
+    EXPECT_NEAR(dp, 0.5 * n * (n + 1), 1e-12);
+    legendre_eval(n, -1.0, &p, &dp);
+    EXPECT_NEAR(p, n % 2 == 0 ? 1.0 : -1.0, 1e-15);
+    EXPECT_NEAR(dp, (n % 2 == 1 ? 1.0 : -1.0) * 0.5 * n * (n + 1), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace exastp

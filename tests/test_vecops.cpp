@@ -1,0 +1,112 @@
+// Direct unit tests for the ISA-dispatched element-wise primitives
+// (src/gemm/vecops.h) — previously only covered through the kernels.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "exastp/common/aligned.h"
+#include "exastp/gemm/vecops.h"
+#include "exastp/perf/flop_count.h"
+
+namespace exastp {
+namespace {
+
+class VecOpsP : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!host_supports(GetParam())) GTEST_SKIP();
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    x_.resize(kN);
+    y_.resize(kN);
+    for (long i = 0; i < kN; ++i) {
+      x_[i] = dist(rng);
+      y_[i] = dist(rng);
+    }
+  }
+
+  static constexpr long kN = 1003;  // odd length exercises the remainder
+  AlignedVector x_, y_;
+};
+
+TEST_P(VecOpsP, AxpyMatchesReference) {
+  AlignedVector got = y_;
+  vec_axpy(GetParam(), kN, 1.75, x_.data(), got.data());
+  for (long i = 0; i < kN; ++i)
+    EXPECT_NEAR(got[i], y_[i] + 1.75 * x_[i], 1e-14) << i;
+}
+
+TEST_P(VecOpsP, ScaleMatchesReference) {
+  AlignedVector got(kN, -9.0);
+  vec_scale(GetParam(), kN, -0.5, x_.data(), got.data());
+  for (long i = 0; i < kN; ++i) EXPECT_EQ(got[i], -0.5 * x_[i]);
+}
+
+TEST_P(VecOpsP, AddMatchesReference) {
+  AlignedVector got = y_;
+  vec_add(GetParam(), kN, x_.data(), got.data());
+  for (long i = 0; i < kN; ++i) EXPECT_EQ(got[i], y_[i] + x_[i]);
+}
+
+TEST_P(VecOpsP, ZeroAndCopyDoNotCountFlops) {
+  AlignedVector got(kN, 1.0);
+  FlopSection section;
+  vec_zero(kN, got.data());
+  vec_copy(kN, x_.data(), got.data());
+  EXPECT_EQ(section.delta().total(), 0u);
+  for (long i = 0; i < kN; ++i) EXPECT_EQ(got[i], x_[i]);
+}
+
+TEST_P(VecOpsP, FlopAccounting) {
+  AlignedVector got = y_;
+  FlopSection section;
+  vec_axpy(GetParam(), kN, 2.0, x_.data(), got.data());
+  EXPECT_EQ(section.delta().total(), 2u * kN);
+  FlopSection section2;
+  vec_scale(GetParam(), kN, 2.0, x_.data(), got.data());
+  vec_add(GetParam(), kN, x_.data(), got.data());
+  EXPECT_EQ(section2.delta().total(), 2u * kN);
+}
+
+TEST_P(VecOpsP, RemainderElementsCountAsScalar) {
+  AlignedVector got = y_;
+  FlopSection section;
+  vec_add(GetParam(), kN, x_.data(), got.data());
+  const FlopCounter d = section.delta();
+  const int w = vector_width(GetParam());
+  const long packed = kN / w * w;
+  EXPECT_EQ(d.flops[static_cast<int>(packed_width_class(GetParam()))],
+            static_cast<std::uint64_t>(packed));
+  EXPECT_EQ(d.flops[static_cast<int>(WidthClass::kScalar)],
+            static_cast<std::uint64_t>(kN - packed));
+}
+
+TEST_P(VecOpsP, ZeroLengthIsANoop) {
+  AlignedVector got = y_;
+  vec_axpy(GetParam(), 0, 3.0, x_.data(), got.data());
+  EXPECT_EQ(got, y_);
+  EXPECT_THROW(vec_axpy(GetParam(), -1, 3.0, x_.data(), got.data()),
+               std::invalid_argument);
+}
+
+TEST_P(VecOpsP, IsaPathsAgreeWithBaseline) {
+  // The wide paths contract multiply+add into FMAs, so results may differ
+  // from the non-FMA baseline by one rounding; nothing more.
+  AlignedVector a = y_, b = y_;
+  vec_axpy(Isa::kScalar, kN, 0.3, x_.data(), a.data());
+  vec_axpy(GetParam(), kN, 0.3, x_.data(), b.data());
+  // Tolerance: one ulp of the operand magnitudes (cancellation can make the
+  // error large relative to a small result).
+  for (long i = 0; i < kN; ++i)
+    EXPECT_NEAR(a[i], b[i],
+                5e-16 * (std::abs(y_[i]) + 0.3 * std::abs(x_[i])) + 1e-18)
+        << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, VecOpsP,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const auto& info) { return isa_name(info.param); });
+
+}  // namespace
+}  // namespace exastp
