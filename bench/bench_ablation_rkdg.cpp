@@ -4,64 +4,56 @@
 // element-local predictor plus a single corrector traversal per time step
 // versus one full mesh-wide operator evaluation per RK stage. This bench
 // runs both on the same acoustic plane wave (same spatial discretization,
-// same CFL bound), to the same end time, and compares wall time, L2 error,
-// steps and operator/predictor evaluations.
+// same CFL bound), to the same end time, and compares wall time, L2 error
+// and steps. Both steppers are built through the Simulation façade — the
+// stepper is just a config string.
 #include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
-#include "exastp/pde/acoustic.h"
-#include "exastp/scenarios/planewave.h"
-#include "exastp/solver/norms.h"
-#include "exastp/solver/rk_dg_solver.h"
+#include "exastp/engine/simulation.h"
 
 using namespace exastp;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  double l2 = 0.0;
+  int steps = 0;
+};
+
+RunResult run(const char* stepper, int order) {
+  SimulationConfig config =
+      parse_simulation_args({"scenario=planewave", "t_end=0.2"});
+  config.stepper = stepper;
+  config.order = order;
+  config.grid.cells = {4, 2, 2};
+  Simulation sim = Simulation::from_config(std::move(config));
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  RunResult result;
+  result.steps = sim.run();
+  result.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+  result.l2 = sim.l2_error();
+  return result;
+}
+
+}  // namespace
 
 int main() {
   ReportTable table({"order", "ader_ms", "rk4_ms", "ader_err", "rk4_err",
                      "ader_steps", "rk4_steps", "rk4_over_ader_time"});
   for (int order : {3, 4, 5, 6}) {
-    AcousticPde pde;
-    PlaneWave wave;
-    GridSpec grid;
-    grid.cells = {4, 2, 2};
-    auto runtime = std::make_shared<PdeAdapter<AcousticPde>>(pde);
-    const double t_end = 0.2;
-    auto exact = [&](const std::array<double, 3>& x, double t) {
-      return wave.pressure(x, t);
-    };
-    using clock = std::chrono::steady_clock;
-
-    AderDgSolver ader(runtime,
-                      make_stp_kernel(pde, StpVariant::kAosoaSplitCk, order,
-                                      host_best_isa()),
-                      grid);
-    ader.set_initial_condition(
-        [&](const std::array<double, 3>& x, double* q) {
-          wave.initial_condition(x, q);
-        });
-    auto t0 = clock::now();
-    const int ader_steps = ader.run_until(t_end);
-    const double ader_s =
-        std::chrono::duration<double>(clock::now() - t0).count();
-
-    RkDgSolver rk(runtime, order, host_best_isa(), grid);
-    rk.set_initial_condition(
-        [&](const std::array<double, 3>& x, double* q) {
-          wave.initial_condition(x, q);
-        });
-    t0 = clock::now();
-    const int rk_steps = rk.run_until(t_end);
-    const double rk_s =
-        std::chrono::duration<double>(clock::now() - t0).count();
-
+    const RunResult ader = run("ader", order);
+    const RunResult rk = run("rk4", order);
     table.add_row({std::to_string(order),
-                   ReportTable::num(ader_s * 1e3, 1),
-                   ReportTable::num(rk_s * 1e3, 1),
-                   ReportTable::num(l2_error(ader, AcousticPde::kP, exact), 8),
-                   ReportTable::num(l2_error(rk, AcousticPde::kP, exact), 8),
-                   std::to_string(ader_steps), std::to_string(rk_steps),
-                   ReportTable::num(rk_s / ader_s, 2)});
+                   ReportTable::num(ader.seconds * 1e3, 1),
+                   ReportTable::num(rk.seconds * 1e3, 1),
+                   ReportTable::num(ader.l2, 8), ReportTable::num(rk.l2, 8),
+                   std::to_string(ader.steps), std::to_string(rk.steps),
+                   ReportTable::num(rk.seconds / ader.seconds, 2)});
   }
   table.print("ADER-DG vs RK4-DG time-to-solution (acoustic plane wave)");
   table.write_csv("bench_ablation_rkdg.csv");

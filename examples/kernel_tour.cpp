@@ -1,14 +1,16 @@
-// Kernel tour: drives the four STP variants directly through the public
-// kernel API (no mesh/solver) on one curvilinear-elastic cell, shows that
-// they produce identical predictors, and prints each variant's footprint
-// and instruction mix — the paper's whole story in one terminal screen.
+// Kernel tour: drives the STP variants directly through the public kernel
+// API (no mesh/solver) on one curvilinear-elastic cell, shows that they
+// produce identical predictors, and prints each variant's footprint and
+// instruction mix — the paper's whole story in one terminal screen. The
+// kernels come from the string-keyed PDE registry, the same path the
+// Simulation façade uses.
 //
 //   build/examples/kernel_tour [order]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-#include "exastp/kernels/registry.h"
+#include "exastp/engine/pde_registry.h"
 #include "exastp/pde/curvilinear_elastic.h"
 #include "exastp/perf/instr_mix.h"
 #include "exastp/perf/report.h"
@@ -18,13 +20,13 @@ using namespace exastp;
 
 int main(int argc, char** argv) {
   const int order = argc > 1 ? std::atoi(argv[1]) : 6;
-  CurvilinearElasticPde pde;
+  auto factory = find_pde("curvilinear_elastic");
   const Isa isa = host_best_isa();
   std::printf("order %d, m = %d quantities, host ISA %s\n", order,
-              CurvilinearElasticPde::kQuants, isa_name(isa).c_str());
+              factory->info().quants, isa_name(isa).c_str());
 
   // One smooth cell state, shared by all variants (unpadded AoS).
-  const int m = CurvilinearElasticPde::kQuants;
+  const int m = factory->info().quants;
   std::vector<double> state(static_cast<std::size_t>(order) * order * order *
                             m);
   for (std::size_t k = 0; k < state.size() / m; ++k) {
@@ -41,7 +43,7 @@ int main(int argc, char** argv) {
   ReportTable table({"variant", "workspace_KiB", "qavg[0]", "mix"});
   double reference = 0.0;
   for (StpVariant v : kAllVariants) {
-    StpKernel kernel = make_stp_kernel(pde, v, order, isa);
+    StpKernel kernel = factory->make_kernel(v, order, isa);
     const AosLayout& aos = kernel.layout();
     AlignedVector q(aos.size()), qavg(aos.size()), f0(aos.size()),
         f1(aos.size()), f2(aos.size());
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  table.print("four kernel variants, one scheme");
+  table.print("all kernel variants, one scheme");
   std::printf("\nall variants agree to floating-point tolerance\n");
   return 0;
 }

@@ -2,15 +2,17 @@
 // evaluation, Sec. VI): elastic waves in a soft layer over a stiff
 // halfspace, excited by a Ricker point source, recorded by a surface
 // receiver and written out as a seismogram CSV plus a VTK snapshot of the
-// final velocity field.
+// final velocity field. The scenario (materials, source, boundaries) comes
+// from the registry; only the receiver loop lives here.
 //
 //   build/examples/loh1 [order] [variant]
 //   e.g. build/examples/loh1 5 splitck
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "exastp/kernels/registry.h"
+#include "exastp/engine/simulation.h"
 #include "exastp/pde/elastic.h"
 #include "exastp/scenarios/loh1.h"
 #include "exastp/solver/output.h"
@@ -18,29 +20,29 @@
 using namespace exastp;
 
 int main(int argc, char** argv) {
-  Loh1Config config;
-  if (argc > 1) config.order = std::atoi(argv[1]);
-  if (argc > 2) config.variant = parse_variant(argv[2]);
+  std::vector<std::string> args{"scenario=loh1"};
+  if (argc > 1) args.push_back("order=" + std::string(argv[1]));
+  if (argc > 2) args.push_back("variant=" + std::string(argv[2]));
+  Simulation sim = Simulation::from_args(args);
+  std::printf("LOH1-like layer-over-halfspace: %s\n", sim.summary().c_str());
 
-  std::printf("LOH1-like layer-over-halfspace, order %d, %s kernel\n",
-              config.order, variant_name(config.variant).c_str());
-  auto solver = make_loh1_solver(config, host_best_isa());
-
+  const std::array<double, 3> receiver_position =
+      Loh1Config{}.receiver_position;
   SeismogramRecorder receiver(
-      config.receiver_position,
+      receiver_position,
       std::vector<int>{ElasticPde::kVx, ElasticPde::kVy, ElasticPde::kVz});
-  const double t_end = 2.0;
+  const double t_end = sim.config().t_end;
   const double dt_record = 0.05;
-  receiver.record(*solver);
+  receiver.record(sim.solver());
   int steps = 0;
   for (double t = dt_record; t <= t_end + 1e-12; t += dt_record) {
-    steps += solver->run_until(t);
-    receiver.record(*solver);
+    steps += sim.solver().run_until(t);
+    receiver.record(sim.solver());
   }
 
   receiver.write_csv("loh1_seismogram.csv", {"vx", "vy", "vz"});
   write_vtk_cell_averages(
-      *solver, {ElasticPde::kVx, ElasticPde::kVz, ElasticPde::kSxx},
+      sim.solver(), {ElasticPde::kVx, ElasticPde::kVz, ElasticPde::kSxx},
       {"vx", "vz", "sxx"}, "loh1_final.vtk");
 
   // Report the peak vertical velocity seen at the receiver.
@@ -52,7 +54,7 @@ int main(int argc, char** argv) {
       peak_t = receiver.times()[i];
     }
   }
-  std::printf("ran %d steps to t = %.2f\n", steps, solver->time());
+  std::printf("ran %d steps to t = %.2f\n", steps, sim.solver().time());
   std::printf("receiver peak |vz| = %.4e at t = %.2f\n", peak_vz, peak_t);
   std::printf("wrote loh1_seismogram.csv and loh1_final.vtk\n");
   return peak_vz > 0.0 ? 0 : 1;

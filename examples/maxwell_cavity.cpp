@@ -1,56 +1,37 @@
 // Maxwell cavity example: an electromagnetic pulse trapped in a perfectly
-// conducting box, demonstrating the engine's PDE generality (the same four
+// conducting box, demonstrating the engine's PDE generality (the same
 // optimized kernels run an entirely different physics) and the energy
-// diagnostics.
+// diagnostics. The cavity mode, PEC walls and material defaults come from
+// the "maxwell_cavity" scenario registration.
 //
 //   build/examples/maxwell_cavity [order]
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <numbers>
+#include <string>
+#include <vector>
 
-#include "exastp/kernels/registry.h"
-#include "exastp/pde/maxwell.h"
+#include "exastp/engine/simulation.h"
 #include "exastp/solver/energy.h"
 
 using namespace exastp;
 
 int main(int argc, char** argv) {
-  const int order = argc > 1 ? std::atoi(argv[1]) : 4;
-  constexpr double kPi = std::numbers::pi;
+  std::vector<std::string> args{"scenario=maxwell_cavity", "t_end=1.0"};
+  if (argc > 1) args.push_back("order=" + std::string(argv[1]));
+  Simulation sim = Simulation::from_args(args);
 
-  MaxwellPde pde;
-  GridSpec grid;
-  grid.cells = {3, 3, 3};
-  grid.boundary = {BoundaryKind::kWall, BoundaryKind::kWall,
-                   BoundaryKind::kWall};  // PEC box
-  auto runtime = std::make_shared<PdeAdapter<MaxwellPde>>(pde);
-  AderDgSolver solver(
-      runtime,
-      make_stp_kernel(pde, StpVariant::kAosoaSplitCk, order, host_best_isa()),
-      grid);
-
-  // TE-like mode: Ey ~ sin(pi x) sin(pi z) satisfies the PEC condition on
-  // the x- and z-walls.
-  solver.set_initial_condition(
-      [&](const std::array<double, 3>& x, double* q) {
-        for (int s = 0; s < MaxwellPde::kVars; ++s) q[s] = 0.0;
-        q[MaxwellPde::kEy] = std::sin(kPi * x[0]) * std::sin(kPi * x[2]);
-        q[MaxwellPde::kEps] = 1.0;
-        q[MaxwellPde::kMu] = 1.0;
-      });
-
-  const double e0 = maxwell_energy(solver);
-  std::printf("PEC cavity, order %d, initial EM energy %.6f\n", order, e0);
+  const double e0 = maxwell_energy(sim.solver());
+  std::printf("PEC cavity, order %d, initial EM energy %.6f\n",
+              sim.config().order, e0);
   std::printf("%8s  %12s  %10s\n", "t", "energy", "kept_pct");
   for (int i = 1; i <= 5; ++i) {
-    solver.run_until(0.2 * i);
-    const double e = maxwell_energy(solver);
-    std::printf("%8.2f  %12.6f  %9.2f%%\n", solver.time(), e,
+    sim.solver().run_until(0.2 * i);
+    const double e = maxwell_energy(sim.solver());
+    std::printf("%8.2f  %12.6f  %9.2f%%\n", sim.solver().time(), e,
                 100.0 * e / e0);
   }
-  const double kept = maxwell_energy(solver) / e0;
+  const double kept = maxwell_energy(sim.solver()) / e0;
   std::printf("energy retained after one box-crossing time: %.1f%%\n",
               100.0 * kept);
+  std::printf("L2 error vs the exact standing mode: %.3e\n", sim.l2_error());
   return (kept > 0.5 && kept <= 1.0 + 1e-9) ? 0 : 1;
 }

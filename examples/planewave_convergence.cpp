@@ -1,39 +1,28 @@
 // Convergence study: demonstrates the design order of the ADER-DG scheme
 // (N nodes per dimension -> O(h^N) error) for every kernel variant on the
 // exact acoustic plane wave. This is the numerical-correctness backdrop of
-// the paper: all four optimization stages solve the same scheme.
+// the paper: all optimization stages solve the same scheme.
 //
 //   build/examples/planewave_convergence
 #include <cmath>
 #include <cstdio>
 
-#include "exastp/kernels/registry.h"
-#include "exastp/pde/acoustic.h"
+#include "exastp/engine/simulation.h"
 #include "exastp/perf/report.h"
-#include "exastp/scenarios/planewave.h"
-#include "exastp/solver/norms.h"
 
 using namespace exastp;
 
 namespace {
 
 double run_error(StpVariant variant, int order, int cells) {
-  AcousticPde pde;
-  GridSpec grid;
-  grid.cells = {cells, 1, 1};
-  auto runtime = std::make_shared<PdeAdapter<AcousticPde>>(pde);
-  AderDgSolver solver(
-      runtime, make_stp_kernel(pde, variant, order, host_best_isa()), grid);
-  PlaneWave wave;  // x-directed wave on a 1-D column
-  solver.set_initial_condition(
-      [&](const std::array<double, 3>& x, double* q) {
-        wave.initial_condition(x, q);
-      });
-  solver.run_until(0.2);
-  return l2_error(solver, AcousticPde::kP,
-                  [&](const std::array<double, 3>& x, double t) {
-                    return wave.pressure(x, t);
-                  });
+  SimulationConfig config = parse_simulation_args(
+      {"scenario=planewave", "t_end=0.2"});
+  config.variant = variant;
+  config.order = order;
+  config.grid.cells = {cells, 1, 1};  // x-directed wave on a 1-D column
+  Simulation sim = Simulation::from_config(std::move(config));
+  sim.run();
+  return sim.l2_error();
 }
 
 }  // namespace

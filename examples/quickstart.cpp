@@ -3,52 +3,32 @@
 // Solves the 3-D acoustic wave equation on a periodic unit cube with an
 // order-5 ADER-DG scheme using the paper's fastest kernel variant
 // (AoSoA SplitCK), and verifies the result against the exact plane-wave
-// solution.
+// solution — all selected by name through the Simulation façade.
 //
 //   build/examples/quickstart
 #include <cstdio>
 
-#include "exastp/kernels/registry.h"
-#include "exastp/pde/acoustic.h"
+#include "exastp/engine/simulation.h"
 #include "exastp/scenarios/planewave.h"
-#include "exastp/solver/norms.h"
 
 using namespace exastp;
 
 int main() {
-  // 1. Pick a PDE (quantities + user functions) and a kernel variant.
-  AcousticPde pde;
-  const int order = 5;
-  StpKernel kernel = make_stp_kernel(pde, StpVariant::kAosoaSplitCk, order,
-                                     host_best_isa());
+  // PDE, scenario, kernel variant, order and mesh are runtime strings; the
+  // scenario supplies the initial condition and the exact solution.
+  Simulation sim = Simulation::from_args({"pde=acoustic",
+                                          "scenario=planewave",
+                                          "variant=aosoa_splitck", "order=5",
+                                          "cells=3x3x3", "t_end=0.25"});
 
-  // 2. Describe the mesh.
-  GridSpec grid;
-  grid.cells = {3, 3, 3};
-  grid.extent = {1.0, 1.0, 1.0};  // periodic unit cube (default boundaries)
+  const int steps = sim.run();
+  const double err = sim.l2_error();
 
-  // 3. Build the solver and set the initial condition.
-  auto runtime = std::make_shared<PdeAdapter<AcousticPde>>(pde);
-  AderDgSolver solver(runtime, std::move(kernel), grid);
-  PlaneWave wave;
-  solver.set_initial_condition(
-      [&](const std::array<double, 3>& x, double* q) {
-        wave.initial_condition(x, q);
-      });
-
-  // 4. Run and check against the exact solution.
-  const double t_end = 0.25;
-  const int steps = solver.run_until(t_end);
-  const double err = l2_error(
-      solver, AcousticPde::kP,
-      [&](const std::array<double, 3>& x, double t) {
-        return wave.pressure(x, t);
-      });
-
-  std::printf("advanced to t = %.3f in %d steps\n", solver.time(), steps);
+  std::printf("advanced to t = %.3f in %d steps\n", sim.solver().time(),
+              steps);
   std::printf("L2 pressure error vs exact plane wave: %.3e\n", err);
   std::printf("pressure at domain centre: %.6f (exact %.6f)\n",
-              solver.sample({0.5, 0.5, 0.5}, AcousticPde::kP),
-              wave.pressure({0.5, 0.5, 0.5}, t_end));
+              sim.solver().sample({0.5, 0.5, 0.5}, AcousticPde::kP),
+              PlaneWave{}.pressure({0.5, 0.5, 0.5}, sim.solver().time()));
   return err < 1e-3 ? 0 : 1;
 }

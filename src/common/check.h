@@ -35,3 +35,9 @@ namespace exastp {
     if (!(cond)) ::exastp::fail_check(#cond, __FILE__, __LINE__, \
                                       std::string(msg));         \
   } while (false)
+
+/// EXASTP_FAIL(msg): unconditional failure for unreachable branches (e.g.
+/// exhaustive-switch fallthroughs). Expands to a [[noreturn]] call, so no
+/// dead default-constructed return value is needed after it.
+#define EXASTP_FAIL(msg) \
+  ::exastp::fail_check("unreachable", __FILE__, __LINE__, std::string(msg))

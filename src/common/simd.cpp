@@ -1,5 +1,7 @@
 #include "exastp/common/simd.h"
 
+#include "exastp/common/check.h"
+
 namespace exastp {
 
 std::string isa_name(Isa isa) {
@@ -9,6 +11,13 @@ std::string isa_name(Isa isa) {
     case Isa::kAvx512: return "avx512";
   }
   return "unknown";
+}
+
+Isa parse_isa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  EXASTP_FAIL("unknown ISA name: " + name);
 }
 
 bool host_supports(Isa isa) {

@@ -30,6 +30,9 @@ constexpr int vector_width(Isa isa) {
 /// Human-readable name used in bench tables.
 std::string isa_name(Isa isa);
 
+/// Parses "scalar" / "avx2" / "avx512"; throws on unknown names.
+Isa parse_isa(const std::string& name);
+
 /// True if the host CPU can execute code generated for `isa`.
 bool host_supports(Isa isa);
 

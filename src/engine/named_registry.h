@@ -1,0 +1,58 @@
+// Name -> entry map shared by the PDE and scenario registries.
+//
+// T must expose `const std::string& name() const`. The `kind` string only
+// flavours the error messages ("unknown PDE ...", "unknown scenario ...").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+template <class T>
+class NamedRegistry {
+ public:
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers an entry under its name(); throws on duplicates.
+  void add(std::shared_ptr<const T> entry) {
+    EXASTP_CHECK(entry != nullptr);
+    const std::string& name = entry->name();
+    EXASTP_CHECK_MSG(!entries_.count(name),
+                     kind_ + " already registered: " + name);
+    entries_.emplace(name, std::move(entry));
+  }
+
+  /// Looks up an entry; throws with the known names on a miss.
+  std::shared_ptr<const T> find(const std::string& name) const {
+    auto it = entries_.find(name);
+    if (it != entries_.end()) return it->second;
+    std::string known;
+    for (const auto& [key, unused] : entries_)
+      known += (known.empty() ? "" : ", ") + key;
+    EXASTP_FAIL("unknown " + kind_ + " \"" + name + "\" (known: " + known +
+                ")");
+  }
+
+  bool contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+
+  /// All registered names, sorted (std::map iterates in key order).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, unused] : entries_) out.push_back(key);
+    return out;
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, std::shared_ptr<const T>> entries_;
+};
+
+}  // namespace exastp

@@ -1,0 +1,92 @@
+// String-keyed PDE registry: the runtime face of the kernel generator.
+//
+// make_stp_kernel (kernels/registry.h) is a template switch — it needs the
+// concrete PDE type at compile time, exactly like the paper's generated
+// kernels hard-code the user functions. KernelFactory type-erases that
+// switch behind one virtual call, so a *runtime string* ("acoustic",
+// "curvilinear_elastic", ...) selects the PDE while every kernel variant
+// underneath stays fully templated and optimized. This mirrors the
+// named-plugin factories of openbr-style frameworks: adding a PDE is one
+// TypedKernelFactory registration, no engine change.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exastp/engine/named_registry.h"
+#include "exastp/kernels/registry.h"
+#include "exastp/pde/pde_base.h"
+
+namespace exastp {
+
+/// Type-erased producer of everything the engine needs for one PDE: the
+/// runtime view (face terms, boundary conditions, generic kernels) and
+/// configured STP kernels for any (variant, order, isa).
+class KernelFactory {
+ public:
+  virtual ~KernelFactory() = default;
+
+  /// Registry key, identical to the PDE's kName.
+  virtual const std::string& name() const = 0;
+  virtual PdeInfo info() const = 0;
+  /// The type-erased pointwise view; one shared instance per factory.
+  virtual std::shared_ptr<const PdeRuntime> runtime() const = 0;
+  /// Builds a configured kernel — the virtual wrapper around the
+  /// make_stp_kernel template switch.
+  virtual StpKernel make_kernel(
+      StpVariant variant, int order, Isa isa,
+      NodeFamily family = NodeFamily::kGaussLegendre) const = 0;
+  /// Fills the material/geometry parameter entries (s in [vars, quants)) of
+  /// one node with the PDE's canonical background medium, so generic
+  /// scenarios can initialize any registered PDE.
+  virtual void default_parameters(double* node) const = 0;
+};
+
+/// Implements KernelFactory for one CRTP PDE struct.
+template <class Pde>
+class TypedKernelFactory final : public KernelFactory {
+ public:
+  /// `defaults` fills a node's parameter entries; pass {} for PDEs without
+  /// parameters.
+  TypedKernelFactory(Pde pde, std::function<void(double*)> defaults)
+      : name_(Pde::kName),
+        pde_(std::move(pde)),
+        runtime_(std::make_shared<PdeAdapter<Pde>>(pde_)),
+        defaults_(std::move(defaults)) {}
+
+  const std::string& name() const override { return name_; }
+  PdeInfo info() const override { return runtime_->info(); }
+  std::shared_ptr<const PdeRuntime> runtime() const override {
+    return runtime_;
+  }
+  StpKernel make_kernel(StpVariant variant, int order, Isa isa,
+                        NodeFamily family) const override {
+    return make_stp_kernel(pde_, variant, order, isa, family);
+  }
+  void default_parameters(double* node) const override {
+    if (defaults_) defaults_(node);
+  }
+
+ private:
+  std::string name_;
+  Pde pde_;
+  std::shared_ptr<const PdeRuntime> runtime_;
+  std::function<void(double*)> defaults_;
+};
+
+/// Name -> KernelFactory map. The process-wide instance() comes populated
+/// with the built-in PDEs; add() extends it at runtime (e.g. from a plugin's
+/// static initializer or a test).
+class PdeRegistry final : public NamedRegistry<KernelFactory> {
+ public:
+  PdeRegistry() : NamedRegistry("PDE") {}
+  /// The process-wide registry, populated with the built-in PDEs.
+  static PdeRegistry& instance();
+};
+
+/// Shorthand for PdeRegistry::instance().find(name).
+std::shared_ptr<const KernelFactory> find_pde(const std::string& name);
+
+}  // namespace exastp

@@ -1,0 +1,224 @@
+#include "exastp/engine/scenario_registry.h"
+
+#include <cmath>
+
+#include "exastp/common/check.h"
+#include "exastp/pde/acoustic.h"
+#include "exastp/pde/advection.h"
+#include "exastp/pde/maxwell.h"
+#include "exastp/scenarios/loh1.h"
+#include "exastp/scenarios/planewave.h"
+
+namespace exastp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Exact acoustic plane wave (scenarios/planewave.h) on a periodic box.
+/// The wave has unit wavelength, so the solution stays exact on any box
+/// with integer extents; fractional extents break periodicity.
+class PlaneWaveScenario final : public Scenario {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "planewave";
+    return n;
+  }
+  std::string default_pde() const override { return "acoustic"; }
+
+  void configure(SimulationConfig& config) const override {
+    config.grid.cells = {3, 3, 3};
+    config.grid.extent = {1.0, 1.0, 1.0};  // one wavelength per dimension
+    config.t_end = 0.25;
+  }
+
+  InitialCondition initial_condition(
+      const std::shared_ptr<const KernelFactory>& /*pde*/,
+      const SimulationConfig& /*config*/) const override {
+    return [](const std::array<double, 3>& x, double* q) {
+      PlaneWave{}.initial_condition(x, q);
+    };
+  }
+
+  int error_quantity(const KernelFactory& /*pde*/) const override {
+    return AcousticPde::kP;
+  }
+  ExactSolution exact_solution(
+      const KernelFactory& /*pde*/,
+      const SimulationConfig& /*config*/) const override {
+    return [](const std::array<double, 3>& x, double t) {
+      return PlaneWave{}.pressure(x, t);
+    };
+  }
+};
+
+/// PDE-agnostic Gaussian pulse on quantity 0 over the factory's canonical
+/// background medium; the smoke-test workload for any registered PDE.
+class GaussianScenario final : public Scenario {
+ public:
+  /// Pulse placement shared by the initial condition and exact solution.
+  struct Pulse {
+    std::array<double, 3> center{};
+    double sigma = 0.0;
+  };
+  static Pulse pulse(const GridSpec& grid) {
+    Pulse p;
+    double width = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      p.center[d] = grid.origin[d] + 0.5 * grid.extent[d];
+      width = std::max(width, grid.extent[d]);
+    }
+    p.sigma = 0.1 * width;
+    return p;
+  }
+
+  const std::string& name() const override {
+    static const std::string n = "gaussian";
+    return n;
+  }
+  std::string default_pde() const override { return "advection"; }
+  bool compatible_with(const std::string& /*pde_name*/) const override {
+    return true;
+  }
+
+  void configure(SimulationConfig& config) const override {
+    config.grid.cells = {3, 3, 3};
+  }
+
+  InitialCondition initial_condition(
+      const std::shared_ptr<const KernelFactory>& pde,
+      const SimulationConfig& config) const override {
+    const PdeInfo info = pde->info();
+    const Pulse p = pulse(config.grid);
+    return [info, pde, p](const std::array<double, 3>& x, double* q) {
+      double r2 = 0.0;
+      for (int d = 0; d < 3; ++d)
+        r2 += (x[d] - p.center[d]) * (x[d] - p.center[d]);
+      for (int s = 0; s < info.vars; ++s) q[s] = 0.0;
+      q[0] = std::exp(-r2 / (2.0 * p.sigma * p.sigma));
+      pde->default_parameters(q);
+    };
+  }
+
+  int error_quantity(const KernelFactory& pde) const override {
+    // Only plain advection translates the pulse rigidly.
+    return pde.name() == "advection" ? 0 : -1;
+  }
+  ExactSolution exact_solution(
+      const KernelFactory& pde,
+      const SimulationConfig& config) const override {
+    if (error_quantity(pde) < 0) return nullptr;
+    // Assumes periodic boundaries (the scenario default); with outflow
+    // walls the wrapped translate stops being the true solution once the
+    // pulse reaches a boundary.
+    const GridSpec grid = config.grid;
+    const Pulse p = pulse(grid);
+    const std::array<double, 3> velocity = AdvectionPde{}.velocity;
+    return [grid, p, velocity](const std::array<double, 3>& x, double t) {
+      double r2 = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        // Periodic distance to the advected pulse center.
+        double dx = x[d] - (p.center[d] + velocity[d] * t);
+        dx -= grid.extent[d] * std::round(dx / grid.extent[d]);
+        r2 += dx * dx;
+      }
+      return std::exp(-r2 / (2.0 * p.sigma * p.sigma));
+    };
+  }
+};
+
+/// LOH1-like layer over halfspace (scenarios/loh1.h): heterogeneous elastic
+/// material, Ricker point source, absorbing sides, reflecting top.
+class Loh1Scenario final : public Scenario {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "loh1";
+    return n;
+  }
+  std::string default_pde() const override { return "elastic"; }
+
+  void configure(SimulationConfig& config) const override {
+    const Loh1Config defaults;
+    config.grid.cells = defaults.cells;
+    config.grid.origin = {0.0, 0.0, 0.0};
+    config.grid.extent = defaults.extent;
+    config.grid.boundary = {BoundaryKind::kOutflow, BoundaryKind::kOutflow,
+                            BoundaryKind::kWall};
+    config.t_end = 2.0;
+  }
+
+  InitialCondition initial_condition(
+      const std::shared_ptr<const KernelFactory>& /*pde*/,
+      const SimulationConfig& /*config*/) const override {
+    return loh1_initial_condition(Loh1Config{});
+  }
+
+  std::vector<MeshPointSource> sources(
+      const SimulationConfig& /*config*/) const override {
+    return {loh1_point_source(Loh1Config{})};
+  }
+};
+
+/// TE101-like eigenmode of a perfectly conducting unit box; the Ey
+/// component oscillates as a standing wave at omega = sqrt(2) pi. The
+/// initial condition fixes the wavenumbers at pi, so the mode (and its
+/// exact solution) remains valid on any integer-extent PEC box.
+class MaxwellCavityScenario final : public Scenario {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "maxwell_cavity";
+    return n;
+  }
+  std::string default_pde() const override { return "maxwell"; }
+
+  void configure(SimulationConfig& config) const override {
+    config.grid.cells = {3, 3, 3};
+    config.grid.extent = {1.0, 1.0, 1.0};
+    config.grid.boundary = {BoundaryKind::kWall, BoundaryKind::kWall,
+                            BoundaryKind::kWall};  // PEC box
+    config.t_end = 1.0;
+  }
+
+  InitialCondition initial_condition(
+      const std::shared_ptr<const KernelFactory>& /*pde*/,
+      const SimulationConfig& /*config*/) const override {
+    return [](const std::array<double, 3>& x, double* q) {
+      for (int s = 0; s < MaxwellPde::kVars; ++s) q[s] = 0.0;
+      q[MaxwellPde::kEy] = std::sin(kPi * x[0]) * std::sin(kPi * x[2]);
+      q[MaxwellPde::kEps] = 1.0;
+      q[MaxwellPde::kMu] = 1.0;
+    };
+  }
+
+  int error_quantity(const KernelFactory& /*pde*/) const override {
+    return MaxwellPde::kEy;
+  }
+  ExactSolution exact_solution(
+      const KernelFactory& /*pde*/,
+      const SimulationConfig& /*config*/) const override {
+    return [](const std::array<double, 3>& x, double t) {
+      const double omega = std::sqrt(2.0) * kPi;
+      return std::sin(kPi * x[0]) * std::sin(kPi * x[2]) *
+             std::cos(omega * t);
+    };
+  }
+};
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry& registry = *[] {
+    auto* r = new ScenarioRegistry;
+    r->add(std::make_shared<GaussianScenario>());
+    r->add(std::make_shared<PlaneWaveScenario>());
+    r->add(std::make_shared<Loh1Scenario>());
+    r->add(std::make_shared<MaxwellCavityScenario>());
+    return r;
+  }();
+  return registry;
+}
+
+std::shared_ptr<const Scenario> find_scenario(const std::string& name) {
+  return ScenarioRegistry::instance().find(name);
+}
+
+}  // namespace exastp

@@ -1,0 +1,75 @@
+// String-keyed scenario registry: named initial conditions, boundary
+// setups, point sources and (where known) exact solutions.
+//
+// A Scenario is everything that turns a bare PDE into a runnable workload.
+// Scenarios are looked up by name at runtime ("planewave", "loh1",
+// "maxwell_cavity", "gaussian"), mirror the PDE registry's plugin idiom and
+// fill the SimulationConfig defaults a workload needs, so the config-driven
+// runner covers new experiments without recompilation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exastp/engine/named_registry.h"
+#include "exastp/engine/pde_registry.h"
+#include "exastp/engine/simulation_config.h"
+#include "exastp/solver/solver_base.h"
+
+namespace exastp {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Registry key.
+  virtual const std::string& name() const = 0;
+  /// PDE used when the config does not name one.
+  virtual std::string default_pde() const = 0;
+  /// Whether the scenario's initial condition is meaningful for `pde_name`.
+  /// The default accepts only default_pde(); PDE-agnostic scenarios
+  /// override.
+  virtual bool compatible_with(const std::string& pde_name) const {
+    return pde_name == default_pde();
+  }
+
+  /// Writes the scenario's recommended grid, boundaries and end time into
+  /// the config (called before explicit user overrides are applied).
+  virtual void configure(SimulationConfig& /*config*/) const {}
+
+  /// Nodal initial condition for a solver running `pde`. Passed as a
+  /// shared_ptr so the returned closure can own the factory.
+  virtual InitialCondition initial_condition(
+      const std::shared_ptr<const KernelFactory>& pde,
+      const SimulationConfig& config) const = 0;
+
+  /// Point sources to attach (may be empty).
+  virtual std::vector<MeshPointSource> sources(
+      const SimulationConfig& /*config*/) const {
+    return {};
+  }
+
+  /// Quantity index with a known exact solution, or -1 if none.
+  virtual int error_quantity(const KernelFactory& /*pde*/) const {
+    return -1;
+  }
+  /// Exact solution of error_quantity(); null when error_quantity() is -1.
+  virtual ExactSolution exact_solution(
+      const KernelFactory& /*pde*/, const SimulationConfig& /*config*/) const {
+    return nullptr;
+  }
+};
+
+/// Name -> Scenario map; same conventions as PdeRegistry.
+class ScenarioRegistry final : public NamedRegistry<Scenario> {
+ public:
+  ScenarioRegistry() : NamedRegistry("scenario") {}
+  /// The process-wide registry, populated with the built-in scenarios.
+  static ScenarioRegistry& instance();
+};
+
+/// Shorthand for ScenarioRegistry::instance().find(name).
+std::shared_ptr<const Scenario> find_scenario(const std::string& name);
+
+}  // namespace exastp

@@ -1,0 +1,109 @@
+#include "exastp/engine/simulation.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "exastp/common/check.h"
+#include "exastp/solver/ader_dg_solver.h"
+#include "exastp/solver/norms.h"
+#include "exastp/solver/output.h"
+#include "exastp/solver/rk_dg_solver.h"
+
+namespace exastp {
+
+Simulation::Simulation(SimulationConfig config, Isa isa,
+                       std::shared_ptr<const KernelFactory> pde,
+                       std::shared_ptr<const Scenario> scenario,
+                       std::unique_ptr<SolverBase> solver)
+    : config_(std::move(config)),
+      isa_(isa),
+      pde_(std::move(pde)),
+      scenario_(std::move(scenario)),
+      solver_(std::move(solver)) {}
+
+Simulation Simulation::from_config(SimulationConfig config) {
+  std::shared_ptr<const Scenario> scenario = find_scenario(config.scenario);
+  if (config.pde.empty()) config.pde = scenario->default_pde();
+  EXASTP_CHECK_MSG(scenario->compatible_with(config.pde),
+                   "scenario \"" + scenario->name() +
+                       "\" is not defined for pde \"" + config.pde + "\"");
+  std::shared_ptr<const KernelFactory> pde = find_pde(config.pde);
+
+  Isa isa;
+  if (config.isa == "auto") {
+    isa = host_best_isa();
+  } else {
+    isa = parse_isa(config.isa);
+    EXASTP_CHECK_MSG(host_supports(isa),
+                     "host cannot execute isa=" + config.isa);
+  }
+
+  std::unique_ptr<SolverBase> solver;
+  if (config.stepper == "ader") {
+    solver = std::make_unique<AderDgSolver>(
+        pde->runtime(),
+        pde->make_kernel(config.variant, config.order, isa, config.family),
+        config.grid, config.family);
+  } else if (config.stepper == "rk4" || config.stepper == "rk") {
+    solver = std::make_unique<RkDgSolver>(pde->runtime(), config.order, isa,
+                                          config.grid, config.family);
+  } else {
+    EXASTP_FAIL("unknown stepper \"" + config.stepper + "\" (ader|rk4)");
+  }
+
+  solver->set_initial_condition(scenario->initial_condition(pde, config));
+  for (const MeshPointSource& source : scenario->sources(config))
+    solver->add_point_source(source);
+
+  return Simulation(std::move(config), isa, std::move(pde),
+                    std::move(scenario), std::move(solver));
+}
+
+Simulation Simulation::from_args(const std::vector<std::string>& args) {
+  return from_config(parse_simulation_args(args));
+}
+
+int Simulation::run() {
+  const int steps = solver_->run_until(config_.t_end, config_.cfl);
+  if (!config_.output.csv.empty()) write_csv(*solver_, config_.output.csv);
+  if (!config_.output.vtk.empty()) {
+    // Cell averages of the evolved quantities (capped to keep files small).
+    const int nq = std::min(pde_->info().vars, 4);
+    std::vector<int> quantities;
+    std::vector<std::string> names;
+    for (int s = 0; s < nq; ++s) {
+      quantities.push_back(s);
+      names.push_back("q" + std::to_string(s));
+    }
+    write_vtk_cell_averages(*solver_, quantities, names, config_.output.vtk);
+  }
+  return steps;
+}
+
+double Simulation::l2_error() const {
+  const int quantity = error_quantity();
+  EXASTP_CHECK_MSG(quantity >= 0,
+                   "scenario \"" + scenario_->name() +
+                       "\" has no exact solution for pde \"" + pde_->name() +
+                       "\"");
+  return exastp::l2_error(*solver_, quantity,
+                          scenario_->exact_solution(*pde_, config_));
+}
+
+std::string Simulation::summary() const {
+  const PdeInfo info = pde_->info();
+  const auto& cells = config_.grid.cells;
+  std::ostringstream os;
+  os << "pde=" << pde_->name() << " (m=" << info.quants << ")"
+     << " scenario=" << scenario_->name()
+     << " stepper=" << solver_->stepper_name()
+     << " variant=" << variant_name(config_.variant)
+     << " isa=" << isa_name(isa_) << " order=" << config_.order << " cells="
+     << cells[0] << "x" << cells[1] << "x" << cells[2]
+     << " t_end=" << config_.t_end;
+  return os.str();
+}
+
+}  // namespace exastp

@@ -1,0 +1,69 @@
+// The Simulation façade: one entry point from a declarative config to a
+// running solver.
+//
+// from_config() resolves the scenario and PDE from the string registries,
+// type-erases the kernel selection ((pde, variant, order, isa) -> StpKernel)
+// through KernelFactory, builds the requested stepper behind SolverBase,
+// applies the scenario's initial condition and point sources, and hands back
+// an object drivers can run, sample and measure — the whole ~50-line
+// hand-wiring dance of the old examples in one call.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exastp/engine/pde_registry.h"
+#include "exastp/engine/scenario_registry.h"
+#include "exastp/engine/simulation_config.h"
+#include "exastp/solver/solver_base.h"
+
+namespace exastp {
+
+class Simulation {
+ public:
+  /// Builds the fully configured simulation. The config is taken literally;
+  /// use parse_simulation_args / apply_scenario_defaults to fill scenario
+  /// defaults first. Throws on unknown names, incompatible PDE/scenario
+  /// pairs and ISAs the host cannot execute.
+  static Simulation from_config(SimulationConfig config);
+
+  /// parse_simulation_args + from_config in one step (CLI entry point).
+  static Simulation from_args(const std::vector<std::string>& args);
+
+  SolverBase& solver() { return *solver_; }
+  const SolverBase& solver() const { return *solver_; }
+  const SimulationConfig& config() const { return config_; }
+  const KernelFactory& pde() const { return *pde_; }
+  const Scenario& scenario() const { return *scenario_; }
+  /// The resolved instruction set ("auto" already applied).
+  Isa isa() const { return isa_; }
+
+  /// Runs to config.t_end, then writes any configured outputs; returns the
+  /// number of steps taken. Callable repeatedly after raising t_end.
+  int run();
+
+  /// True when the scenario knows an exact solution for this PDE.
+  bool has_exact_solution() const { return error_quantity() >= 0; }
+  /// Quantity index the exact solution describes, or -1.
+  int error_quantity() const { return scenario_->error_quantity(*pde_); }
+  /// L2 error of error_quantity() against the scenario's exact solution at
+  /// the solver's current time; throws if the scenario has none.
+  double l2_error() const;
+
+  /// One-line human-readable description for logs and CLI banners.
+  std::string summary() const;
+
+ private:
+  Simulation(SimulationConfig config, Isa isa,
+             std::shared_ptr<const KernelFactory> pde,
+             std::shared_ptr<const Scenario> scenario,
+             std::unique_ptr<SolverBase> solver);
+
+  SimulationConfig config_;
+  Isa isa_ = Isa::kScalar;
+  std::shared_ptr<const KernelFactory> pde_;
+  std::shared_ptr<const Scenario> scenario_;
+  std::unique_ptr<SolverBase> solver_;
+};
+
+}  // namespace exastp

@@ -1,0 +1,188 @@
+#include "exastp/engine/simulation_config.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "exastp/common/check.h"
+#include "exastp/engine/scenario_registry.h"
+#include "exastp/kernels/registry.h"
+
+namespace exastp {
+namespace {
+
+/// Splits "a=b" into {a, b}; throws on malformed pairs.
+std::pair<std::string, std::string> split_pair(const std::string& arg) {
+  const auto eq = arg.find('=');
+  EXASTP_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "expected key=value, got \"" + arg + "\"");
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+/// Splits on ',' or 'x' — both "4x4x4" and "4,4,4" are accepted.
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : value) {
+    if (c == ',' || c == 'x') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(value, &used);
+    EXASTP_CHECK_MSG(used == value.size(), key + "=" + value);
+    return v;
+  } catch (const std::logic_error&) {
+    EXASTP_FAIL("expected an integer for " + key + ", got \"" + value + "\"");
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    EXASTP_CHECK_MSG(used == value.size(), key + "=" + value);
+    return v;
+  } catch (const std::logic_error&) {
+    EXASTP_FAIL("expected a number for " + key + ", got \"" + value + "\"");
+  }
+}
+
+std::array<int, 3> parse_cells(const std::string& value) {
+  const auto parts = split_list(value);
+  if (parts.size() == 1) {
+    const int n = parse_int("cells", parts[0]);
+    return {n, n, n};
+  }
+  EXASTP_CHECK_MSG(parts.size() == 3, "cells=" + value);
+  return {parse_int("cells", parts[0]), parse_int("cells", parts[1]),
+          parse_int("cells", parts[2])};
+}
+
+std::array<double, 3> parse_triple(const std::string& key,
+                                   const std::string& value) {
+  const auto parts = split_list(value);
+  if (parts.size() == 1) {
+    const double v = parse_double(key, parts[0]);
+    return {v, v, v};
+  }
+  EXASTP_CHECK_MSG(parts.size() == 3, key + "=" + value);
+  return {parse_double(key, parts[0]), parse_double(key, parts[1]),
+          parse_double(key, parts[2])};
+}
+
+BoundaryKind parse_boundary(const std::string& name) {
+  if (name == "periodic") return BoundaryKind::kPeriodic;
+  if (name == "outflow") return BoundaryKind::kOutflow;
+  if (name == "wall") return BoundaryKind::kWall;
+  EXASTP_FAIL("unknown boundary kind \"" + name +
+              "\" (periodic|outflow|wall)");
+}
+
+std::array<BoundaryKind, 3> parse_boundaries(const std::string& value) {
+  const auto parts = split_list(value);
+  if (parts.size() == 1) {
+    const BoundaryKind k = parse_boundary(parts[0]);
+    return {k, k, k};
+  }
+  EXASTP_CHECK_MSG(parts.size() == 3, "bc=" + value);
+  return {parse_boundary(parts[0]), parse_boundary(parts[1]),
+          parse_boundary(parts[2])};
+}
+
+NodeFamily parse_family(const std::string& name) {
+  if (name == "gl" || name == "legendre") return NodeFamily::kGaussLegendre;
+  if (name == "lobatto") return NodeFamily::kGaussLobatto;
+  EXASTP_FAIL("unknown node family \"" + name + "\" (gl|lobatto)");
+}
+
+void apply_pair(SimulationConfig& config, const std::string& key,
+                const std::string& value) {
+  if (key == "pde") {
+    config.pde = value;
+  } else if (key == "scenario") {
+    config.scenario = value;  // already applied, kept for idempotence
+  } else if (key == "stepper") {
+    config.stepper = value;
+  } else if (key == "variant") {
+    config.variant = parse_variant(value);
+  } else if (key == "isa") {
+    config.isa = value;
+  } else if (key == "order") {
+    config.order = parse_int(key, value);
+  } else if (key == "family") {
+    config.family = parse_family(value);
+  } else if (key == "cells") {
+    config.grid.cells = parse_cells(value);
+  } else if (key == "extent") {
+    config.grid.extent = parse_triple(key, value);
+  } else if (key == "origin") {
+    config.grid.origin = parse_triple(key, value);
+  } else if (key == "bc") {
+    config.grid.boundary = parse_boundaries(value);
+  } else if (key == "t_end") {
+    config.t_end = parse_double(key, value);
+  } else if (key == "cfl") {
+    config.cfl = parse_double(key, value);
+  } else if (key == "csv") {
+    config.output.csv = value;
+  } else if (key == "vtk") {
+    config.output.vtk = value;
+  } else {
+    EXASTP_FAIL("unknown config key \"" + key + "\"\n" + simulation_usage());
+  }
+}
+
+}  // namespace
+
+void apply_scenario_defaults(SimulationConfig& config) {
+  ScenarioRegistry::instance().find(config.scenario)->configure(config);
+}
+
+SimulationConfig parse_simulation_args(const std::vector<std::string>& args) {
+  SimulationConfig config;
+  // The scenario decides the default grid/boundaries/t_end, so resolve it
+  // before the remaining pairs override those defaults.
+  for (const std::string& arg : args) {
+    const auto [key, value] = split_pair(arg);
+    if (key == "scenario") config.scenario = value;
+  }
+  apply_scenario_defaults(config);
+  for (const std::string& arg : args) {
+    const auto [key, value] = split_pair(arg);
+    apply_pair(config, key, value);
+  }
+  return config;
+}
+
+std::string simulation_usage() {
+  return
+      "usage: key=value ...\n"
+      "  scenario=NAME   initial condition + defaults (see registry; default"
+      " gaussian)\n"
+      "  pde=NAME        PDE registry key (default: the scenario's PDE)\n"
+      "  stepper=KIND    ader | rk4 (default ader)\n"
+      "  variant=NAME    generic | log | splitck | aosoa_splitck |"
+      " soa_uf_splitck\n"
+      "  isa=NAME        auto | scalar | avx2 | avx512 (default auto)\n"
+      "  order=N         nodes per dimension (default 4)\n"
+      "  family=NAME     gl | lobatto quadrature nodes (default gl)\n"
+      "  cells=AxBxC     mesh cells per dimension (or one int for a cube)\n"
+      "  extent=X,Y,Z    domain size (or one number for a cube)\n"
+      "  origin=X,Y,Z    domain lower corner\n"
+      "  bc=KIND[,KIND,KIND]  periodic | outflow | wall per dimension\n"
+      "  t_end=T         end time\n"
+      "  cfl=C           CFL factor (default 0.4)\n"
+      "  csv=PATH        write nodal values CSV after the run\n"
+      "  vtk=PATH        write cell-average VTK after the run\n";
+}
+
+}  // namespace exastp

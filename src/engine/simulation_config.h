@@ -1,0 +1,60 @@
+// Declarative run description consumed by the Simulation façade.
+//
+// Everything a workload needs — PDE, scenario, kernel variant, ISA, order,
+// grid, boundaries, end time, outputs — in one plain struct, so new
+// workloads are a config (or a key=value command line, see
+// parse_simulation_args) instead of a recompiled driver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exastp/kernels/stp_common.h"
+#include "exastp/mesh/grid.h"
+#include "exastp/quadrature/quadrature.h"
+
+namespace exastp {
+
+struct OutputConfig {
+  std::string csv;  ///< nodal-values CSV path; empty = no output
+  std::string vtk;  ///< cell-average VTK path; empty = no output
+};
+
+struct SimulationConfig {
+  std::string scenario = "gaussian";
+  /// PDE registry key; empty picks the scenario's default PDE.
+  std::string pde;
+  /// Time stepper: "ader" (paper scheme) or "rk4" (baseline).
+  std::string stepper = "ader";
+  StpVariant variant = StpVariant::kAosoaSplitCk;
+  /// "auto" resolves to host_best_isa(); otherwise "scalar"/"avx2"/"avx512".
+  std::string isa = "auto";
+  int order = 4;
+  NodeFamily family = NodeFamily::kGaussLegendre;
+
+  GridSpec grid;
+  double t_end = 0.5;
+  double cfl = 0.4;
+  OutputConfig output;
+};
+
+/// Applies the scenario's recommended grid/boundaries/end time to `config`
+/// (looked up by config.scenario). parse_simulation_args calls this before
+/// applying explicit key=value overrides; call it yourself when building a
+/// SimulationConfig by hand and you want the scenario defaults.
+void apply_scenario_defaults(SimulationConfig& config);
+
+/// Parses "key=value" arguments into a config. The scenario is resolved
+/// first and its defaults applied, then the remaining pairs override them,
+/// so e.g. {"scenario=loh1", "cells=8x8x8"} refines the stock LOH1 box.
+///
+/// Keys: pde, scenario, stepper, variant, isa, order, family (gl|lobatto),
+/// cells (NxMxK or one int for a cube), extent, origin (comma- or
+/// x-separated triples), bc (periodic|outflow|wall, one or three
+/// comma-separated), t_end, cfl, csv, vtk. Unknown keys throw.
+SimulationConfig parse_simulation_args(const std::vector<std::string>& args);
+
+/// One-line-per-key usage text for CLI drivers.
+std::string simulation_usage();
+
+}  // namespace exastp

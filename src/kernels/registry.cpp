@@ -10,9 +10,9 @@ StpVariant parse_variant(const std::string& name) {
   if (name == "splitck") return StpVariant::kSplitCk;
   if (name == "aosoa_splitck" || name == "aosoa")
     return StpVariant::kAosoaSplitCk;
-  if (name == "soa_uf_splitck") return StpVariant::kSoaUfSplitCk;
-  EXASTP_CHECK_MSG(false, "unknown STP variant name: " + name);
-  return StpVariant::kGeneric;
+  if (name == "soa_uf_splitck" || name == "soa_uf")
+    return StpVariant::kSoaUfSplitCk;
+  EXASTP_FAIL("unknown STP variant name: " + name);
 }
 
 }  // namespace exastp

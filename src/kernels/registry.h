@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "exastp/common/check.h"
 #include "exastp/kernels/aosoa_stp.h"
 #include "exastp/kernels/generic_stp.h"
 #include "exastp/kernels/log_stp.h"
@@ -20,14 +21,16 @@
 
 namespace exastp {
 
-/// Parses "generic" / "log" / "splitck" / "aosoa_splitck"; throws on
-/// unknown names.
+/// Parses "generic" / "log" / "splitck" / "aosoa_splitck" (alias "aosoa") /
+/// "soa_uf_splitck" (alias "soa_uf"); throws on unknown names. The inverse
+/// mapping for reporting is variant_name() (stp_common.h).
 StpVariant parse_variant(const std::string& name);
 
-/// All variants in the order the paper introduces them.
+/// All variants make_stp_kernel dispatches, in the order the paper
+/// introduces them — including the rejected SoA-UF transpose ablation.
 inline constexpr StpVariant kAllVariants[] = {
     StpVariant::kGeneric, StpVariant::kLog, StpVariant::kSplitCk,
-    StpVariant::kAosoaSplitCk};
+    StpVariant::kAosoaSplitCk, StpVariant::kSoaUfSplitCk};
 
 template <class Pde>
 StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
@@ -85,8 +88,7 @@ StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
                        });
     }
   }
-  EXASTP_CHECK_MSG(false, "unknown STP variant");
-  return {};
+  EXASTP_FAIL("unknown STP variant");
 }
 
 }  // namespace exastp

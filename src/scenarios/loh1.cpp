@@ -5,6 +5,26 @@
 
 namespace exastp {
 
+InitialCondition loh1_initial_condition(const Loh1Config& config) {
+  const Loh1Config c = config;
+  return [c](const std::array<double, 3>& x, double* q) {
+    for (int s = 0; s < ElasticPde::kVars; ++s) q[s] = 0.0;
+    const bool in_layer = x[2] < c.layer_depth;
+    q[ElasticPde::kRho] = in_layer ? c.layer_rho : c.half_rho;
+    q[ElasticPde::kCp] = in_layer ? c.layer_cp : c.half_cp;
+    q[ElasticPde::kCs] = in_layer ? c.layer_cs : c.half_cs;
+  };
+}
+
+MeshPointSource loh1_point_source(const Loh1Config& config) {
+  MeshPointSource source;
+  source.position = config.source_position;
+  source.quantity = ElasticPde::kVz;
+  source.wavelet = std::make_shared<RickerWavelet>(config.source_frequency,
+                                                   config.source_delay);
+  return source;
+}
+
 std::unique_ptr<AderDgSolver> make_loh1_solver(const Loh1Config& config,
                                                Isa isa) {
   GridSpec spec;
@@ -20,23 +40,8 @@ std::unique_ptr<AderDgSolver> make_loh1_solver(const Loh1Config& config,
   StpKernel kernel = make_stp_kernel(pde, config.variant, config.order, isa);
   auto solver = std::make_unique<AderDgSolver>(runtime, std::move(kernel),
                                                spec);
-
-  const Loh1Config c = config;
-  solver->set_initial_condition(
-      [c](const std::array<double, 3>& x, double* q) {
-        for (int s = 0; s < ElasticPde::kVars; ++s) q[s] = 0.0;
-        const bool in_layer = x[2] < c.layer_depth;
-        q[ElasticPde::kRho] = in_layer ? c.layer_rho : c.half_rho;
-        q[ElasticPde::kCp] = in_layer ? c.layer_cp : c.half_cp;
-        q[ElasticPde::kCs] = in_layer ? c.layer_cs : c.half_cs;
-      });
-
-  MeshPointSource source;
-  source.position = config.source_position;
-  source.quantity = ElasticPde::kVz;
-  source.wavelet = std::make_shared<RickerWavelet>(config.source_frequency,
-                                                   config.source_delay);
-  solver->add_point_source(source);
+  solver->set_initial_condition(loh1_initial_condition(config));
+  solver->add_point_source(loh1_point_source(config));
   return solver;
 }
 

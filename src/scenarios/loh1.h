@@ -46,6 +46,13 @@ struct Loh1Config {
   StpVariant variant = StpVariant::kAosoaSplitCk;
 };
 
+/// Nodal initial condition: zero wavefield over the two-material medium.
+/// Shared by make_loh1_solver and the "loh1" scenario registration.
+InitialCondition loh1_initial_condition(const Loh1Config& config);
+
+/// The Ricker point source below the interface.
+MeshPointSource loh1_point_source(const Loh1Config& config);
+
 /// Builds a fully configured solver (elastic PDE, materials, boundaries,
 /// point source) for the scenario.
 std::unique_ptr<AderDgSolver> make_loh1_solver(const Loh1Config& config,

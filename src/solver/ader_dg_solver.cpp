@@ -268,23 +268,4 @@ int AderDgSolver::run_until(double t_end, double cfl) {
   return steps;
 }
 
-double AderDgSolver::sample(const std::array<double, 3>& x,
-                            int quantity) const {
-  std::array<double, 3> xi{};
-  const int cell = grid_.locate(x, &xi);
-  const double* qc = cell_dofs(cell);
-  const int n = layout_.n;
-  double value = 0.0;
-  for (int k3 = 0; k3 < n; ++k3) {
-    const double p3 = lagrange_value(basis_.nodes, k3, xi[2]);
-    for (int k2 = 0; k2 < n; ++k2) {
-      const double p23 = p3 * lagrange_value(basis_.nodes, k2, xi[1]);
-      for (int k1 = 0; k1 < n; ++k1)
-        value += p23 * lagrange_value(basis_.nodes, k1, xi[0]) *
-                 qc[layout_.idx(k3, k2, k1, quantity)];
-    }
-  }
-  return value;
-}
-
 }  // namespace exastp

@@ -25,17 +25,11 @@
 #include "exastp/mesh/grid.h"
 #include "exastp/pde/pde_base.h"
 #include "exastp/pde/point_source.h"
+#include "exastp/solver/solver_base.h"
 
 namespace exastp {
 
-/// Point source attached to the mesh.
-struct MeshPointSource {
-  std::array<double, 3> position{};
-  int quantity = 0;
-  std::shared_ptr<const SourceWavelet> wavelet;
-};
-
-class AderDgSolver {
+class AderDgSolver final : public SolverBase {
  public:
   /// `pde` is the runtime view used for face terms and boundary conditions;
   /// `kernel` must have been built for the same PDE (same quantity count).
@@ -43,43 +37,40 @@ class AderDgSolver {
                const GridSpec& grid_spec,
                NodeFamily family = NodeFamily::kGaussLegendre);
 
-  const Grid& grid() const { return grid_; }
-  const AosLayout& layout() const { return layout_; }
-  const BasisTables& basis() const { return basis_; }
-  double time() const { return time_; }
-  int order() const { return basis_.n; }
+  const Grid& grid() const override { return grid_; }
+  const AosLayout& layout() const override { return layout_; }
+  const BasisTables& basis() const override { return basis_; }
+  double time() const override { return time_; }
+  int order() const override { return basis_.n; }
+  std::string stepper_name() const override { return "ader"; }
 
-  /// init(x, q_node) fills all m quantities at physical node position x.
-  void set_initial_condition(
-      const std::function<void(const std::array<double, 3>&, double*)>& init);
+  void set_initial_condition(const InitialCondition& init) override;
 
-  void add_point_source(const MeshPointSource& source);
+  void add_point_source(const MeshPointSource& source) override;
+  bool supports_point_sources() const override { return true; }
 
   /// CFL-limited stable time step from the current solution.
-  double stable_dt(double cfl = 0.4) const;
+  double stable_dt(double cfl = 0.4) const override;
 
   /// Advances by one step of size dt. Throws std::runtime_error if the
   /// solution leaves the finite range (blow-up detection).
-  void step(double dt);
+  void step(double dt) override;
 
   /// Runs until t_end (last step shortened to land exactly), returns the
   /// number of steps taken.
-  int run_until(double t_end, double cfl = 0.4);
+  int run_until(double t_end, double cfl = 0.4) override;
 
   /// Read-only view of a cell's padded AoS DOFs.
-  const double* cell_dofs(int cell) const {
+  const double* cell_dofs(int cell) const override {
     return q_.data() + static_cast<std::size_t>(cell) * cell_size_;
   }
   double* mutable_cell_dofs(int cell) {
     return q_.data() + static_cast<std::size_t>(cell) * cell_size_;
   }
 
-  /// Samples quantity s at the physical point x by evaluating the nodal
-  /// expansion of the containing cell (receiver extraction for seismograms).
-  double sample(const std::array<double, 3>& x, int quantity) const;
-
   /// Physical position of a quadrature node of a cell.
-  std::array<double, 3> node_position(int cell, int k1, int k2, int k3) const;
+  std::array<double, 3> node_position(int cell, int k1, int k2,
+                                      int k3) const override;
 
  private:
   void apply_corrector(double dt);

@@ -9,13 +9,9 @@
 #include <cmath>
 #include <functional>
 
-#include "exastp/solver/ader_dg_solver.h"
+#include "exastp/solver/solver_base.h"
 
 namespace exastp {
-
-/// exact(x, t) -> value of `quantity` at physical position x and time t.
-using ExactSolution =
-    std::function<double(const std::array<double, 3>&, double)>;
 
 /// L2 norm of (q_h - exact) for one quantity over the whole mesh.
 template <class Solver>

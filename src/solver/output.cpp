@@ -6,7 +6,7 @@
 
 namespace exastp {
 
-void write_csv(const AderDgSolver& solver, const std::string& path) {
+void write_csv(const SolverBase& solver, const std::string& path) {
   std::ofstream out(path);
   EXASTP_CHECK_MSG(out.good(), "cannot open " + path);
   const auto& layout = solver.layout();
@@ -28,7 +28,7 @@ void write_csv(const AderDgSolver& solver, const std::string& path) {
   }
 }
 
-void write_vtk_cell_averages(const AderDgSolver& solver,
+void write_vtk_cell_averages(const SolverBase& solver,
                              const std::vector<int>& quantities,
                              const std::vector<std::string>& names,
                              const std::string& path) {
@@ -66,7 +66,7 @@ void write_vtk_cell_averages(const AderDgSolver& solver,
   }
 }
 
-void SeismogramRecorder::record(const AderDgSolver& solver) {
+void SeismogramRecorder::record(const SolverBase& solver) {
   times_.push_back(solver.time());
   std::vector<double> row;
   row.reserve(quantities_.size());

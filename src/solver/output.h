@@ -5,17 +5,17 @@
 #include <string>
 #include <vector>
 
-#include "exastp/solver/ader_dg_solver.h"
+#include "exastp/solver/solver_base.h"
 
 namespace exastp {
 
 /// Writes every quadrature node as one CSV row:
 /// x,y,z,q0,...,q{m-1}. Intended for small meshes / debugging.
-void write_csv(const AderDgSolver& solver, const std::string& path);
+void write_csv(const SolverBase& solver, const std::string& path);
 
 /// Writes cell averages of the listed quantities as a legacy-VTK
 /// STRUCTURED_POINTS file readable by ParaView.
-void write_vtk_cell_averages(const AderDgSolver& solver,
+void write_vtk_cell_averages(const SolverBase& solver,
                              const std::vector<int>& quantities,
                              const std::vector<std::string>& names,
                              const std::string& path);
@@ -27,7 +27,7 @@ class SeismogramRecorder {
                      std::vector<int> quantities)
       : position_(position), quantities_(std::move(quantities)) {}
 
-  void record(const AderDgSolver& solver);
+  void record(const SolverBase& solver);
   void write_csv(const std::string& path,
                  const std::vector<std::string>& names) const;
   std::size_t num_samples() const { return times_.size(); }

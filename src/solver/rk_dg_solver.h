@@ -16,37 +16,39 @@
 #include "exastp/kernels/face.h"
 #include "exastp/mesh/grid.h"
 #include "exastp/pde/pde_base.h"
+#include "exastp/solver/solver_base.h"
 
 namespace exastp {
 
-class RkDgSolver {
+class RkDgSolver final : public SolverBase {
  public:
   RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order, Isa isa,
              const GridSpec& grid_spec,
              NodeFamily family = NodeFamily::kGaussLegendre);
 
-  const Grid& grid() const { return grid_; }
-  const AosLayout& layout() const { return layout_; }
-  const BasisTables& basis() const { return basis_; }
-  double time() const { return time_; }
-  int order() const { return basis_.n; }
+  const Grid& grid() const override { return grid_; }
+  const AosLayout& layout() const override { return layout_; }
+  const BasisTables& basis() const override { return basis_; }
+  double time() const override { return time_; }
+  int order() const override { return basis_.n; }
+  std::string stepper_name() const override { return "rk4"; }
 
-  void set_initial_condition(
-      const std::function<void(const std::array<double, 3>&, double*)>& init);
+  void set_initial_condition(const InitialCondition& init) override;
 
   /// CFL-limited stable step (same bound as the ADER solver for an
   /// apples-to-apples time-to-solution comparison).
-  double stable_dt(double cfl = 0.4) const;
+  double stable_dt(double cfl = 0.4) const override;
 
   /// One classical RK4 step: four evaluations of the semi-discrete DG
   /// operator.
-  void step(double dt);
-  int run_until(double t_end, double cfl = 0.4);
+  void step(double dt) override;
+  int run_until(double t_end, double cfl = 0.4) override;
 
-  const double* cell_dofs(int cell) const {
+  const double* cell_dofs(int cell) const override {
     return q_.data() + static_cast<std::size_t>(cell) * cell_size_;
   }
-  std::array<double, 3> node_position(int cell, int k1, int k2, int k3) const;
+  std::array<double, 3> node_position(int cell, int k1, int k2,
+                                      int k3) const override;
 
   /// Number of semi-discrete operator evaluations so far (4 per step).
   long operator_evaluations() const { return operator_evals_; }

@@ -1,0 +1,33 @@
+#include "exastp/solver/solver_base.h"
+
+#include "exastp/basis/lagrange.h"
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+void SolverBase::add_point_source(const MeshPointSource& /*source*/) {
+  EXASTP_FAIL("this stepper (" + stepper_name() +
+              ") does not support point sources");
+}
+
+double SolverBase::sample(const std::array<double, 3>& x, int quantity) const {
+  std::array<double, 3> xi{};
+  const int cell = grid().locate(x, &xi);
+  const double* qc = cell_dofs(cell);
+  const AosLayout& aos = layout();
+  const BasisTables& tables = basis();
+  const int n = aos.n;
+  double value = 0.0;
+  for (int k3 = 0; k3 < n; ++k3) {
+    const double p3 = lagrange_value(tables.nodes, k3, xi[2]);
+    for (int k2 = 0; k2 < n; ++k2) {
+      const double p23 = p3 * lagrange_value(tables.nodes, k2, xi[1]);
+      for (int k1 = 0; k1 < n; ++k1)
+        value += p23 * lagrange_value(tables.nodes, k1, xi[0]) *
+                 qc[aos.idx(k3, k2, k1, quantity)];
+    }
+  }
+  return value;
+}
+
+}  // namespace exastp

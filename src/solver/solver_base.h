@@ -1,0 +1,78 @@
+// Type-erased time-stepper interface.
+//
+// The engine offers two steppers over the same spatial discretization: the
+// ADER-DG predictor-corrector (the paper's scheme) and the RK4-DG baseline
+// it is measured against. SolverBase is the contract drivers, norms, energy
+// functionals and output writers program against, so every scenario runs on
+// either stepper — and the Simulation façade (src/engine/) can pick one from
+// a runtime config string.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "exastp/basis/basis_tables.h"
+#include "exastp/mesh/grid.h"
+#include "exastp/pde/point_source.h"
+#include "exastp/tensor/layout.h"
+
+namespace exastp {
+
+/// init(x, q_node) fills all m quantities at physical node position x.
+using InitialCondition =
+    std::function<void(const std::array<double, 3>&, double*)>;
+
+/// exact(x, t) -> value of one quantity at physical position x and time t.
+using ExactSolution =
+    std::function<double(const std::array<double, 3>&, double)>;
+
+/// Point source attached to the mesh.
+struct MeshPointSource {
+  std::array<double, 3> position{};
+  int quantity = 0;
+  std::shared_ptr<const SourceWavelet> wavelet;
+};
+
+class SolverBase {
+ public:
+  virtual ~SolverBase() = default;
+
+  virtual const Grid& grid() const = 0;
+  /// Engine-facing AoS layout of the DOF storage (padded for the optimized
+  /// kernel variants).
+  virtual const AosLayout& layout() const = 0;
+  virtual const BasisTables& basis() const = 0;
+  virtual double time() const = 0;
+  virtual int order() const = 0;
+  /// Short stepper tag for reports/configs: "ader" or "rk4".
+  virtual std::string stepper_name() const = 0;
+
+  virtual void set_initial_condition(const InitialCondition& init) = 0;
+
+  /// Steppers without point-source support throw std::invalid_argument.
+  virtual void add_point_source(const MeshPointSource& source);
+  virtual bool supports_point_sources() const { return false; }
+
+  /// CFL-limited stable time step from the current solution.
+  virtual double stable_dt(double cfl = 0.4) const = 0;
+  /// Advances by one step of size dt. Throws std::runtime_error if the
+  /// solution leaves the finite range (blow-up detection).
+  virtual void step(double dt) = 0;
+  /// Runs until t_end (last step shortened to land exactly), returns the
+  /// number of steps taken.
+  virtual int run_until(double t_end, double cfl = 0.4) = 0;
+
+  /// Read-only view of a cell's padded AoS DOFs.
+  virtual const double* cell_dofs(int cell) const = 0;
+  /// Physical position of a quadrature node of a cell.
+  virtual std::array<double, 3> node_position(int cell, int k1, int k2,
+                                              int k3) const = 0;
+
+  /// Samples quantity s at the physical point x by evaluating the nodal
+  /// expansion of the containing cell (receiver extraction for seismograms).
+  /// Implemented once here on top of the virtual accessors.
+  double sample(const std::array<double, 3>& x, int quantity) const;
+};
+
+}  // namespace exastp

@@ -11,6 +11,7 @@
 #include "exastp/pde/curvilinear_elastic.h"
 #include "exastp/pde/elastic.h"
 #include "exastp/scenarios/planewave.h"
+#include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/energy.h"
 #include "exastp/solver/norms.h"
 

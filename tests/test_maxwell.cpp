@@ -8,6 +8,7 @@
 
 #include "exastp/kernels/registry.h"
 #include "exastp/pde/maxwell.h"
+#include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/energy.h"
 #include "exastp/solver/norms.h"
 

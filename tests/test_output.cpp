@@ -7,6 +7,7 @@
 
 #include "exastp/kernels/registry.h"
 #include "exastp/pde/advection.h"
+#include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/output.h"
 
 namespace exastp {

@@ -11,6 +11,7 @@
 #include "exastp/pde/acoustic.h"
 #include "exastp/pde/advection.h"
 #include "exastp/scenarios/planewave.h"
+#include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/norms.h"
 #include "exastp/solver/rk_dg_solver.h"
 

@@ -10,6 +10,7 @@
 #include "exastp/pde/acoustic.h"
 #include "exastp/pde/advection.h"
 #include "exastp/pde/elastic.h"
+#include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/norms.h"
 #include "exastp/solver/output.h"
 
