@@ -1,0 +1,74 @@
+// Thread-scaling bench: the planewave workload stepped with 1..N threads.
+//
+// Measures wall clock per ADER-DG step (predictor + corrector, the paper's
+// hot path) through the Simulation façade — exactly what `threads=N` gives
+// an exastp_run user — and prints steps/s plus the speedup over serial.
+// The per-cell work is embarrassingly parallel, so the expectation on a
+// dedicated machine is near-linear scaling until memory bandwidth or core
+// count saturates (CI's bench-smoke job archives this output per commit).
+//
+//   bench/bench_threads [max_threads] [order] [cells_per_dim]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exastp/common/parallel.h"
+#include "exastp/engine/simulation.h"
+
+using namespace exastp;
+
+namespace {
+
+Simulation make_sim(int threads, int order, int cells) {
+  return Simulation::from_args(
+      {"scenario=planewave", "stepper=ader", "variant=aosoa_splitck",
+       "order=" + std::to_string(order),
+       "cells=" + std::to_string(cells),
+       "threads=" + std::to_string(threads)});
+}
+
+/// Seconds for `steps` fixed-dt steps (one untimed warm-up step first).
+double time_steps(Simulation& sim, int steps) {
+  const double dt = sim.solver().stable_dt();
+  sim.solver().step(dt);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s) sim.solver().step(dt);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_threads = argc > 1 ? std::atoi(argv[1]) : hardware_threads();
+  const int order = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int cells = argc > 3 ? std::atoi(argv[3]) : 6;
+
+  // Calibrate the step count so the serial run takes ~1 s.
+  Simulation probe = make_sim(1, order, cells);
+  const double probe_seconds = time_steps(probe, 2) / 2.0;
+  const int steps =
+      std::max(4, static_cast<int>(1.0 / std::max(probe_seconds, 1e-6)));
+
+  std::printf("# thread scaling — %s\n", probe.summary().c_str());
+  std::printf("# hardware threads: %d, timed steps: %d\n",
+              hardware_threads(), steps);
+  std::printf("%8s %12s %10s %9s\n", "threads", "seconds", "steps/s",
+              "speedup");
+
+  double serial_seconds = 0.0;
+  std::vector<int> counts;
+  for (int t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+
+  for (int threads : counts) {
+    Simulation sim = make_sim(threads, order, cells);
+    const double seconds = time_steps(sim, steps);
+    if (threads == 1) serial_seconds = seconds;
+    std::printf("%8d %12.4f %10.2f %8.2fx\n", threads, seconds,
+                steps / seconds, serial_seconds / seconds);
+  }
+  return 0;
+}

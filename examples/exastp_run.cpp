@@ -1,8 +1,8 @@
 // Config-driven runner: any registered PDE x scenario x kernel variant x
 // ISA x order from one binary, no recompilation.
 //
-//   build/examples/exastp_run pde=acoustic scenario=planewave \
-//       variant=aosoa_splitck order=5 cells=3x3x3 t_end=0.25
+//   build/examples/exastp_run pde=acoustic scenario=planewave
+//       variant=aosoa_splitck order=5 cells=3x3x3 t_end=0.25   (one line)
 //
 // Run without arguments (or with "help") for the key reference and the
 // registered PDE/scenario names.

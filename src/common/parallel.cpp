@@ -1,0 +1,168 @@
+#include "exastp/common/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#ifdef EXASTP_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_threads(int requested) {
+  return requested < 1 ? hardware_threads() : requested;
+}
+
+namespace detail {
+
+/// Persistent worker team. One job at a time: run() publishes a job under
+/// the mutex, workers execute their fixed tid and report back, run()
+/// returns when all workers finished. Plain mutex/condition_variable
+/// signalling throughout so ThreadSanitizer sees every edge.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    workers_.reserve(workers);
+    for (int tid = 0; tid < workers; ++tid)
+      workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(tid) on every worker (tid in [1, workers]) while the caller
+  /// runs fn(0); returns after all of them completed.
+  void run(const std::function<void(int)>& fn) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ = &fn;
+      remaining_ = workers();
+      ++epoch_;
+    }
+    start_cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(int tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        job = job_;
+      }
+      (*job)(tid + 1);  // tid 0 is the caller
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_, done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace detail
+
+ParallelFor::ParallelFor(int threads) : threads_(resolve_threads(threads)) {
+#ifndef EXASTP_HAVE_OPENMP
+  if (threads_ > 1)
+    pool_ = std::make_shared<detail::ThreadPool>(threads_ - 1);
+#endif
+}
+
+namespace {
+
+/// Chunk [begin, end) of tid's share of [0, n): ceil(n / threads) rounded
+/// up to the granularity, clamped to n. Depends only on the arguments.
+void chunk_bounds(long n, long granularity, int threads, int tid,
+                  long* begin, long* end) {
+  const long per =
+      (n + threads - 1) / threads;
+  const long step = (per + granularity - 1) / granularity * granularity;
+  *begin = std::min<long>(n, static_cast<long>(tid) * step);
+  *end = std::min<long>(n, *begin + step);
+}
+
+}  // namespace
+
+void ParallelFor::run(long n, long granularity,
+                      const std::function<void(int, long, long)>& fn) const {
+  EXASTP_CHECK(n >= 0 && granularity >= 1);
+  if (n == 0) return;
+  if (threads_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  const int nt = threads_;
+  std::vector<std::exception_ptr> errors(nt);
+  auto body = [&](int tid) {
+    long begin = 0, end = 0;
+    chunk_bounds(n, granularity, nt, tid, &begin, &end);
+    if (begin >= end) return;
+    try {
+      fn(tid, begin, end);
+    } catch (...) {
+      errors[tid] = std::current_exception();
+    }
+  };
+
+#ifdef EXASTP_HAVE_OPENMP
+#pragma omp parallel for num_threads(nt) schedule(static)
+  for (int tid = 0; tid < nt; ++tid) body(tid);
+#else
+  pool_->run(body);
+#endif
+
+  // First failing chunk wins, matching the serial first-throw behaviour.
+  for (int tid = 0; tid < nt; ++tid)
+    if (errors[tid]) std::rethrow_exception(errors[tid]);
+}
+
+void ParallelFor::for_each(long n,
+                           const std::function<void(int, long)>& fn) const {
+  run(n, 1, [&fn](int tid, long begin, long end) {
+    for (long i = begin; i < end; ++i) fn(tid, i);
+  });
+}
+
+std::vector<double> ordered_partials(const ParallelFor& par, long n,
+                                     const std::function<double(long)>& fn) {
+  std::vector<double> partials(static_cast<std::size_t>(n), 0.0);
+  par.for_each(n, [&](int /*tid*/, long i) {
+    partials[static_cast<std::size_t>(i)] = fn(i);
+  });
+  return partials;
+}
+
+}  // namespace exastp

@@ -53,6 +53,7 @@ Simulation Simulation::from_config(SimulationConfig config) {
     EXASTP_FAIL("unknown stepper \"" + config.stepper + "\" (ader|rk4)");
   }
 
+  solver->set_num_threads(config.threads);
   solver->set_initial_condition(scenario->initial_condition(pde, config));
   for (const MeshPointSource& source : scenario->sources(config))
     solver->add_point_source(source);
@@ -75,7 +76,9 @@ int Simulation::run() {
     std::vector<std::string> names;
     for (int s = 0; s < nq; ++s) {
       quantities.push_back(s);
-      names.push_back("q" + std::to_string(s));
+      std::string name = "q";
+      name += std::to_string(s);
+      names.push_back(std::move(name));
     }
     write_vtk_cell_averages(*solver_, quantities, names, config_.output.vtk);
   }
@@ -100,7 +103,8 @@ std::string Simulation::summary() const {
      << " scenario=" << scenario_->name()
      << " stepper=" << solver_->stepper_name()
      << " variant=" << variant_name(config_.variant)
-     << " isa=" << isa_name(isa_) << " order=" << config_.order << " cells="
+     << " isa=" << isa_name(isa_) << " order=" << config_.order
+     << " threads=" << solver_->num_threads() << " cells="
      << cells[0] << "x" << cells[1] << "x" << cells[2]
      << " t_end=" << config_.t_end;
   return os.str();

@@ -120,6 +120,8 @@ void apply_pair(SimulationConfig& config, const std::string& key,
     config.order = parse_int(key, value);
   } else if (key == "family") {
     config.family = parse_family(value);
+  } else if (key == "threads") {
+    config.threads = value == "auto" ? 0 : parse_int(key, value);
   } else if (key == "cells") {
     config.grid.cells = parse_cells(value);
   } else if (key == "extent") {
@@ -175,6 +177,8 @@ std::string simulation_usage() {
       "  isa=NAME        auto | scalar | avx2 | avx512 (default auto)\n"
       "  order=N         nodes per dimension (default 4)\n"
       "  family=NAME     gl | lobatto quadrature nodes (default gl)\n"
+      "  threads=N       stepper threads; auto (default) = hardware"
+      " concurrency\n"
       "  cells=AxBxC     mesh cells per dimension (or one int for a cube)\n"
       "  extent=X,Y,Z    domain size (or one number for a cube)\n"
       "  origin=X,Y,Z    domain lower corner\n"

@@ -31,6 +31,10 @@ struct SimulationConfig {
   std::string isa = "auto";
   int order = 4;
   NodeFamily family = NodeFamily::kGaussLegendre;
+  /// Thread count of the stepper hot loops; 0 (or any value < 1) means
+  /// "auto" = hardware concurrency. Results are bitwise-identical for
+  /// every thread count (see README "Threading").
+  int threads = 0;
 
   GridSpec grid;
   double t_end = 0.5;

@@ -20,6 +20,7 @@
 #include "exastp/basis/basis_tables.h"
 #include "exastp/common/check.h"
 #include "exastp/kernels/stp_common.h"
+#include "exastp/mesh/grid.h"
 #include "exastp/pde/pde_base.h"
 #include "exastp/perf/flop_count.h"
 
@@ -72,6 +73,47 @@ inline void project_to_face(const AosLayout& aos, const BasisTables& basis,
     }
   FlopCounter::instance().add(WidthClass::k128,
                               2ull * n * n * n * mp);
+}
+
+/// Face scratch of one worker thread: both sides' projected states, their
+/// normal fluxes, and the Rusanov flux. Resize once per face layout.
+struct FaceWorkspace {
+  AlignedVector face_l, face_r, flux_l, flux_r, fstar;
+  std::vector<double> ghost_node;
+
+  void resize(const FaceLayout& fl) {
+    face_l.assign(fl.size(), 0.0);
+    face_r.assign(fl.size(), 0.0);
+    flux_l.assign(fl.size(), 0.0);
+    flux_r.assign(fl.size(), 0.0);
+    fstar.assign(fl.size(), 0.0);
+    ghost_node.resize(static_cast<std::size_t>(fl.m));
+  }
+};
+
+/// Ghost face state from a boundary condition, node by node: kWall mirrors
+/// the inner state through the PDE, every other kind is absorbing outflow —
+/// zero wave state with copied parameter rows, so the Rusanov flux swallows
+/// the outgoing characteristics (a plain copy-ghost would be the unstable
+/// extrapolation BC). `vars` counts the evolved quantities; `node_tmp` is
+/// caller scratch of fl.m doubles.
+inline void ghost_face_state(const PdeRuntime& pde, const FaceLayout& fl,
+                             int vars, BoundaryKind kind, int dir,
+                             const double* inner_face, double* ghost_face,
+                             double* node_tmp) {
+  const int nn = fl.n * fl.n;
+  for (int k = 0; k < nn; ++k) {
+    const double* inner = inner_face + static_cast<std::size_t>(k) * fl.m_pad;
+    double* ghost = ghost_face + static_cast<std::size_t>(k) * fl.m_pad;
+    if (kind == BoundaryKind::kWall) {
+      pde.wall_reflect(inner, dir, node_tmp);
+      std::memcpy(ghost, node_tmp, fl.m * sizeof(double));
+    } else {
+      for (int s = 0; s < vars; ++s) ghost[s] = 0.0;
+      for (int s = vars; s < fl.m; ++s) ghost[s] = inner[s];
+    }
+    for (int s = fl.m; s < fl.m_pad; ++s) ghost[s] = 0.0;
+  }
 }
 
 /// Normal "flux" of the linear PDE at a face state: F_dir(q) + B_dir(q) q.
@@ -154,6 +196,53 @@ inline void apply_face_correction(const AosLayout& aos,
       }
     }
   FlopCounter::instance().add(WidthClass::k128, 3ull * n * n * n * mp);
+}
+
+/// The per-cell-side surface update shared by both steppers: assembles the
+/// Riemann problem of the face on `side` of cell `c` and applies the lift
+/// to `out` (the cell's own qnew/rhs slice). `cell_state(cell)` returns a
+/// cell's state tensor; `vars` counts the evolved quantities.
+///
+/// The problem is always assembled as (left = lower-side cell, right =
+/// upper-side cell), so both adjacent cells compute bitwise-identical
+/// fstar from identical inputs — the invariant that makes the cell-parallel
+/// sweeps race-free and thread-count-independent with no face ownership or
+/// coloring. Boundary faces build a ghost state instead of the neighbour.
+template <class CellState>
+inline void apply_own_face(const PdeRuntime& pde, const Grid& grid,
+                           const AosLayout& aos, const BasisTables& basis,
+                           int vars, int c, int dir, int side, double scale,
+                           const CellState& cell_state, FaceWorkspace& ws,
+                           double* out) {
+  const FaceLayout fl(aos);
+  const NeighborRef nb = grid.neighbor(c, dir, side);
+  const double* qc = cell_state(c);
+  if (side == 1) {
+    project_to_face(aos, basis, qc, dir, 1, ws.face_l.data());
+    if (!nb.boundary) {
+      project_to_face(aos, basis, cell_state(nb.cell), dir, 0,
+                      ws.face_r.data());
+    } else {
+      ghost_face_state(pde, fl, vars, nb.kind, dir, ws.face_l.data(),
+                       ws.face_r.data(), ws.ghost_node.data());
+    }
+  } else {
+    project_to_face(aos, basis, qc, dir, 0, ws.face_r.data());
+    if (!nb.boundary) {
+      project_to_face(aos, basis, cell_state(nb.cell), dir, 1,
+                      ws.face_l.data());
+    } else {
+      ghost_face_state(pde, fl, vars, nb.kind, dir, ws.face_r.data(),
+                       ws.face_l.data(), ws.ghost_node.data());
+    }
+  }
+  face_normal_flux(pde, fl, ws.face_l.data(), dir, ws.flux_l.data());
+  face_normal_flux(pde, fl, ws.face_r.data(), dir, ws.flux_r.data());
+  rusanov_flux(pde, fl, ws.face_l.data(), ws.face_r.data(),
+               ws.flux_l.data(), ws.flux_r.data(), dir, ws.fstar.data());
+  apply_face_correction(aos, basis, dir, side, scale, ws.fstar.data(),
+                        side == 1 ? ws.flux_l.data() : ws.flux_r.data(),
+                        out);
 }
 
 }  // namespace exastp

@@ -4,6 +4,14 @@
 
 namespace exastp {
 
+StpKernel StpKernel::fork() const {
+  EXASTP_CHECK_MSG(fork_ != nullptr,
+                   "kernel has no fork factory (hand-built StpKernel?); "
+                   "construct it through make_stp_kernel to run it "
+                   "multi-threaded");
+  return fork_();
+}
+
 StpVariant parse_variant(const std::string& name) {
   if (name == "generic") return StpVariant::kGeneric;
   if (name == "log") return StpVariant::kLog;

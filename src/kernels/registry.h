@@ -32,9 +32,12 @@ inline constexpr StpVariant kAllVariants[] = {
     StpVariant::kGeneric, StpVariant::kLog, StpVariant::kSplitCk,
     StpVariant::kAosoaSplitCk, StpVariant::kSoaUfSplitCk};
 
+namespace detail {
+
+/// Builds the kernel without a fork factory; make_stp_kernel adds it.
 template <class Pde>
-StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
-                          NodeFamily family = NodeFamily::kGaussLegendre) {
+StpKernel make_stp_kernel_impl(Pde pde, StpVariant variant, int order,
+                               Isa isa, NodeFamily family) {
   switch (variant) {
     case StpVariant::kGeneric: {
       // The generic kernel is runtime-dimensioned and calls the PDE through
@@ -89,6 +92,21 @@ StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
     }
   }
   EXASTP_FAIL("unknown STP variant");
+}
+
+}  // namespace detail
+
+template <class Pde>
+StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
+                          NodeFamily family = NodeFamily::kGaussLegendre) {
+  StpKernel kernel =
+      detail::make_stp_kernel_impl(pde, variant, order, isa, family);
+  // The fork factory re-runs this very function, so clones can fork again
+  // (each carries its own workspace; the Pde value is copied per clone).
+  kernel.set_fork([pde = std::move(pde), variant, order, isa, family] {
+    return make_stp_kernel(pde, variant, order, isa, family);
+  });
+  return kernel;
 }
 
 }  // namespace exastp

@@ -93,7 +93,6 @@ class SoaUfStp {
  private:
   void apply_volume_dimension(int d, double inv_h, const double* src,
                               double* dst) {
-    const int mp = aos_.m_pad;
     const std::size_t nodes = static_cast<std::size_t>(n_) * n_ * n_;
     const double* diff = basis_.diff.data();
 

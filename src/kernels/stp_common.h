@@ -82,13 +82,16 @@ struct StpOutputs {
 
 /// Type-erased handle to a configured kernel instance. Create through
 /// make_stp_kernel (registry.h); reuse across cells — the workspace is
-/// allocated once at construction time.
+/// allocated once at construction time. The workspace makes a kernel
+/// stateful per *invocation*, so one instance must never run on two
+/// threads at once; the parallel steppers fork() one clone per thread.
 class StpKernel {
  public:
   using RunFn = std::function<void(const double* q, double dt,
                                    const std::array<double, 3>& inv_dx,
                                    const SourceTerm* source,
                                    const StpOutputs& out)>;
+  using ForkFn = std::function<StpKernel()>;
 
   StpKernel() = default;
   StpKernel(StpVariant variant, AosLayout layout, std::size_t footprint,
@@ -112,11 +115,20 @@ class StpKernel {
 
   explicit operator bool() const { return static_cast<bool>(run_); }
 
+  /// Installed by make_stp_kernel: rebuilds an equivalent kernel with an
+  /// independent workspace (same PDE/variant/order/ISA).
+  void set_fork(ForkFn fork) { fork_ = std::move(fork); }
+  bool can_fork() const { return static_cast<bool>(fork_); }
+  /// A fresh clone safe to run on another thread. Throws when the kernel
+  /// was hand-built without a fork factory.
+  StpKernel fork() const;
+
  private:
   StpVariant variant_ = StpVariant::kGeneric;
   AosLayout layout_;
   std::size_t workspace_bytes_ = 0;
   RunFn run_;
+  ForkFn fork_;
 };
 
 }  // namespace exastp

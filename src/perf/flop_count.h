@@ -14,11 +14,16 @@
 //   k512    — AVX-512 code paths (8 doubles).
 //
 // Counts include the zero-padding work, exactly as a hardware counter would.
-// Single-threaded accounting (the benches are single-core, like the paper's
-// per-core analysis); the counter is process-global and reset per section.
+// The counter is process-global and reset per section. Worker threads of
+// the parallel steppers report concurrently: add() uses relaxed atomic
+// increments (integer adds commute, so totals stay exact and deterministic
+// for any thread count), while reset()/total() are meant for the quiescent
+// phases between parallel regions — the benches measure single-core kernel
+// runs exactly as before.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "exastp/common/simd.h"
@@ -33,7 +38,8 @@ struct FlopCounter {
   std::array<std::uint64_t, kNumWidthClasses> flops{};
 
   void add(WidthClass w, std::uint64_t count) {
-    flops[static_cast<int>(w)] += count;
+    std::atomic_ref<std::uint64_t>(flops[static_cast<int>(w)])
+        .fetch_add(count, std::memory_order_relaxed);
   }
   void reset() { flops = {}; }
   std::uint64_t total() const {

@@ -29,11 +29,33 @@ AderDgSolver::AderDgSolver(std::shared_ptr<const PdeRuntime> pde,
   q_.assign(total, 0.0);
   qnew_.assign(total, 0.0);
   qavg_.assign(total, 0.0);
-  face_l_.assign(face_layout_.size(), 0.0);
-  face_r_.assign(face_layout_.size(), 0.0);
-  flux_l_.assign(face_layout_.size(), 0.0);
-  flux_r_.assign(face_layout_.size(), 0.0);
-  fstar_.assign(face_layout_.size(), 0.0);
+  rebuild_scratch();
+}
+
+void AderDgSolver::set_num_threads(int threads) {
+  // Validate before touching par_/scratch_, so a throw leaves the solver
+  // in its previous, consistent configuration.
+  EXASTP_CHECK_MSG(resolve_threads(threads) == 1 || kernel_.can_fork(),
+                   "multi-threaded stepping needs a forkable kernel "
+                   "(built via make_stp_kernel)");
+  SolverBase::set_num_threads(threads);
+  rebuild_scratch();
+}
+
+void AderDgSolver::rebuild_scratch() {
+  scratch_.clear();
+  scratch_.reserve(static_cast<std::size_t>(num_threads()));
+  for (int tid = 0; tid < num_threads(); ++tid) {
+    ThreadScratch ts;
+    // Thread 0 is the caller and may share the primary kernel's workspace;
+    // every other thread gets an independent clone.
+    ts.kernel = tid == 0 ? kernel_ : kernel_.fork();
+    ts.favg0.assign(cell_size_, 0.0);
+    ts.favg1.assign(cell_size_, 0.0);
+    ts.favg2.assign(cell_size_, 0.0);
+    ts.faces.resize(face_layout_);
+    scratch_.push_back(std::move(ts));
+  }
 }
 
 void AderDgSolver::set_initial_condition(
@@ -55,19 +77,7 @@ void AderDgSolver::set_initial_condition(
 }
 
 void AderDgSolver::add_point_source(const MeshPointSource& source) {
-  EXASTP_CHECK_MSG(source.wavelet != nullptr, "source needs a wavelet");
-  EXASTP_CHECK_MSG(source.quantity >= 0 &&
-                       source.quantity < pde_->info().vars,
-                   "source quantity must be an evolved variable");
-  PreparedSource prepared;
-  std::array<double, 3> xi{};
-  prepared.cell = grid_.locate(source.position, &xi);
-  for (const auto& existing : sources_)
-    EXASTP_CHECK_MSG(existing.cell != prepared.cell,
-                     "only one point source per cell is supported");
-  prepared.source = source;
-  prepared.psi = project_point_source(basis_, xi, grid_.cell_volume());
-  sources_.push_back(std::move(prepared));
+  prepare_point_source(source, vars_);
 }
 
 std::array<double, 3> AderDgSolver::node_position(int cell, int k1, int k2,
@@ -80,19 +90,79 @@ std::array<double, 3> AderDgSolver::node_position(int cell, int k1, int k2,
 
 double AderDgSolver::stable_dt(double cfl) const {
   const int n = layout_.n;
-  double smax = 1e-300;
   const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
-  for (int c = 0; c < grid_.num_cells(); ++c) {
-    const double* cell = cell_dofs(c);
-    for (std::size_t k = 0; k < nodes; ++k)
-      for (int d = 0; d < 3; ++d)
-        smax = std::max(smax,
-                        pde_->max_wave_speed(cell + k * layout_.m_pad, d));
-  }
+  // Per-chunk maxima: max commutes exactly, so the result stays bitwise-
+  // independent of the thread count even though chunk bounds are not.
+  std::vector<double> partials(static_cast<std::size_t>(par_.num_threads()),
+                               0.0);
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    double chunk_max = 0.0;
+    for (long c = begin; c < end; ++c) {
+      const double* cell = cell_dofs(static_cast<int>(c));
+      for (std::size_t k = 0; k < nodes; ++k)
+        for (int d = 0; d < 3; ++d)
+          chunk_max = std::max(
+              chunk_max, pde_->max_wave_speed(cell + k * layout_.m_pad, d));
+    }
+    partials[static_cast<std::size_t>(tid)] = chunk_max;
+  });
+  double smax = 1e-300;
+  for (double s : partials) smax = std::max(smax, s);
   const double hmin =
       std::min({grid_.dx(0), grid_.dx(1), grid_.dx(2)});
   // Standard explicit-DG CFL bound ~ h / (c (2N - 1)) per dimension.
   return cfl * hmin / (smax * (2.0 * n - 1.0) * 3.0);
+}
+
+void AderDgSolver::predict_cell(
+    ThreadScratch& ts, int c, double dt,
+    const std::array<double, 3>& inv_dx,
+    const std::array<double, kMaxOrder>& integral_coeff) {
+  const double* qc = cell_dofs(c);
+  double* qavg_c = qavg_.data() + static_cast<std::size_t>(c) * cell_size_;
+  double* qnew_c = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
+
+  std::memcpy(qnew_c, qc, cell_size_ * sizeof(double));
+
+  // favg goes straight into the volume update, so three temporaries per
+  // thread suffice.
+  ts.favg0.assign(cell_size_, 0.0);
+  ts.favg1.assign(cell_size_, 0.0);
+  ts.favg2.assign(cell_size_, 0.0);
+
+  SourceTerm src;
+  const SourceTerm* src_ptr = nullptr;
+  for (const auto& prepared : sources_) {
+    if (prepared.cell != c) continue;
+    src.psi = prepared.psi.data();
+    src.quantity = prepared.source.quantity;
+    for (int o = 0; o <= layout_.n; ++o)
+      src.dt_derivatives[o] =
+          prepared.source.wavelet->derivative(time_, o);
+    src_ptr = &src;
+    break;  // one source per cell supported; add_point_source validates
+  }
+
+  StpOutputs out{qavg_c, {ts.favg0.data(), ts.favg1.data(), ts.favg2.data()}};
+  ts.kernel.run(qc, dt, inv_dx, src_ptr, out);
+
+  for (const double* f : {ts.favg0.data(), ts.favg1.data(), ts.favg2.data()})
+    for (std::size_t i = 0; i < cell_size_; ++i) qnew_c[i] += dt * f[i];
+  FlopCounter::instance().add(WidthClass::k128, 6ull * cell_size_);
+
+  if (src_ptr != nullptr) {
+    // Direct time integral of the source: qnew += psi * int s dt.
+    double integral = 0.0;
+    for (int o = 0; o < layout_.n; ++o)
+      integral += src.dt_derivatives[o] * integral_coeff[o];
+    const int n = layout_.n;
+    for (int k3 = 0; k3 < n; ++k3)
+      for (int k2 = 0; k2 < n; ++k2)
+        for (int k1 = 0; k1 < n; ++k1)
+          qnew_c[layout_.idx(k3, k2, k1, src.quantity)] +=
+              src.psi[(static_cast<std::size_t>(k3) * n + k2) * n + k1] *
+              integral;
+  }
 }
 
 void AderDgSolver::step(double dt) {
@@ -100,54 +170,14 @@ void AderDgSolver::step(double dt) {
   const auto inv_dx = grid_.inv_dx();
   const auto integral_coeff = taylor_coefficients(dt, layout_.n);
 
-  // Predictor + volume update.
-  std::memcpy(qnew_.data(), q_.data(), q_.size() * sizeof(double));
-  for (int c = 0; c < grid_.num_cells(); ++c) {
-    const double* qc = cell_dofs(c);
-    double* qavg_c = qavg_.data() + static_cast<std::size_t>(c) * cell_size_;
-    double* qnew_c = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
-
-    // Reuse the face scratch-free favg buffers: favg goes straight into the
-    // volume update, so three temporaries per cell suffice.
-    static thread_local AlignedVector favg0, favg1, favg2;
-    favg0.assign(cell_size_, 0.0);
-    favg1.assign(cell_size_, 0.0);
-    favg2.assign(cell_size_, 0.0);
-
-    SourceTerm src;
-    const SourceTerm* src_ptr = nullptr;
-    for (const auto& prepared : sources_) {
-      if (prepared.cell != c) continue;
-      src.psi = prepared.psi.data();
-      src.quantity = prepared.source.quantity;
-      for (int o = 0; o <= layout_.n; ++o)
-        src.dt_derivatives[o] =
-            prepared.source.wavelet->derivative(time_, o);
-      src_ptr = &src;
-      break;  // one source per cell supported; add_point_source validates
-    }
-
-    StpOutputs out{qavg_c, {favg0.data(), favg1.data(), favg2.data()}};
-    kernel_.run(qc, dt, inv_dx, src_ptr, out);
-
-    for (const double* f : {favg0.data(), favg1.data(), favg2.data()})
-      for (std::size_t i = 0; i < cell_size_; ++i) qnew_c[i] += dt * f[i];
-    FlopCounter::instance().add(WidthClass::k128, 6ull * cell_size_);
-
-    if (src_ptr != nullptr) {
-      // Direct time integral of the source: qnew += psi * int s dt.
-      double integral = 0.0;
-      for (int o = 0; o < layout_.n; ++o)
-        integral += src.dt_derivatives[o] * integral_coeff[o];
-      const int n = layout_.n;
-      for (int k3 = 0; k3 < n; ++k3)
-        for (int k2 = 0; k2 < n; ++k2)
-          for (int k1 = 0; k1 < n; ++k1)
-            qnew_c[layout_.idx(k3, k2, k1, src.quantity)] +=
-                src.psi[(static_cast<std::size_t>(k3) * n + k2) * n + k1] *
-                integral;
-    }
-  }
+  // Predictor + volume update: embarrassingly cell-parallel — qavg_c and
+  // qnew_c belong to the traversed cell, each thread runs its own kernel
+  // clone and favg scratch.
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+    for (long c = begin; c < end; ++c)
+      predict_cell(ts, static_cast<int>(c), dt, inv_dx, integral_coeff);
+  });
 
   apply_corrector(dt);
 
@@ -156,101 +186,46 @@ void AderDgSolver::step(double dt) {
   check_finite();
 }
 
-void AderDgSolver::apply_corrector(double dt) {
-  const int n = layout_.n;
+void AderDgSolver::correct_cell(ThreadScratch& ts, int c, double dt) {
   const auto inv_dx = grid_.inv_dx();
-  std::vector<double> ghost_node(layout_.m);
+  const auto qavg_of = [this](int cell) -> const double* {
+    return qavg_.data() + static_cast<std::size_t>(cell) * cell_size_;
+  };
+  double* qnew_c = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
+  for (int dir = 0; dir < 3; ++dir)
+    for (int side = 0; side < 2; ++side)
+      apply_own_face(*pde_, grid_, layout_, basis_, vars_, c, dir, side,
+                     dt * inv_dx[dir], qavg_of, ts.faces, qnew_c);
+}
 
-  // Sweep the three face directions; each interior face is visited once
-  // (owned by the cell on its lower side).
-  for (int dir = 0; dir < 3; ++dir) {
-    const double scale = dt * inv_dx[dir];
-    for (int c = 0; c < grid_.num_cells(); ++c) {
-      // Face between cell c (upper side) and its +dir neighbour.
-      const NeighborRef nb = grid_.neighbor(c, dir, 1);
-      const double* qavg_l =
-          qavg_.data() + static_cast<std::size_t>(c) * cell_size_;
-      project_to_face(layout_, basis_, qavg_l, dir, 1, face_l_.data());
-
-      if (!nb.boundary) {
-        const double* qavg_r =
-            qavg_.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
-        project_to_face(layout_, basis_, qavg_r, dir, 0, face_r_.data());
-      } else {
-        // Ghost state from the boundary condition.
-        const int nn = n * n;
-        for (int k = 0; k < nn; ++k) {
-          const double* inner =
-              face_l_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
-          double* ghost =
-              face_r_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
-          if (nb.kind == BoundaryKind::kWall) {
-            pde_->wall_reflect(inner, dir, ghost_node.data());
-            std::memcpy(ghost, ghost_node.data(),
-                        layout_.m * sizeof(double));
-          } else {
-            // Absorbing outflow: zero wave state with copied parameters.
-            // The Rusanov flux then swallows the outgoing characteristics
-            // (a plain copy-ghost is the unstable extrapolation BC).
-            for (int s = 0; s < vars_; ++s) ghost[s] = 0.0;
-            for (int s = vars_; s < layout_.m; ++s) ghost[s] = inner[s];
-          }
-          for (int s = layout_.m; s < layout_.m_pad; ++s) ghost[s] = 0.0;
-        }
-      }
-
-      face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
-                       flux_l_.data());
-      face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
-                       flux_r_.data());
-      rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
-                   flux_l_.data(), flux_r_.data(), dir, fstar_.data());
-
-      double* qnew_l = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
-      apply_face_correction(layout_, basis_, dir, 1, scale, fstar_.data(),
-                            flux_l_.data(), qnew_l);
-      if (!nb.boundary) {
-        double* qnew_r =
-            qnew_.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
-        apply_face_correction(layout_, basis_, dir, 0, scale, fstar_.data(),
-                              flux_r_.data(), qnew_r);
-      }
-      // At a lower-side physical boundary, handle the face owned by nobody.
-      const NeighborRef lower = grid_.neighbor(c, dir, 0);
-      if (lower.boundary) {
-        project_to_face(layout_, basis_, qavg_l, dir, 0, face_r_.data());
-        const int nn = n * n;
-        for (int k = 0; k < nn; ++k) {
-          const double* inner =
-              face_r_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
-          double* ghost =
-              face_l_.data() + static_cast<std::size_t>(k) * layout_.m_pad;
-          if (lower.kind == BoundaryKind::kWall) {
-            pde_->wall_reflect(inner, dir, ghost_node.data());
-            std::memcpy(ghost, ghost_node.data(),
-                        layout_.m * sizeof(double));
-          } else {
-            for (int s = 0; s < vars_; ++s) ghost[s] = 0.0;
-            for (int s = vars_; s < layout_.m; ++s) ghost[s] = inner[s];
-          }
-          for (int s = layout_.m; s < layout_.m_pad; ++s) ghost[s] = 0.0;
-        }
-        face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
-                         flux_r_.data());
-        face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
-                         flux_l_.data());
-        rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
-                     flux_l_.data(), flux_r_.data(), dir, fstar_.data());
-        apply_face_correction(layout_, basis_, dir, 0, scale, fstar_.data(),
-                              flux_r_.data(), qnew_l);
-      }
-    }
-  }
+void AderDgSolver::apply_corrector(double dt) {
+  // Cell-parallel surface sweep: each cell applies the lift from its own
+  // six faces to itself only (interior Riemann solves are recomputed once
+  // per side — identical bits, no write races).
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+    for (long c = begin; c < end; ++c)
+      correct_cell(ts, static_cast<int>(c), dt);
+  });
 }
 
 void AderDgSolver::check_finite() const {
-  for (double v : q_) {
-    if (!std::isfinite(v))
+  // Per-chunk verdicts with early exit; "any non-finite" commutes, so the
+  // outcome is thread-count-independent.
+  std::vector<char> bad(static_cast<std::size_t>(par_.num_threads()), 0);
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    for (long c = begin; c < end; ++c) {
+      const double* cell = cell_dofs(static_cast<int>(c));
+      for (std::size_t i = 0; i < cell_size_; ++i) {
+        if (!std::isfinite(cell[i])) {
+          bad[static_cast<std::size_t>(tid)] = 1;
+          return;
+        }
+      }
+    }
+  });
+  for (char b : bad) {
+    if (b != 0)
       throw std::runtime_error(
           "AderDgSolver: solution became non-finite (CFL violation or "
           "unstable setup)");

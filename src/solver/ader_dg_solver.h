@@ -4,11 +4,18 @@
 //   1. per cell: STP kernel -> time-averaged state qavg and volume
 //      fluctuations favg[d]; volume update qnew = q + dt sum_d favg[d]
 //      (+ the direct time-integral of any point source);
-//   2. per face: project both sides' qavg to the face, solve the Rusanov
-//      Riemann problem (linear in its inputs), apply the strong-form
-//      surface lift to both adjacent cells; boundary faces build a ghost
-//      state from the boundary condition;
+//   2. per cell: for each of its six faces, project both sides' qavg,
+//      solve the Rusanov Riemann problem (linear in its inputs) and apply
+//      the strong-form surface lift to this cell only; boundary faces
+//      build a ghost state from the boundary condition;
 //   3. swap buffers, advance time, verify the solution stayed finite.
+//
+// Both mesh traversals are cell-parallel (ParallelFor): every write
+// belongs to the traversed cell, each thread runs a forked kernel clone
+// and its own aligned face scratch. An interior face is visited from both
+// adjacent cells, which recomputes its Riemann solve once per side — the
+// same fstar bits from identical inputs — so the update needs no face
+// ownership, no coloring, and is bitwise-identical for any thread count.
 //
 // DOF storage is one contiguous aligned block in the *kernel's* AoS layout
 // (padded for the optimized variants), so the engine exercises exactly the
@@ -49,6 +56,10 @@ class AderDgSolver final : public SolverBase {
   void add_point_source(const MeshPointSource& source) override;
   bool supports_point_sources() const override { return true; }
 
+  /// Rebuilds the per-thread kernel clones and face scratch; threads > 1
+  /// requires a kernel built through make_stp_kernel (forkable).
+  void set_num_threads(int threads) override;
+
   /// CFL-limited stable time step from the current solution.
   double stable_dt(double cfl = 0.4) const override;
 
@@ -73,6 +84,19 @@ class AderDgSolver final : public SolverBase {
                                       int k3) const override;
 
  private:
+  /// Everything one worker thread mutates outside its q/qnew/qavg slices:
+  /// a kernel clone with its own workspace plus aligned face scratch.
+  struct ThreadScratch {
+    StpKernel kernel;
+    AlignedVector favg0, favg1, favg2;  // volume-update temporaries
+    FaceWorkspace faces;
+  };
+
+  void rebuild_scratch();
+  void predict_cell(ThreadScratch& ts, int c, double dt,
+                    const std::array<double, 3>& inv_dx,
+                    const std::array<double, kMaxOrder>& integral_coeff);
+  void correct_cell(ThreadScratch& ts, int c, double dt);
   void apply_corrector(double dt);
   void check_finite() const;
 
@@ -86,15 +110,7 @@ class AderDgSolver final : public SolverBase {
   int vars_ = 0;  ///< evolved quantities (parameters excluded)
 
   AlignedVector q_, qnew_, qavg_;
-  // Face scratch buffers.
-  AlignedVector face_l_, face_r_, flux_l_, flux_r_, fstar_;
-
-  struct PreparedSource {
-    int cell = -1;
-    MeshPointSource source;
-    AlignedVector psi;
-  };
-  std::vector<PreparedSource> sources_;
+  std::vector<ThreadScratch> scratch_;  ///< one slot per thread
 
   double time_ = 0.0;
 };

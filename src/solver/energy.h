@@ -12,22 +12,29 @@
 namespace exastp {
 namespace detail {
 
-/// Integral of f(node_quantities) over the mesh.
+/// Integral of f(node_quantities) over the mesh. Cell-parallel with an
+/// ordered reduction, so the result is bitwise-independent of the solver's
+/// thread count.
 template <class Solver, class NodeFn>
 double integrate_nodes(const Solver& solver, NodeFn&& f) {
   const auto& basis = solver.basis();
   const auto& layout = solver.layout();
   const int n = layout.n;
   const double vol = solver.grid().cell_volume();
+  const std::vector<double> partials = ordered_partials(
+      solver.parallel(), solver.grid().num_cells(), [&](long c) {
+        const double* qc = solver.cell_dofs(static_cast<int>(c));
+        double cell_sum = 0.0;
+        for (int k3 = 0; k3 < n; ++k3)
+          for (int k2 = 0; k2 < n; ++k2)
+            for (int k1 = 0; k1 < n; ++k1)
+              cell_sum += basis.weights[k1] * basis.weights[k2] *
+                          basis.weights[k3] * vol *
+                          f(qc + layout.idx(k3, k2, k1, 0));
+        return cell_sum;
+      });
   double sum = 0.0;
-  for (int c = 0; c < solver.grid().num_cells(); ++c) {
-    const double* qc = solver.cell_dofs(c);
-    for (int k3 = 0; k3 < n; ++k3)
-      for (int k2 = 0; k2 < n; ++k2)
-        for (int k1 = 0; k1 < n; ++k1)
-          sum += basis.weights[k1] * basis.weights[k2] * basis.weights[k3] *
-                 vol * f(qc + layout.idx(k3, k2, k1, 0));
-  }
+  for (double p : partials) sum += p;
   return sum;
 }
 

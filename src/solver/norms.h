@@ -2,13 +2,18 @@
 // rule underlying the nodal basis (exact for the ansatz space).
 //
 // Template over the solver type: any class exposing grid(), basis(),
-// layout(), time(), cell_dofs() and node_position() qualifies — both
-// AderDgSolver and the RK-DG baseline.
+// layout(), time(), cell_dofs(), node_position() and parallel() qualifies —
+// both AderDgSolver and the RK-DG baseline.
+//
+// All reductions run cell-parallel on the solver's thread team with the
+// ordered-reduction pattern (one partial per cell, combined serially in
+// cell order), so every norm is bitwise-independent of the thread count.
 #pragma once
 
 #include <cmath>
 #include <functional>
 
+#include "exastp/common/parallel.h"
 #include "exastp/solver/solver_base.h"
 
 namespace exastp {
@@ -21,20 +26,25 @@ double l2_error(const Solver& solver, int quantity,
   const auto& layout = solver.layout();
   const int n = layout.n;
   const double vol = solver.grid().cell_volume();
+  const std::vector<double> partials = ordered_partials(
+      solver.parallel(), solver.grid().num_cells(), [&](long c) {
+        const double* qc = solver.cell_dofs(static_cast<int>(c));
+        double cell_sum = 0.0;
+        for (int k3 = 0; k3 < n; ++k3)
+          for (int k2 = 0; k2 < n; ++k2)
+            for (int k1 = 0; k1 < n; ++k1) {
+              const double w = basis.weights[k1] * basis.weights[k2] *
+                               basis.weights[k3] * vol;
+              const double e =
+                  qc[layout.idx(k3, k2, k1, quantity)] -
+                  exact(solver.node_position(static_cast<int>(c), k1, k2, k3),
+                        solver.time());
+              cell_sum += w * e * e;
+            }
+        return cell_sum;
+      });
   double sum = 0.0;
-  for (int c = 0; c < solver.grid().num_cells(); ++c) {
-    const double* qc = solver.cell_dofs(c);
-    for (int k3 = 0; k3 < n; ++k3)
-      for (int k2 = 0; k2 < n; ++k2)
-        for (int k1 = 0; k1 < n; ++k1) {
-          const double w = basis.weights[k1] * basis.weights[k2] *
-                           basis.weights[k3] * vol;
-          const double e =
-              qc[layout.idx(k3, k2, k1, quantity)] -
-              exact(solver.node_position(c, k1, k2, k3), solver.time());
-          sum += w * e * e;
-        }
-  }
+  for (double p : partials) sum += p;
   return std::sqrt(sum);
 }
 
@@ -44,18 +54,23 @@ double linf_error(const Solver& solver, int quantity,
                   const ExactSolution& exact) {
   const auto& layout = solver.layout();
   const int n = layout.n;
+  const std::vector<double> partials = ordered_partials(
+      solver.parallel(), solver.grid().num_cells(), [&](long c) {
+        const double* qc = solver.cell_dofs(static_cast<int>(c));
+        double cell_worst = 0.0;
+        for (int k3 = 0; k3 < n; ++k3)
+          for (int k2 = 0; k2 < n; ++k2)
+            for (int k1 = 0; k1 < n; ++k1) {
+              const double e = std::abs(
+                  qc[layout.idx(k3, k2, k1, quantity)] -
+                  exact(solver.node_position(static_cast<int>(c), k1, k2, k3),
+                        solver.time()));
+              cell_worst = std::max(cell_worst, e);
+            }
+        return cell_worst;
+      });
   double worst = 0.0;
-  for (int c = 0; c < solver.grid().num_cells(); ++c) {
-    const double* qc = solver.cell_dofs(c);
-    for (int k3 = 0; k3 < n; ++k3)
-      for (int k2 = 0; k2 < n; ++k2)
-        for (int k1 = 0; k1 < n; ++k1) {
-          const double e = std::abs(
-              qc[layout.idx(k3, k2, k1, quantity)] -
-              exact(solver.node_position(c, k1, k2, k3), solver.time()));
-          worst = std::max(worst, e);
-        }
-  }
+  for (double p : partials) worst = std::max(worst, p);
   return worst;
 }
 
@@ -66,15 +81,20 @@ double integral(const Solver& solver, int quantity) {
   const auto& layout = solver.layout();
   const int n = layout.n;
   const double vol = solver.grid().cell_volume();
+  const std::vector<double> partials = ordered_partials(
+      solver.parallel(), solver.grid().num_cells(), [&](long c) {
+        const double* qc = solver.cell_dofs(static_cast<int>(c));
+        double cell_sum = 0.0;
+        for (int k3 = 0; k3 < n; ++k3)
+          for (int k2 = 0; k2 < n; ++k2)
+            for (int k1 = 0; k1 < n; ++k1)
+              cell_sum += basis.weights[k1] * basis.weights[k2] *
+                          basis.weights[k3] * vol *
+                          qc[layout.idx(k3, k2, k1, quantity)];
+        return cell_sum;
+      });
   double sum = 0.0;
-  for (int c = 0; c < solver.grid().num_cells(); ++c) {
-    const double* qc = solver.cell_dofs(c);
-    for (int k3 = 0; k3 < n; ++k3)
-      for (int k2 = 0; k2 < n; ++k2)
-        for (int k1 = 0; k1 < n; ++k1)
-          sum += basis.weights[k1] * basis.weights[k2] * basis.weights[k3] *
-                 vol * qc[layout.idx(k3, k2, k1, quantity)];
-  }
+  for (double p : partials) sum += p;
   return sum;
 }
 

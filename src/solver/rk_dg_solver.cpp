@@ -8,6 +8,16 @@
 #include "exastp/kernels/derivative_ops.h"
 
 namespace exastp {
+namespace {
+
+/// Chunk granularity (doubles) of the element-wise RK sweeps: one cache
+/// line / AVX-512 register, so every chunk start stays 64-byte aligned and
+/// the vector/remainder split of each element is independent of the
+/// partition — chunked sweeps are bitwise-identical to serial ones.
+constexpr long kVecGranularity =
+    static_cast<long>(kAlignment / sizeof(double));
+
+}  // namespace
 
 RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
                        Isa isa, const GridSpec& grid_spec, NodeFamily family)
@@ -25,13 +35,25 @@ RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
   stage_.assign(total, 0.0);
   rhs_.assign(total, 0.0);
   accum_.assign(total, 0.0);
-  flux_.assign(cell_size_, 0.0);
-  gradq_.assign(cell_size_, 0.0);
-  face_l_.assign(face_layout_.size(), 0.0);
-  face_r_.assign(face_layout_.size(), 0.0);
-  flux_l_.assign(face_layout_.size(), 0.0);
-  flux_r_.assign(face_layout_.size(), 0.0);
-  fstar_.assign(face_layout_.size(), 0.0);
+  rebuild_scratch();
+}
+
+void RkDgSolver::set_num_threads(int threads) {
+  SolverBase::set_num_threads(threads);
+  rebuild_scratch();
+}
+
+void RkDgSolver::rebuild_scratch() {
+  scratch_.clear();
+  scratch_.reserve(static_cast<std::size_t>(num_threads()));
+  for (int tid = 0; tid < num_threads(); ++tid) {
+    ThreadScratch ts;
+    ts.flux.assign(cell_size_, 0.0);
+    ts.gradq.assign(cell_size_, 0.0);
+    ts.faces.resize(face_layout_);
+    ts.ncp_tmp.resize(static_cast<std::size_t>(layout_.m));
+    scratch_.push_back(std::move(ts));
+  }
 }
 
 void RkDgSolver::set_initial_condition(
@@ -52,6 +74,10 @@ void RkDgSolver::set_initial_condition(
   time_ = 0.0;
 }
 
+void RkDgSolver::add_point_source(const MeshPointSource& source) {
+  prepare_point_source(source, vars_);
+}
+
 std::array<double, 3> RkDgSolver::node_position(int cell, int k1, int k2,
                                                 int k3) const {
   const auto o = grid_.cell_origin(cell);
@@ -62,148 +88,154 @@ std::array<double, 3> RkDgSolver::node_position(int cell, int k1, int k2,
 
 double RkDgSolver::stable_dt(double cfl) const {
   const int n = layout_.n;
-  double smax = 1e-300;
   const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
-  for (int c = 0; c < grid_.num_cells(); ++c) {
-    const double* cell = cell_dofs(c);
-    for (std::size_t k = 0; k < nodes; ++k)
-      for (int d = 0; d < 3; ++d)
-        smax = std::max(smax,
-                        pde_->max_wave_speed(cell + k * layout_.m_pad, d));
-  }
+  // Per-chunk maxima: max commutes exactly, so the result stays bitwise-
+  // independent of the thread count even though chunk bounds are not.
+  std::vector<double> partials(static_cast<std::size_t>(par_.num_threads()),
+                               0.0);
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    double chunk_max = 0.0;
+    for (long c = begin; c < end; ++c) {
+      const double* cell = cell_dofs(static_cast<int>(c));
+      for (std::size_t k = 0; k < nodes; ++k)
+        for (int d = 0; d < 3; ++d)
+          chunk_max = std::max(
+              chunk_max, pde_->max_wave_speed(cell + k * layout_.m_pad, d));
+    }
+    partials[static_cast<std::size_t>(tid)] = chunk_max;
+  });
+  double smax = 1e-300;
+  for (double s : partials) smax = std::max(smax, s);
   const double hmin = std::min({grid_.dx(0), grid_.dx(1), grid_.dx(2)});
   return cfl * hmin / (smax * (2.0 * n - 1.0) * 3.0);
 }
 
-void RkDgSolver::evaluate_operator(const AlignedVector& state,
-                                   AlignedVector& rhs) {
-  ++operator_evals_;
+void RkDgSolver::operator_cell(ThreadScratch& ts, const AlignedVector& state,
+                               double t, int c, AlignedVector& rhs) {
   const int n = layout_.n;
   const int mp = layout_.m_pad;
   const auto inv_dx = grid_.inv_dx();
   const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
-  std::vector<double> ncp_tmp(layout_.m);
-  std::vector<double> ghost_node(layout_.m);
   FlopCounter& fc = FlopCounter::instance();
 
-  std::memset(rhs.data(), 0, rhs.size() * sizeof(double));
+  const double* qc = state.data() + static_cast<std::size_t>(c) * cell_size_;
+  double* rc = rhs.data() + static_cast<std::size_t>(c) * cell_size_;
+  std::memset(rc, 0, cell_size_ * sizeof(double));
 
-  // Volume terms, cell by cell.
-  for (int c = 0; c < grid_.num_cells(); ++c) {
-    const double* qc =
-        state.data() + static_cast<std::size_t>(c) * cell_size_;
-    double* rc = rhs.data() + static_cast<std::size_t>(c) * cell_size_;
-    for (int d = 0; d < 3; ++d) {
-      for (std::size_t k = 0; k < nodes; ++k)
-        pde_->flux(qc + k * mp, d, flux_.data() + k * mp);
-      fc.add(WidthClass::kScalar, nodes * pde_->flux_flops());
-      aos_derivative(isa_, layout_, basis_.diff.data(), inv_dx[d], d,
-                     flux_.data(), rc, /*accumulate=*/true);
-      aos_derivative(isa_, layout_, basis_.diff.data(), inv_dx[d], d, qc,
-                     gradq_.data(), /*accumulate=*/false);
-      for (std::size_t k = 0; k < nodes; ++k) {
-        pde_->ncp(qc + k * mp, gradq_.data() + k * mp, d, ncp_tmp.data());
-        for (int s = 0; s < layout_.m; ++s) rc[k * mp + s] += ncp_tmp[s];
-      }
-      fc.add(WidthClass::kScalar,
-             nodes * (pde_->ncp_flops() + layout_.m));
+  // Volume terms.
+  for (int d = 0; d < 3; ++d) {
+    for (std::size_t k = 0; k < nodes; ++k)
+      pde_->flux(qc + k * mp, d, ts.flux.data() + k * mp);
+    fc.add(WidthClass::kScalar, nodes * pde_->flux_flops());
+    aos_derivative(isa_, layout_, basis_.diff.data(), inv_dx[d], d,
+                   ts.flux.data(), rc, /*accumulate=*/true);
+    aos_derivative(isa_, layout_, basis_.diff.data(), inv_dx[d], d, qc,
+                   ts.gradq.data(), /*accumulate=*/false);
+    for (std::size_t k = 0; k < nodes; ++k) {
+      pde_->ncp(qc + k * mp, ts.gradq.data() + k * mp, d, ts.ncp_tmp.data());
+      for (int s = 0; s < layout_.m; ++s) rc[k * mp + s] += ts.ncp_tmp[s];
     }
+    fc.add(WidthClass::kScalar, nodes * (pde_->ncp_flops() + layout_.m));
   }
 
-  // Surface terms: each interior face once, from its lower-side owner.
-  auto make_ghost = [&](const double* inner, double* ghost,
-                        BoundaryKind kind, int dir) {
-    if (kind == BoundaryKind::kWall) {
-      pde_->wall_reflect(inner, dir, ghost_node.data());
-      std::memcpy(ghost, ghost_node.data(), layout_.m * sizeof(double));
-    } else {
-      for (int s = 0; s < vars_; ++s) ghost[s] = 0.0;
-      for (int s = vars_; s < layout_.m; ++s) ghost[s] = inner[s];
-    }
-    for (int s = layout_.m; s < layout_.m_pad; ++s) ghost[s] = 0.0;
+  // Surface terms: the lift from this cell's own six faces (apply_own_face
+  // recomputes interior Riemann solves per side — identical bits, so the
+  // cell-parallel traversal needs no face ownership).
+  const auto state_of = [&state, this](int cell) -> const double* {
+    return state.data() + static_cast<std::size_t>(cell) * cell_size_;
   };
+  for (int dir = 0; dir < 3; ++dir)
+    for (int side = 0; side < 2; ++side)
+      apply_own_face(*pde_, grid_, layout_, basis_, vars_, c, dir, side,
+                     inv_dx[dir], state_of, ts.faces, rc);
 
-  for (int dir = 0; dir < 3; ++dir) {
-    for (int c = 0; c < grid_.num_cells(); ++c) {
-      const double* ql =
-          state.data() + static_cast<std::size_t>(c) * cell_size_;
-      project_to_face(layout_, basis_, ql, dir, 1, face_l_.data());
-      const NeighborRef nb = grid_.neighbor(c, dir, 1);
-      if (!nb.boundary) {
-        const double* qr =
-            state.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
-        project_to_face(layout_, basis_, qr, dir, 0, face_r_.data());
-      } else {
-        const int nn = n * n;
-        for (int k = 0; k < nn; ++k)
-          make_ghost(face_l_.data() + static_cast<std::size_t>(k) * mp,
-                     face_r_.data() + static_cast<std::size_t>(k) * mp,
-                     nb.kind, dir);
-      }
-      face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
-                       flux_l_.data());
-      face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
-                       flux_r_.data());
-      rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
-                   flux_l_.data(), flux_r_.data(), dir, fstar_.data());
-      double* rl = rhs.data() + static_cast<std::size_t>(c) * cell_size_;
-      apply_face_correction(layout_, basis_, dir, 1, inv_dx[dir],
-                            fstar_.data(), flux_l_.data(), rl);
-      if (!nb.boundary) {
-        double* rr =
-            rhs.data() + static_cast<std::size_t>(nb.cell) * cell_size_;
-        apply_face_correction(layout_, basis_, dir, 0, inv_dx[dir],
-                              fstar_.data(), flux_r_.data(), rr);
-      }
-      const NeighborRef lower = grid_.neighbor(c, dir, 0);
-      if (lower.boundary) {
-        project_to_face(layout_, basis_, ql, dir, 0, face_r_.data());
-        const int nn = n * n;
-        for (int k = 0; k < nn; ++k)
-          make_ghost(face_r_.data() + static_cast<std::size_t>(k) * mp,
-                     face_l_.data() + static_cast<std::size_t>(k) * mp,
-                     lower.kind, dir);
-        face_normal_flux(*pde_, face_layout_, face_r_.data(), dir,
-                         flux_r_.data());
-        face_normal_flux(*pde_, face_layout_, face_l_.data(), dir,
-                         flux_l_.data());
-        rusanov_flux(*pde_, face_layout_, face_l_.data(), face_r_.data(),
-                     flux_l_.data(), flux_r_.data(), dir, fstar_.data());
-        apply_face_correction(layout_, basis_, dir, 0, inv_dx[dir],
-                              fstar_.data(), flux_r_.data(), rl);
-      }
-    }
+  // Point-source injection at the stage time.
+  for (const auto& prepared : sources_) {
+    if (prepared.cell != c) continue;
+    const double s = prepared.source.wavelet->derivative(t, 0);
+    const int quantity = prepared.source.quantity;
+    for (std::size_t k = 0; k < nodes; ++k)
+      rc[k * mp + quantity] += prepared.psi[k] * s;
+    fc.add(WidthClass::kScalar, 2 * nodes);
   }
+}
+
+void RkDgSolver::evaluate_operator(const AlignedVector& state, double t,
+                                   AlignedVector& rhs) {
+  ++operator_evals_;
+  // One fused cell-parallel traversal: volume terms, own-face surface
+  // corrections and source injection all write only the cell's rhs slice.
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+    for (long c = begin; c < end; ++c)
+      operator_cell(ts, state, t, static_cast<int>(c), rhs);
+  });
 }
 
 void RkDgSolver::step(double dt) {
   if (dt <= 0.0) throw std::invalid_argument("RkDgSolver: dt must be > 0");
   const long total = static_cast<long>(q_.size());
 
-  // Classical RK4: q += dt/6 (k1 + 2 k2 + 2 k3 + k4).
-  evaluate_operator(q_, rhs_);                       // k1
-  vec_copy(total, rhs_.data(), accum_.data());
-  vec_copy(total, q_.data(), stage_.data());
-  vec_axpy(isa_, total, 0.5 * dt, rhs_.data(), stage_.data());
+  // Element-wise stage sweeps, chunked at cache-line granularity so the
+  // partition never changes any element's bits (see kVecGranularity).
+  auto par_copy = [&](const AlignedVector& x, AlignedVector& y) {
+    par_.run(total, kVecGranularity, [&](int, long b, long e) {
+      vec_copy(e - b, x.data() + b, y.data() + b);
+    });
+  };
+  auto par_axpy = [&](double a, const AlignedVector& x, AlignedVector& y) {
+    par_.run(total, kVecGranularity, [&](int, long b, long e) {
+      vec_axpy(isa_, e - b, a, x.data() + b, y.data() + b);
+    });
+  };
+  auto par_add = [&](const AlignedVector& x, AlignedVector& y) {
+    par_.run(total, kVecGranularity, [&](int, long b, long e) {
+      vec_add(isa_, e - b, x.data() + b, y.data() + b);
+    });
+  };
 
-  evaluate_operator(stage_, rhs_);                   // k2
-  vec_axpy(isa_, total, 2.0, rhs_.data(), accum_.data());
-  vec_copy(total, q_.data(), stage_.data());
-  vec_axpy(isa_, total, 0.5 * dt, rhs_.data(), stage_.data());
+  // Classical RK4: q += dt/6 (k1 + 2 k2 + 2 k3 + k4), with the stage
+  // operator evaluated at t_n, t_n + dt/2 (twice) and t_n + dt.
+  evaluate_operator(q_, time_, rhs_);                 // k1
+  par_copy(rhs_, accum_);
+  par_copy(q_, stage_);
+  par_axpy(0.5 * dt, rhs_, stage_);
 
-  evaluate_operator(stage_, rhs_);                   // k3
-  vec_axpy(isa_, total, 2.0, rhs_.data(), accum_.data());
-  vec_copy(total, q_.data(), stage_.data());
-  vec_axpy(isa_, total, dt, rhs_.data(), stage_.data());
+  evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k2
+  par_axpy(2.0, rhs_, accum_);
+  par_copy(q_, stage_);
+  par_axpy(0.5 * dt, rhs_, stage_);
 
-  evaluate_operator(stage_, rhs_);                   // k4
-  vec_add(isa_, total, rhs_.data(), accum_.data());
+  evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k3
+  par_axpy(2.0, rhs_, accum_);
+  par_copy(q_, stage_);
+  par_axpy(dt, rhs_, stage_);
 
-  vec_axpy(isa_, total, dt / 6.0, accum_.data(), q_.data());
+  evaluate_operator(stage_, time_ + dt, rhs_);        // k4
+  par_add(rhs_, accum_);
+
+  par_axpy(dt / 6.0, accum_, q_);
   time_ += dt;
+  check_finite();
+}
 
-  for (double v : q_) {
-    if (!std::isfinite(v))
+void RkDgSolver::check_finite() const {
+  // Per-chunk verdicts with early exit; "any non-finite" commutes, so the
+  // outcome is thread-count-independent.
+  std::vector<char> bad(static_cast<std::size_t>(par_.num_threads()), 0);
+  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+    for (long c = begin; c < end; ++c) {
+      const double* cell = cell_dofs(static_cast<int>(c));
+      for (std::size_t i = 0; i < cell_size_; ++i) {
+        if (!std::isfinite(cell[i])) {
+          bad[static_cast<std::size_t>(tid)] = 1;
+          return;
+        }
+      }
+    }
+  });
+  for (char b : bad) {
+    if (b != 0)
       throw std::runtime_error("RkDgSolver: solution became non-finite");
   }
 }

@@ -11,8 +11,10 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "exastp/basis/basis_tables.h"
+#include "exastp/common/parallel.h"
 #include "exastp/mesh/grid.h"
 #include "exastp/pde/point_source.h"
 #include "exastp/tensor/layout.h"
@@ -54,6 +56,17 @@ class SolverBase {
   virtual void add_point_source(const MeshPointSource& source);
   virtual bool supports_point_sources() const { return false; }
 
+  /// Number of threads the hot loops fan out to. Direct construction
+  /// defaults to 1 (serial, the benches' per-core measurement mode); the
+  /// Simulation façade applies the config's `threads` key. `threads` < 1
+  /// means "auto" (hardware concurrency). Results are bitwise-identical
+  /// for every thread count — see README "Threading".
+  virtual void set_num_threads(int threads);
+  int num_threads() const { return par_.num_threads(); }
+  /// The solver's thread team, for functionals (norms, energies) that want
+  /// to reduce over the mesh on the same threads as the stepper.
+  const ParallelFor& parallel() const { return par_; }
+
   /// CFL-limited stable time step from the current solution.
   virtual double stable_dt(double cfl = 0.4) const = 0;
   /// Advances by one step of size dt. Throws std::runtime_error if the
@@ -73,6 +86,24 @@ class SolverBase {
   /// expansion of the containing cell (receiver extraction for seismograms).
   /// Implemented once here on top of the virtual accessors.
   double sample(const std::array<double, 3>& x, int quantity) const;
+
+ protected:
+  /// A point source located on the mesh and projected onto the nodal basis
+  /// of its cell.
+  struct PreparedSource {
+    int cell = -1;
+    MeshPointSource source;
+    AlignedVector psi;
+  };
+
+  /// Shared add_point_source body for steppers that support sources:
+  /// validates the wavelet and quantity (`vars` = evolved-quantity count),
+  /// locates the cell and projects the delta onto its basis.
+  void prepare_point_source(const MeshPointSource& source, int vars);
+
+  std::vector<PreparedSource> sources_;
+  /// The thread team the subclass hot loops run on (1 thread by default).
+  ParallelFor par_;
 };
 
 }  // namespace exastp

@@ -11,6 +11,7 @@
 
 #include "exastp/engine/simulation.h"
 #include "exastp/kernels/registry.h"
+#include "exastp/pde/elastic.h"
 #include "exastp/solver/rk_dg_solver.h"
 
 namespace exastp {
@@ -174,10 +175,17 @@ TEST(Facade, RkStepperRunsTheSameScenario) {
   EXPECT_LT(sim.l2_error(), 0.05);
 }
 
-TEST(Facade, RkStepperRejectsPointSourceScenarios) {
-  // LOH1 needs a point source; the RK baseline has none.
-  EXPECT_THROW(Simulation::from_args({"scenario=loh1", "stepper=rk4"}),
-               std::invalid_argument);
+TEST(Facade, RkStepperAcceptsPointSourceScenarios) {
+  // LOH1 needs a point source; the RK baseline injects it per stage now.
+  Simulation sim = Simulation::from_args(
+      {"scenario=loh1", "stepper=rk4", "cells=4x4x4", "order=3",
+       "t_end=0.4"});
+  EXPECT_TRUE(sim.solver().supports_point_sources());
+  sim.run();
+  // The Ricker source must have injected a signal into its cell.
+  const double vz = sim.solver().sample({4.5, 4.5, 2.5}, ElasticPde::kVz);
+  EXPECT_TRUE(std::isfinite(vz));
+  EXPECT_NE(vz, 0.0);
 }
 
 TEST(Facade, MaxwellCavityTracksTheExactStandingMode) {

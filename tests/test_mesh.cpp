@@ -104,7 +104,9 @@ TEST(Geometry, SineMapPerturbsOffDiagonalsOnly) {
   // Perturbation bounded by amplitude * wavenumber.
   for (int r = 0; r < 3; ++r)
     for (int c = 0; c < 3; ++c)
-      if (r != c) EXPECT_LE(std::abs(g[3 * r + c]), 0.05 * 2.0 + 1e-15);
+      if (r != c) {
+        EXPECT_LE(std::abs(g[3 * r + c]), 0.05 * 2.0 + 1e-15);
+      }
   EXPECT_NE(g[0 * 3 + 1], 0.0);
 }
 

@@ -30,7 +30,9 @@ TEST_P(GaussLegendreP, NodesAscendInOpenInterval) {
   for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
     EXPECT_GT(rule.nodes[i], 0.0);
     EXPECT_LT(rule.nodes[i], 1.0);
-    if (i > 0) EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+    if (i > 0) {
+      EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+    }
   }
 }
 

@@ -41,7 +41,9 @@ TEST_P(LayoutP, AosIndexIsBijective) {
 TEST_P(LayoutP, AosQuantityIsUnitStride) {
   const auto [n, m, isa] = GetParam();
   AosLayout aos(n, m, isa);
-  if (m >= 2) EXPECT_EQ(aos.idx(0, 0, 0, 1) - aos.idx(0, 0, 0, 0), 1u);
+  if (m >= 2) {
+    EXPECT_EQ(aos.idx(0, 0, 0, 1) - aos.idx(0, 0, 0, 0), 1u);
+  }
   EXPECT_EQ(aos.idx(0, 0, 1, 0) - aos.idx(0, 0, 0, 0),
             static_cast<std::size_t>(aos.m_pad));
 }
@@ -49,7 +51,9 @@ TEST_P(LayoutP, AosQuantityIsUnitStride) {
 TEST_P(LayoutP, AosoaXLineIsUnitStride) {
   const auto [n, m, isa] = GetParam();
   AosoaLayout aosoa(n, m, isa);
-  if (n >= 2) EXPECT_EQ(aosoa.idx(0, 0, 0, 1) - aosoa.idx(0, 0, 0, 0), 1u);
+  if (n >= 2) {
+    EXPECT_EQ(aosoa.idx(0, 0, 0, 1) - aosoa.idx(0, 0, 0, 0), 1u);
+  }
   EXPECT_EQ(aosoa.idx(0, 0, 1, 0) - aosoa.idx(0, 0, 0, 0),
             static_cast<std::size_t>(aosoa.n_pad));
 }
