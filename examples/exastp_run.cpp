@@ -4,13 +4,20 @@
 //   build/examples/exastp_run pde=acoustic scenario=planewave
 //       variant=aosoa_splitck order=5 cells=3x3x3 t_end=0.25   (one line)
 //
+// Streaming outputs come from the observer subsystem (receivers=...,
+// output.series=..., output.receivers_csv=...), and sweep=key:v1,v2,...
+// runs the config once per value, streaming one summary CSV row per run
+// to stdout.
+//
 // Run without arguments (or with "help") for the key reference and the
-// registered PDE/scenario names.
+// registered PDE/scenario/observer names.
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "exastp/engine/simulation.h"
+#include "exastp/engine/sweep.h"
 
 using namespace exastp;
 
@@ -24,7 +31,27 @@ void print_usage() {
   std::printf("\nregistered scenarios:");
   for (const std::string& name : ScenarioRegistry::instance().names())
     std::printf(" %s", name.c_str());
+  std::printf("\nregistered observers:");
+  for (const std::string& name : ObserverRegistry::instance().names())
+    std::printf(" %s", name.c_str());
   std::printf("\n");
+}
+
+void report_outputs(const Simulation& sim) {
+  const OutputConfig& output = sim.config().output;
+  if (!output.csv.empty()) std::printf("wrote %s\n", output.csv.c_str());
+  if (!output.vtk.empty()) std::printf("wrote %s\n", output.vtk.c_str());
+  if (!output.receivers_csv.empty())
+    std::printf("streamed %s\n", output.receivers_csv.c_str());
+  if (!output.receivers_bin.empty())
+    std::printf("streamed %s\n", output.receivers_bin.c_str());
+  if (!output.series.empty())
+    std::printf("streamed VTK series %s_NNNN.vtk (index %s.pvd)\n",
+                output.series.c_str(), output.series.c_str());
+  if (sim.receivers() != nullptr)
+    std::printf("sampled %zu receivers x %zu samples\n",
+                sim.receivers()->num_receivers(),
+                sim.receivers()->num_samples());
 }
 
 }  // namespace
@@ -38,6 +65,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    SweepSpec sweep;
+    bool has_sweep = false;
+    args = extract_sweep(args, &sweep, &has_sweep);
+    if (has_sweep) {
+      std::fprintf(stderr, "sweep %s over %zu values\n", sweep.key.c_str(),
+                   sweep.values.size());
+      run_sweep(args, sweep, std::cout);
+      return 0;
+    }
+
     Simulation sim = Simulation::from_args(args);
     std::printf("%s\n", sim.summary().c_str());
 
@@ -51,10 +88,7 @@ int main(int argc, char** argv) {
       std::printf("L2 error (quantity %d) = %.6e\n", sim.error_quantity(),
                   sim.l2_error());
     }
-    if (!sim.config().output.csv.empty())
-      std::printf("wrote %s\n", sim.config().output.csv.c_str());
-    if (!sim.config().output.vtk.empty())
-      std::printf("wrote %s\n", sim.config().output.vtk.c_str());
+    report_outputs(sim);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

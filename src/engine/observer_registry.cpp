@@ -1,0 +1,105 @@
+#include "exastp/engine/observer_registry.h"
+
+#include <algorithm>
+
+#include "exastp/common/check.h"
+#include "exastp/io/receiver_network.h"
+#include "exastp/io/receiver_sinks.h"
+#include "exastp/io/vtk_series.h"
+
+namespace exastp {
+
+std::vector<int> output_quantities(const SimulationConfig& config,
+                                   const KernelFactory& pde) {
+  if (!config.output.quantities.empty()) {
+    for (int s : config.output.quantities)
+      EXASTP_CHECK_MSG(s >= 0 && s < pde.info().quants,
+                       "output.quantities index " + std::to_string(s) +
+                           " out of range for pde " + pde.name());
+    return config.output.quantities;
+  }
+  std::vector<int> quantities;
+  for (int s = 0; s < pde.info().vars; ++s) quantities.push_back(s);
+  return quantities;
+}
+
+namespace {
+
+/// receivers= probe points, sampled every step, streamed to the configured
+/// sinks.
+class ReceiverNetworkFactory final : public ObserverFactory {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "receiver_network";
+    return n;
+  }
+
+  std::shared_ptr<Observer> make(const SimulationConfig& config,
+                                 const KernelFactory& pde) const override {
+    if (config.receivers.empty()) {
+      EXASTP_CHECK_MSG(config.output.receivers_csv.empty() &&
+                           config.output.receivers_bin.empty(),
+                       "receiver output streams need receivers=x,y,z[;...]");
+      return nullptr;
+    }
+    auto network =
+        std::make_shared<ReceiverNetwork>(output_quantities(config, pde));
+    network->add_receivers(config.receivers);
+    if (!config.output.receivers_csv.empty())
+      network->add_sink(
+          std::make_unique<CsvReceiverSink>(config.output.receivers_csv));
+    if (!config.output.receivers_bin.empty())
+      network->add_sink(
+          std::make_unique<BinaryReceiverSink>(config.output.receivers_bin));
+    return network;
+  }
+};
+
+/// output.series= incremental VTK snapshot series.
+class VtkSeriesFactory final : public ObserverFactory {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "vtk_series";
+    return n;
+  }
+
+  std::shared_ptr<Observer> make(const SimulationConfig& config,
+                                 const KernelFactory& pde) const override {
+    if (config.output.series.empty()) return nullptr;
+    // Cell averages of the sampled quantities (capped like the post-hoc
+    // VTK dump to keep snapshot files small).
+    std::vector<int> quantities = output_quantities(config, pde);
+    if (config.output.quantities.empty() && quantities.size() > 4)
+      quantities.resize(4);
+    std::vector<std::string> names = default_quantity_names(quantities);
+    return std::make_shared<VtkSeriesWriter>(config.output.series,
+                                             std::move(quantities),
+                                             std::move(names),
+                                             config.output.interval);
+  }
+};
+
+}  // namespace
+
+ObserverRegistry& ObserverRegistry::instance() {
+  static ObserverRegistry& registry = *[] {
+    auto* r = new ObserverRegistry;
+    r->add(std::make_shared<ReceiverNetworkFactory>());
+    r->add(std::make_shared<VtkSeriesFactory>());
+    return r;
+  }();
+  return registry;
+}
+
+std::vector<std::shared_ptr<Observer>> make_observers(
+    const SimulationConfig& config, const KernelFactory& pde) {
+  std::vector<std::shared_ptr<Observer>> observers;
+  for (const std::string& name : ObserverRegistry::instance().names()) {
+    std::shared_ptr<Observer> observer =
+        ObserverRegistry::instance().find(name)->make(config, pde);
+    if (observer != nullptr) observers.push_back(std::move(observer));
+  }
+  return observers;
+}
+
+}  // namespace exastp

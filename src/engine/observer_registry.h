@@ -1,0 +1,63 @@
+// String-keyed observer registry: declarative output.* / receivers config
+// keys -> streaming observers attached to the time loop.
+//
+// Mirrors the PDE and scenario registries' plugin idiom for the third
+// engine role, the "Plotters" (src/io/). Each ObserverFactory inspects the
+// SimulationConfig and builds its observer when the config asks for it —
+// so Simulation::from_config attaches exactly the streaming outputs the
+// config declares, and new observer kinds (sharded writers, live metrics,
+// ...) register without engine changes. Factories are consulted in name
+// order, giving a deterministic observer attachment (and thus hook firing)
+// order.
+//
+// Built-ins: "receiver_network" (receivers= probe points, streamed to
+// output.receivers_csv / output.receivers_bin) and "vtk_series"
+// (output.series + output.interval snapshot series with a .pvd index).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exastp/engine/named_registry.h"
+#include "exastp/engine/pde_registry.h"
+#include "exastp/engine/simulation_config.h"
+#include "exastp/io/observer.h"
+
+namespace exastp {
+
+class ObserverFactory {
+ public:
+  virtual ~ObserverFactory() = default;
+
+  /// Registry key.
+  virtual const std::string& name() const = 0;
+  /// Builds the observer when `config` requests it, nullptr otherwise.
+  /// Throws on inconsistent requests (e.g. a receiver stream path without
+  /// receiver positions).
+  virtual std::shared_ptr<Observer> make(const SimulationConfig& config,
+                                         const KernelFactory& pde) const = 0;
+};
+
+/// Name -> ObserverFactory map; same conventions as the other registries.
+class ObserverRegistry final : public NamedRegistry<ObserverFactory> {
+ public:
+  ObserverRegistry() : NamedRegistry("observer") {}
+  /// The process-wide registry, populated with the built-in observers.
+  static ObserverRegistry& instance();
+};
+
+/// Every observer the config requests, from all registered factories in
+/// name order. The caller owns the result (the Simulation façade keeps
+/// them alive alongside its solver).
+std::vector<std::shared_ptr<Observer>> make_observers(
+    const SimulationConfig& config, const KernelFactory& pde);
+
+/// Quantity indices the config's outputs sample: output.quantities
+/// (validated against the PDE), or every evolved quantity. One resolution
+/// shared by receivers, the VTK series and the post-hoc VTK dump so the
+/// key means the same thing everywhere.
+std::vector<int> output_quantities(const SimulationConfig& config,
+                                   const KernelFactory& pde);
+
+}  // namespace exastp

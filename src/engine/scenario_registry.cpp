@@ -16,14 +16,30 @@ constexpr double kPi = 3.14159265358979323846;
 
 /// Exact acoustic plane wave (scenarios/planewave.h) on a periodic box.
 /// The wave has unit wavelength, so the solution stays exact on any box
-/// with integer extents; fractional extents break periodicity.
+/// with integer extents; fractional extents break periodicity. The integer
+/// wavenumbers are scenario parameters (scenario.kx/ky/kz, default 1,0,0).
 class PlaneWaveScenario final : public Scenario {
  public:
+  /// The parameterized wave shared by initial condition and exact solution.
+  static PlaneWave wave(const SimulationConfig& config) {
+    PlaneWave wave;
+    const int kx = scenario_param_int(config, "kx", 1);
+    const int ky = scenario_param_int(config, "ky", 0);
+    const int kz = scenario_param_int(config, "kz", 0);
+    EXASTP_CHECK_MSG(kx != 0 || ky != 0 || kz != 0,
+                     "planewave needs a non-zero wavenumber");
+    wave.wave_vector = {2.0 * kPi * kx, 2.0 * kPi * ky, 2.0 * kPi * kz};
+    return wave;
+  }
+
   const std::string& name() const override {
     static const std::string n = "planewave";
     return n;
   }
   std::string default_pde() const override { return "acoustic"; }
+  std::vector<std::string> param_keys() const override {
+    return {"kx", "ky", "kz"};
+  }
 
   void configure(SimulationConfig& config) const override {
     config.grid.cells = {3, 3, 3};
@@ -33,9 +49,10 @@ class PlaneWaveScenario final : public Scenario {
 
   InitialCondition initial_condition(
       const std::shared_ptr<const KernelFactory>& /*pde*/,
-      const SimulationConfig& /*config*/) const override {
-    return [](const std::array<double, 3>& x, double* q) {
-      PlaneWave{}.initial_condition(x, q);
+      const SimulationConfig& config) const override {
+    const PlaneWave w = wave(config);
+    return [w](const std::array<double, 3>& x, double* q) {
+      w.initial_condition(x, q);
     };
   }
 
@@ -44,9 +61,10 @@ class PlaneWaveScenario final : public Scenario {
   }
   ExactSolution exact_solution(
       const KernelFactory& /*pde*/,
-      const SimulationConfig& /*config*/) const override {
-    return [](const std::array<double, 3>& x, double t) {
-      return PlaneWave{}.pressure(x, t);
+      const SimulationConfig& config) const override {
+    const PlaneWave w = wave(config);
+    return [w](const std::array<double, 3>& x, double t) {
+      return w.pressure(x, t);
     };
   }
 };
@@ -60,14 +78,16 @@ class GaussianScenario final : public Scenario {
     std::array<double, 3> center{};
     double sigma = 0.0;
   };
-  static Pulse pulse(const GridSpec& grid) {
+  static Pulse pulse(const SimulationConfig& config) {
+    const GridSpec& grid = config.grid;
     Pulse p;
     double width = 0.0;
     for (int d = 0; d < 3; ++d) {
       p.center[d] = grid.origin[d] + 0.5 * grid.extent[d];
       width = std::max(width, grid.extent[d]);
     }
-    p.sigma = 0.1 * width;
+    p.sigma = scenario_param(config, "sigma", 0.1 * width);
+    EXASTP_CHECK_MSG(p.sigma > 0.0, "gaussian sigma must be positive");
     return p;
   }
 
@@ -79,6 +99,7 @@ class GaussianScenario final : public Scenario {
   bool compatible_with(const std::string& /*pde_name*/) const override {
     return true;
   }
+  std::vector<std::string> param_keys() const override { return {"sigma"}; }
 
   void configure(SimulationConfig& config) const override {
     config.grid.cells = {3, 3, 3};
@@ -88,7 +109,7 @@ class GaussianScenario final : public Scenario {
       const std::shared_ptr<const KernelFactory>& pde,
       const SimulationConfig& config) const override {
     const PdeInfo info = pde->info();
-    const Pulse p = pulse(config.grid);
+    const Pulse p = pulse(config);
     return [info, pde, p](const std::array<double, 3>& x, double* q) {
       double r2 = 0.0;
       for (int d = 0; d < 3; ++d)
@@ -111,7 +132,7 @@ class GaussianScenario final : public Scenario {
     // walls the wrapped translate stops being the true solution once the
     // pulse reaches a boundary.
     const GridSpec grid = config.grid;
-    const Pulse p = pulse(grid);
+    const Pulse p = pulse(config);
     const std::array<double, 3> velocity = AdvectionPde{}.velocity;
     return [grid, p, velocity](const std::array<double, 3>& x, double t) {
       double r2 = 0.0;
@@ -130,11 +151,37 @@ class GaussianScenario final : public Scenario {
 /// material, Ricker point source, absorbing sides, reflecting top.
 class Loh1Scenario final : public Scenario {
  public:
+  /// Loh1Config with the scenario.* material/source overrides applied; the
+  /// grid itself stays under the ordinary cells/extent/origin keys.
+  static Loh1Config loh1_config(const SimulationConfig& config) {
+    Loh1Config c;
+    c.layer_depth = scenario_param(config, "layer_depth", c.layer_depth);
+    c.layer_rho = scenario_param(config, "layer_rho", c.layer_rho);
+    c.layer_cp = scenario_param(config, "layer_cp", c.layer_cp);
+    c.layer_cs = scenario_param(config, "layer_cs", c.layer_cs);
+    c.half_rho = scenario_param(config, "half_rho", c.half_rho);
+    c.half_cp = scenario_param(config, "half_cp", c.half_cp);
+    c.half_cs = scenario_param(config, "half_cs", c.half_cs);
+    c.source_frequency =
+        scenario_param(config, "source_frequency", c.source_frequency);
+    c.source_delay = scenario_param(config, "source_delay", c.source_delay);
+    for (double v : {c.layer_rho, c.layer_cp, c.layer_cs, c.half_rho,
+                     c.half_cp, c.half_cs, c.source_frequency})
+      EXASTP_CHECK_MSG(v > 0.0,
+                       "loh1 materials and source frequency must be positive");
+    return c;
+  }
+
   const std::string& name() const override {
     static const std::string n = "loh1";
     return n;
   }
   std::string default_pde() const override { return "elastic"; }
+  std::vector<std::string> param_keys() const override {
+    return {"layer_depth", "layer_rho", "layer_cp",
+            "layer_cs",    "half_rho",  "half_cp",
+            "half_cs",     "source_frequency", "source_delay"};
+  }
 
   void configure(SimulationConfig& config) const override {
     const Loh1Config defaults;
@@ -148,13 +195,13 @@ class Loh1Scenario final : public Scenario {
 
   InitialCondition initial_condition(
       const std::shared_ptr<const KernelFactory>& /*pde*/,
-      const SimulationConfig& /*config*/) const override {
-    return loh1_initial_condition(Loh1Config{});
+      const SimulationConfig& config) const override {
+    return loh1_initial_condition(loh1_config(config));
   }
 
   std::vector<MeshPointSource> sources(
-      const SimulationConfig& /*config*/) const override {
-    return {loh1_point_source(Loh1Config{})};
+      const SimulationConfig& config) const override {
+    return {loh1_point_source(loh1_config(config))};
   }
 };
 

@@ -38,6 +38,11 @@ class Scenario {
   /// the config (called before explicit user overrides are applied).
   virtual void configure(SimulationConfig& /*config*/) const {}
 
+  /// Parameter keys the scenario reads from config.scenario_params
+  /// ("scenario.<key>=value" on the CLI). Simulation::from_config rejects
+  /// configs carrying keys outside this list, so typos fail loudly.
+  virtual std::vector<std::string> param_keys() const { return {}; }
+
   /// Nodal initial condition for a solver running `pde`. Passed as a
   /// shared_ptr so the returned closure can own the factory.
   virtual InitialCondition initial_condition(

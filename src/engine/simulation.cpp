@@ -31,6 +31,22 @@ Simulation Simulation::from_config(SimulationConfig config) {
                        "\" is not defined for pde \"" + config.pde + "\"");
   std::shared_ptr<const KernelFactory> pde = find_pde(config.pde);
 
+  // Reject scenario.* keys the scenario does not declare, so parameter
+  // typos fail loudly instead of silently running the defaults.
+  const std::vector<std::string> known_params = scenario->param_keys();
+  for (const auto& [key, value] : config.scenario_params) {
+    if (std::find(known_params.begin(), known_params.end(), key) !=
+        known_params.end())
+      continue;
+    std::string known;
+    for (const std::string& k : known_params)
+      known += (known.empty() ? "" : ", ") + k;
+    EXASTP_FAIL("scenario \"" + scenario->name() +
+                "\" has no parameter \"" + key + "\"" +
+                (known.empty() ? " (it declares none)"
+                               : " (known: " + known + ")"));
+  }
+
   Isa isa;
   if (config.isa == "auto") {
     isa = host_best_isa();
@@ -58,8 +74,23 @@ Simulation Simulation::from_config(SimulationConfig config) {
   for (const MeshPointSource& source : scenario->sources(config))
     solver->add_point_source(source);
 
-  return Simulation(std::move(config), isa, std::move(pde),
-                    std::move(scenario), std::move(solver));
+  Simulation simulation(std::move(config), isa, std::move(pde),
+                        std::move(scenario), std::move(solver));
+  // Attach the config-declared streaming observers (receivers, VTK series,
+  // any registered plugin) in registry name order.
+  for (std::shared_ptr<Observer>& observer :
+       make_observers(simulation.config_, *simulation.pde_))
+    simulation.add_observer(std::move(observer));
+  return simulation;
+}
+
+void Simulation::add_observer(std::shared_ptr<Observer> observer) {
+  EXASTP_CHECK_MSG(observer != nullptr, "observer must not be null");
+  solver_->add_observer(observer.get());
+  if (auto network = std::dynamic_pointer_cast<ReceiverNetwork>(observer);
+      network != nullptr && receivers_ == nullptr)
+    receivers_ = network;
+  observers_.push_back(std::move(observer));
 }
 
 Simulation Simulation::from_args(const std::vector<std::string>& args) {
@@ -70,17 +101,15 @@ int Simulation::run() {
   const int steps = solver_->run_until(config_.t_end, config_.cfl);
   if (!config_.output.csv.empty()) write_csv(*solver_, config_.output.csv);
   if (!config_.output.vtk.empty()) {
-    // Cell averages of the evolved quantities (capped to keep files small).
-    const int nq = std::min(pde_->info().vars, 4);
-    std::vector<int> quantities;
-    std::vector<std::string> names;
-    for (int s = 0; s < nq; ++s) {
-      quantities.push_back(s);
-      std::string name = "q";
-      name += std::to_string(s);
-      names.push_back(std::move(name));
-    }
-    write_vtk_cell_averages(*solver_, quantities, names, config_.output.vtk);
+    // Same quantity selection as the streaming VTK series: explicit
+    // output.quantities, or the evolved quantities capped to keep the
+    // file small.
+    std::vector<int> quantities = output_quantities(config_, *pde_);
+    if (config_.output.quantities.empty() && quantities.size() > 4)
+      quantities.resize(4);
+    write_vtk_cell_averages(*solver_, quantities,
+                            default_quantity_names(quantities),
+                            config_.output.vtk);
   }
   return steps;
 }

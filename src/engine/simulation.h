@@ -11,10 +11,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "exastp/engine/observer_registry.h"
 #include "exastp/engine/pde_registry.h"
 #include "exastp/engine/scenario_registry.h"
 #include "exastp/engine/simulation_config.h"
+#include "exastp/io/receiver_network.h"
 #include "exastp/solver/solver_base.h"
 
 namespace exastp {
@@ -38,9 +41,23 @@ class Simulation {
   /// The resolved instruction set ("auto" already applied).
   Isa isa() const { return isa_; }
 
-  /// Runs to config.t_end, then writes any configured outputs; returns the
-  /// number of steps taken. Callable repeatedly after raising t_end.
+  /// Runs to config.t_end — streaming observers (receivers, VTK series)
+  /// fire from the time loop — then writes any configured post-hoc outputs;
+  /// returns the number of steps taken. Callable repeatedly after raising
+  /// t_end.
   int run();
+
+  /// Attaches a streaming observer to the solver's time loop and takes
+  /// (shared) ownership of it; the config-declared observers are attached
+  /// by from_config already.
+  void add_observer(std::shared_ptr<Observer> observer);
+  /// Every owned observer, in attachment order.
+  const std::vector<std::shared_ptr<Observer>>& observers() const {
+    return observers_;
+  }
+  /// The config-built receiver network (receivers= key), or null. Traces
+  /// stay queryable here after run().
+  std::shared_ptr<ReceiverNetwork> receivers() const { return receivers_; }
 
   /// True when the scenario knows an exact solution for this PDE.
   bool has_exact_solution() const { return error_quantity() >= 0; }
@@ -63,6 +80,11 @@ class Simulation {
   Isa isa_ = Isa::kScalar;
   std::shared_ptr<const KernelFactory> pde_;
   std::shared_ptr<const Scenario> scenario_;
+  /// Observer lifetime is owned here; the solver only holds raw pointers,
+  /// so observers_ is declared before solver_ to outlive it (members
+  /// destroy in reverse declaration order).
+  std::vector<std::shared_ptr<Observer>> observers_;
+  std::shared_ptr<ReceiverNetwork> receivers_;
   std::unique_ptr<SolverBase> solver_;
 };
 

@@ -1,6 +1,7 @@
 #include "exastp/engine/simulation_config.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "exastp/common/check.h"
@@ -18,12 +19,16 @@ std::pair<std::string, std::string> split_pair(const std::string& arg) {
   return {arg.substr(0, eq), arg.substr(eq + 1)};
 }
 
-/// Splits on ',' or 'x' — both "4x4x4" and "4,4,4" are accepted.
-std::vector<std::string> split_list(const std::string& value) {
+/// Splits on any character in `delims`. The ",x" default serves the
+/// dimension triples, where both "4x4x4" and "4,4,4" are accepted; keys
+/// with their own separators (quantity lists, receiver triples) pass an
+/// explicit delimiter so stray 'x's fail loudly.
+std::vector<std::string> split_list(const std::string& value,
+                                    const char* delims = ",x") {
   std::vector<std::string> parts;
   std::string current;
   for (char c : value) {
-    if (c == ',' || c == 'x') {
+    if (std::strchr(delims, c) != nullptr) {
       parts.push_back(current);
       current.clear();
     } else {
@@ -104,6 +109,21 @@ NodeFamily parse_family(const std::string& name) {
   EXASTP_FAIL("unknown node family \"" + name + "\" (gl|lobatto)");
 }
 
+/// "x,y,z;x,y,z;..." -> receiver positions.
+std::vector<std::array<double, 3>> parse_receivers(const std::string& value) {
+  std::vector<std::array<double, 3>> receivers;
+  for (const std::string& triple : split_list(value, ";"))
+    receivers.push_back(parse_triple("receivers", triple));
+  return receivers;
+}
+
+std::vector<int> parse_quantities(const std::string& value) {
+  std::vector<int> quantities;
+  for (const std::string& part : split_list(value, ","))
+    quantities.push_back(parse_int("output.quantities", part));
+  return quantities;
+}
+
 void apply_pair(SimulationConfig& config, const std::string& key,
                 const std::string& value) {
   if (key == "pde") {
@@ -134,16 +154,46 @@ void apply_pair(SimulationConfig& config, const std::string& key,
     config.t_end = parse_double(key, value);
   } else if (key == "cfl") {
     config.cfl = parse_double(key, value);
-  } else if (key == "csv") {
+  } else if (key == "csv" || key == "output.csv") {
     config.output.csv = value;
-  } else if (key == "vtk") {
+  } else if (key == "vtk" || key == "output.vtk") {
     config.output.vtk = value;
+  } else if (key == "output.series") {
+    config.output.series = value;
+  } else if (key == "output.interval") {
+    config.output.interval = parse_double(key, value);
+  } else if (key == "output.receivers_csv") {
+    config.output.receivers_csv = value;
+  } else if (key == "output.receivers_bin") {
+    config.output.receivers_bin = value;
+  } else if (key == "output.quantities") {
+    config.output.quantities = parse_quantities(value);
+  } else if (key == "receivers") {
+    config.receivers = parse_receivers(value);
+  } else if (key.rfind("scenario.", 0) == 0) {
+    const std::string param = key.substr(std::string("scenario.").size());
+    EXASTP_CHECK_MSG(!param.empty(), "empty scenario parameter key");
+    config.scenario_params[param] = value;
   } else {
     EXASTP_FAIL("unknown config key \"" + key + "\"\n" + simulation_usage());
   }
 }
 
 }  // namespace
+
+double scenario_param(const SimulationConfig& config, const std::string& key,
+                      double fallback) {
+  const auto it = config.scenario_params.find(key);
+  if (it == config.scenario_params.end()) return fallback;
+  return parse_double("scenario." + key, it->second);
+}
+
+int scenario_param_int(const SimulationConfig& config, const std::string& key,
+                       int fallback) {
+  const auto it = config.scenario_params.find(key);
+  if (it == config.scenario_params.end()) return fallback;
+  return parse_int("scenario." + key, it->second);
+}
 
 void apply_scenario_defaults(SimulationConfig& config) {
   ScenarioRegistry::instance().find(config.scenario)->configure(config);
@@ -186,7 +236,23 @@ std::string simulation_usage() {
       "  t_end=T         end time\n"
       "  cfl=C           CFL factor (default 0.4)\n"
       "  csv=PATH        write nodal values CSV after the run\n"
-      "  vtk=PATH        write cell-average VTK after the run\n";
+      "  vtk=PATH        write cell-average VTK after the run\n"
+      "  receivers=X,Y,Z[;X,Y,Z...]  probe points sampled every step\n"
+      "  output.receivers_csv=PATH   stream receiver samples as CSV\n"
+      "  output.receivers_bin=PATH   stream receiver samples as a binary"
+      " record stream\n"
+      "  output.quantities=A,B,...   quantity indices receivers sample"
+      " (default: all evolved)\n"
+      "  output.series=BASE          incremental VTK snapshot series"
+      " (BASE_NNNN.vtk + BASE.pvd)\n"
+      "  output.interval=T           series snapshot spacing (default:"
+      " every step)\n"
+      "  scenario.KEY=VALUE          scenario parameter passthrough (e.g."
+      " scenario.layer_rho for loh1,\n"
+      "                              scenario.kx for planewave; see the"
+      " scenario's declared keys)\n"
+      "  sweep=KEY:V1,V2,...         (exastp_run) run once per value,"
+      " streaming a summary CSV\n";
 }
 
 }  // namespace exastp

@@ -6,6 +6,8 @@
 // parse_simulation_args) instead of a recompiled driver.
 #pragma once
 
+#include <array>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,8 +18,21 @@
 namespace exastp {
 
 struct OutputConfig {
-  std::string csv;  ///< nodal-values CSV path; empty = no output
-  std::string vtk;  ///< cell-average VTK path; empty = no output
+  std::string csv;  ///< nodal-values CSV path after the run; empty = none
+  std::string vtk;  ///< cell-average VTK path after the run; empty = none
+
+  // Streaming outputs, produced incrementally from the time loop by the
+  // observer subsystem (src/io/, attached via ObserverRegistry).
+  /// Base path of an interval-spaced VTK snapshot series plus its
+  /// .pvd-style index (<base>_NNNN.vtk, <base>.pvd); empty = none.
+  std::string series;
+  /// Simulation-time spacing of series snapshots; <= 0 = every step.
+  double interval = 0.0;
+  /// Appending per-step receiver CSV / binary record stream; empty = none.
+  std::string receivers_csv;
+  std::string receivers_bin;
+  /// Quantity indices receivers sample; empty = all evolved quantities.
+  std::vector<int> quantities;
 };
 
 struct SimulationConfig {
@@ -40,7 +55,25 @@ struct SimulationConfig {
   double t_end = 0.5;
   double cfl = 0.4;
   OutputConfig output;
+
+  /// Receiver probe positions sampled after every step when non-empty
+  /// (the façade builds a ReceiverNetwork observer from them).
+  std::vector<std::array<double, 3>> receivers;
+
+  /// Generic scenario parameter passthrough: "scenario.<key>=value" CLI
+  /// pairs land here with the "scenario." prefix stripped, and scenario
+  /// factories read them (e.g. loh1 materials, planewave wavenumber).
+  /// Keys a scenario does not declare (Scenario::param_keys) are rejected
+  /// by Simulation::from_config.
+  std::map<std::string, std::string> scenario_params;
 };
+
+/// Typed accessors for scenario_params: the stored string parsed as a
+/// double/int, or `fallback` when the key is absent. Malformed values throw.
+double scenario_param(const SimulationConfig& config, const std::string& key,
+                      double fallback);
+int scenario_param_int(const SimulationConfig& config, const std::string& key,
+                       int fallback);
 
 /// Applies the scenario's recommended grid/boundaries/end time to `config`
 /// (looked up by config.scenario). parse_simulation_args calls this before
@@ -55,7 +88,10 @@ void apply_scenario_defaults(SimulationConfig& config);
 /// Keys: pde, scenario, stepper, variant, isa, order, family (gl|lobatto),
 /// cells (NxMxK or one int for a cube), extent, origin (comma- or
 /// x-separated triples), bc (periodic|outflow|wall, one or three
-/// comma-separated), t_end, cfl, csv, vtk. Unknown keys throw.
+/// comma-separated), t_end, cfl, csv, vtk, the streaming output.* keys
+/// (series, interval, receivers_csv, receivers_bin, quantities; csv/vtk
+/// also accepted with the prefix), receivers (semicolon-separated x,y,z
+/// triples) and scenario.<key> passthrough pairs. Unknown keys throw.
 SimulationConfig parse_simulation_args(const std::vector<std::string>& args);
 
 /// One-line-per-key usage text for CLI drivers.

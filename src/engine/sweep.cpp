@@ -1,0 +1,103 @@
+#include "exastp/engine/sweep.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "exastp/common/check.h"
+#include "exastp/engine/simulation.h"
+
+namespace exastp {
+namespace {
+
+/// "out.csv" + "5" -> "out_5.csv"; extensionless paths (series basenames)
+/// get the suffix appended. Only the filename part is inspected.
+std::string with_value_suffix(const std::string& path,
+                              const std::string& value) {
+  if (path.empty()) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + "_" + value;
+  return path.substr(0, dot) + "_" + value + path.substr(dot);
+}
+
+}  // namespace
+
+SweepSpec parse_sweep_spec(const std::string& value) {
+  const auto colon = value.find(':');
+  EXASTP_CHECK_MSG(colon != std::string::npos && colon > 0,
+                   "expected sweep=key:v1,v2,..., got sweep=" + value);
+  SweepSpec spec;
+  spec.key = value.substr(0, colon);
+  EXASTP_CHECK_MSG(spec.key != "sweep", "cannot sweep the sweep key");
+  std::string current;
+  for (char c : value.substr(colon + 1)) {
+    if (c == ',') {
+      spec.values.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  spec.values.push_back(current);
+  for (const std::string& v : spec.values)
+    EXASTP_CHECK_MSG(!v.empty(), "empty value in sweep=" + value);
+  return spec;
+}
+
+std::vector<std::string> extract_sweep(const std::vector<std::string>& args,
+                                       SweepSpec* spec, bool* found) {
+  *found = false;
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    if (arg.rfind("sweep=", 0) == 0) {
+      EXASTP_CHECK_MSG(!*found, "only one sweep= argument is supported");
+      *spec = parse_sweep_spec(arg.substr(6));
+      *found = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  return rest;
+}
+
+int run_sweep(const std::vector<std::string>& base_args,
+              const SweepSpec& spec, std::ostream& out) {
+  EXASTP_CHECK_MSG(!spec.values.empty(), "sweep needs at least one value");
+  out << spec.key << ",steps,t,l2_error,seconds\n" << std::flush;
+  int runs = 0;
+  for (const std::string& value : spec.values) {
+    std::vector<std::string> args = base_args;
+    args.push_back(spec.key + "=" + value);
+    SimulationConfig config = parse_simulation_args(args);
+    config.output.csv = with_value_suffix(config.output.csv, value);
+    config.output.vtk = with_value_suffix(config.output.vtk, value);
+    config.output.series = with_value_suffix(config.output.series, value);
+    config.output.receivers_csv =
+        with_value_suffix(config.output.receivers_csv, value);
+    config.output.receivers_bin =
+        with_value_suffix(config.output.receivers_bin, value);
+
+    const auto start = std::chrono::steady_clock::now();
+    Simulation sim = Simulation::from_config(std::move(config));
+    const int steps = sim.run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    out << value << "," << steps << "," << sim.solver().time() << ",";
+    // "nan" keeps the column numerically parseable when the scenario has
+    // no exact solution.
+    if (sim.has_exact_solution()) {
+      out << sim.l2_error();
+    } else {
+      out << "nan";
+    }
+    out << "," << seconds << "\n" << std::flush;
+    ++runs;
+  }
+  return runs;
+}
+
+}  // namespace exastp

@@ -1,0 +1,130 @@
+#include "exastp/io/receiver_sinks.h"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'X', 'S', 'T', 'P', 'R', 'C', '1'};
+
+template <class T>
+void write_raw(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+bool read_raw(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+}  // namespace
+
+CsvReceiverSink::CsvReceiverSink(std::string path,
+                                 std::vector<std::string> names)
+    : path_(std::move(path)), names_(std::move(names)) {}
+
+void CsvReceiverSink::open(const ReceiverNetwork& network) {
+  const std::vector<int>& quantities = network.quantities();
+  if (names_.empty()) names_ = default_quantity_names(quantities);
+  EXASTP_CHECK_MSG(names_.size() == quantities.size(),
+                   "receiver CSV needs one name per sampled quantity");
+  out_.open(path_);
+  EXASTP_CHECK_MSG(out_.good(), "cannot open " + path_);
+  // Full round-trippable precision: the CSV is primary seismogram output,
+  // and 6 significant digits cannot distinguish successive times of a
+  // long fine-stepped run.
+  out_.precision(std::numeric_limits<double>::max_digits10);
+  out_ << "t";
+  for (std::size_t r = 0; r < network.num_receivers(); ++r)
+    for (const std::string& name : names_) out_ << ",r" << r << "_" << name;
+  out_ << "\n" << std::flush;
+}
+
+void CsvReceiverSink::append(double time, const double* row, std::size_t n) {
+  out_ << time;
+  for (std::size_t i = 0; i < n; ++i) out_ << "," << row[i];
+  out_ << "\n" << std::flush;
+  EXASTP_CHECK_MSG(out_.good(), "write failed: " + path_);
+}
+
+void CsvReceiverSink::finish() {
+  out_.flush();
+  EXASTP_CHECK_MSG(out_.good(), "write failed: " + path_);
+}
+
+void BinaryReceiverSink::open(const ReceiverNetwork& network) {
+  out_.open(path_, std::ios::binary);
+  EXASTP_CHECK_MSG(out_.good(), "cannot open " + path_);
+  out_.write(kMagic, sizeof(kMagic));
+  write_raw(out_, static_cast<std::uint32_t>(network.num_receivers()));
+  write_raw(out_, static_cast<std::uint32_t>(network.quantities().size()));
+  for (int s : network.quantities())
+    write_raw(out_, static_cast<std::int32_t>(s));
+  for (const auto& position : network.positions())
+    for (double x : position) write_raw(out_, x);
+  out_.flush();
+}
+
+void BinaryReceiverSink::append(double time, const double* row,
+                                std::size_t n) {
+  write_raw(out_, time);
+  out_.write(reinterpret_cast<const char*>(row),
+             static_cast<std::streamsize>(n * sizeof(double)));
+  out_.flush();
+  EXASTP_CHECK_MSG(out_.good(), "write failed: " + path_);
+}
+
+void BinaryReceiverSink::finish() {
+  out_.flush();
+  EXASTP_CHECK_MSG(out_.good(), "write failed: " + path_);
+}
+
+ReceiverRecords read_receiver_records(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXASTP_CHECK_MSG(in.good(), "cannot open " + path);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  EXASTP_CHECK_MSG(
+      in.gcount() == sizeof(magic) &&
+          std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+      path + " is not an exastp receiver record stream");
+
+  ReceiverRecords records;
+  std::uint32_t num_receivers = 0, num_quantities = 0;
+  EXASTP_CHECK_MSG(read_raw(in, &num_receivers) &&
+                       read_raw(in, &num_quantities),
+                   path + ": truncated record-stream header");
+  for (std::uint32_t q = 0; q < num_quantities; ++q) {
+    std::int32_t s = 0;
+    EXASTP_CHECK_MSG(read_raw(in, &s), path + ": truncated quantity list");
+    records.quantities.push_back(s);
+  }
+  for (std::uint32_t r = 0; r < num_receivers; ++r) {
+    std::array<double, 3> position{};
+    for (double& x : position)
+      EXASTP_CHECK_MSG(read_raw(in, &x), path + ": truncated positions");
+    records.positions.push_back(position);
+  }
+
+  const std::size_t row_size = records.row_size();
+  std::vector<double> row(row_size);
+  double time = 0.0;
+  while (read_raw(in, &time)) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row_size * sizeof(double)));
+    if (in.gcount() !=
+        static_cast<std::streamsize>(row_size * sizeof(double)))
+      break;  // trailing partial record from an interrupted run
+    records.times.push_back(time);
+    records.data.insert(records.data.end(), row.begin(), row.end());
+  }
+  return records;
+}
+
+}  // namespace exastp

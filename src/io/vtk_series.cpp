@@ -1,0 +1,79 @@
+#include "exastp/io/vtk_series.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "exastp/common/check.h"
+#include "exastp/solver/output.h"
+
+namespace exastp {
+
+VtkSeriesWriter::VtkSeriesWriter(std::string base, std::vector<int> quantities,
+                                 std::vector<std::string> names,
+                                 double interval)
+    : base_(std::move(base)),
+      quantities_(std::move(quantities)),
+      names_(std::move(names)),
+      interval_(interval) {
+  EXASTP_CHECK_MSG(!base_.empty(), "VTK series needs a base path");
+  EXASTP_CHECK(quantities_.size() == names_.size());
+}
+
+void VtkSeriesWriter::on_start(const SolverBase& solver) {
+  emit(solver);
+  next_emit_time_ = solver.time() + interval_;
+}
+
+void VtkSeriesWriter::on_step(const SolverBase& solver, int /*step*/) {
+  constexpr double kEps = 1e-12;
+  if (interval_ <= 0.0) {
+    emit(solver);
+    return;
+  }
+  if (solver.time() < next_emit_time_ - kEps) return;
+  emit(solver);
+  // Advance along the fixed grid, skipping thresholds a large step jumped
+  // over, so the spacing stays the configured interval on average instead
+  // of accumulating per-step overshoot.
+  while (next_emit_time_ <= solver.time() + kEps) next_emit_time_ += interval_;
+}
+
+void VtkSeriesWriter::on_finish(const SolverBase& solver) {
+  // Capture the end state if the last step landed between emit points.
+  if (entries_.empty() || solver.time() > last_emit_time_ + 1e-12)
+    emit(solver);
+  else
+    write_index();
+}
+
+void VtkSeriesWriter::emit(const SolverBase& solver) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "_%04d.vtk",
+                static_cast<int>(entries_.size()));
+  const std::string path = base_ + suffix;
+  write_vtk_cell_averages(solver, quantities_, names_, path);
+  // The index references snapshots relative to its own directory.
+  const auto slash = path.find_last_of('/');
+  entries_.push_back(
+      {solver.time(),
+       slash == std::string::npos ? path : path.substr(slash + 1)});
+  last_emit_time_ = solver.time();
+  write_index();
+}
+
+void VtkSeriesWriter::write_index() const {
+  std::ofstream out(index_path());
+  EXASTP_CHECK_MSG(out.good(), "cannot open " + index_path());
+  out << "<?xml version=\"1.0\"?>\n"
+      << "<VTKFile type=\"Collection\" version=\"0.1\">\n"
+      << "  <Collection>\n";
+  for (const Entry& entry : entries_)
+    out << "    <DataSet timestep=\"" << entry.time << "\" part=\"0\" file=\""
+        << entry.file << "\"/>\n";
+  out << "  </Collection>\n</VTKFile>\n";
+  out.flush();
+  EXASTP_CHECK_MSG(out.good(), "write failed: " + index_path());
+}
+
+}  // namespace exastp

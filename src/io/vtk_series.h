@@ -1,0 +1,54 @@
+// Incremental VTK snapshot series with a .pvd-style collection index.
+//
+// Emits interval-spaced cell-average snapshots (<base>_NNNN.vtk, the legacy
+// writer from solver/output.h) from the time loop and maintains
+// <base>.pvd — a ParaView-collection XML mapping timestep -> file. The
+// index is rewritten after every snapshot, so the series on disk is
+// complete and loadable at any point during the run, not just after it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exastp/io/observer.h"
+
+namespace exastp {
+
+class VtkSeriesWriter final : public Observer {
+ public:
+  /// Snapshots of `quantities` (labelled `names`) every `interval` of
+  /// simulation time; interval <= 0 means "after every step". `base` is the
+  /// path prefix — files land at <base>_NNNN.vtk and <base>.pvd.
+  VtkSeriesWriter(std::string base, std::vector<int> quantities,
+                  std::vector<std::string> names, double interval);
+
+  void on_start(const SolverBase& solver) override;
+  void on_step(const SolverBase& solver, int step) override;
+  void on_finish(const SolverBase& solver) override;
+
+  /// Snapshots emitted so far.
+  int num_snapshots() const { return static_cast<int>(entries_.size()); }
+  /// Path of the collection index (<base>.pvd).
+  std::string index_path() const { return base_ + ".pvd"; }
+
+ private:
+  void emit(const SolverBase& solver);
+  void write_index() const;
+
+  std::string base_;
+  std::vector<int> quantities_;
+  std::vector<std::string> names_;
+  double interval_ = 0.0;
+  double last_emit_time_ = 0.0;
+  /// Next threshold on the fixed t0 + k*interval grid, so spacing does not
+  /// drift by the per-step overshoot when dt does not divide the interval.
+  double next_emit_time_ = 0.0;
+
+  struct Entry {
+    double time;
+    std::string file;  ///< basename relative to the index file
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace exastp

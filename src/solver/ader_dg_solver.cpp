@@ -232,15 +232,4 @@ void AderDgSolver::check_finite() const {
   }
 }
 
-int AderDgSolver::run_until(double t_end, double cfl) {
-  int steps = 0;
-  while (time_ < t_end - 1e-14) {
-    double dt = stable_dt(cfl);
-    if (time_ + dt > t_end) dt = t_end - time_;
-    step(dt);
-    ++steps;
-  }
-  return steps;
-}
-
 }  // namespace exastp

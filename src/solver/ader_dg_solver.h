@@ -49,6 +49,7 @@ class AderDgSolver final : public SolverBase {
   const BasisTables& basis() const override { return basis_; }
   double time() const override { return time_; }
   int order() const override { return basis_.n; }
+  int evolved_quantities() const override { return vars_; }
   std::string stepper_name() const override { return "ader"; }
 
   void set_initial_condition(const InitialCondition& init) override;
@@ -66,10 +67,6 @@ class AderDgSolver final : public SolverBase {
   /// Advances by one step of size dt. Throws std::runtime_error if the
   /// solution leaves the finite range (blow-up detection).
   void step(double dt) override;
-
-  /// Runs until t_end (last step shortened to land exactly), returns the
-  /// number of steps taken.
-  int run_until(double t_end, double cfl = 0.4) override;
 
   /// Read-only view of a cell's padded AoS DOFs.
   const double* cell_dofs(int cell) const override {

@@ -1,10 +1,12 @@
-// Solution writers: CSV (nodal values) and legacy-VTK (cell averages),
-// the engine's "Plotters" role in Fig. 2.
+// Whole-mesh solution writers: CSV (nodal values) and legacy-VTK (cell
+// averages). Streaming per-step output lives in src/io/ (observer hooks,
+// receiver networks, incremental writers); these stay the post-hoc dumps.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "exastp/io/receiver_network.h"
 #include "exastp/solver/solver_base.h"
 
 namespace exastp {
@@ -20,25 +22,33 @@ void write_vtk_cell_averages(const SolverBase& solver,
                              const std::vector<std::string>& names,
                              const std::string& path);
 
-/// Time series recorder for receiver/seismogram output.
+/// Time series recorder for a single receiver — a thin shim over
+/// io/receiver_network.h kept for callers that drive recording by hand.
+/// The first record() binds the network (locating the containing cell and
+/// precomputing the basis weights once); every later record() is a cached
+/// dot product instead of the old locate-and-re-evaluate-per-sample path.
+/// New code should attach a ReceiverNetwork observer instead.
 class SeismogramRecorder {
  public:
   SeismogramRecorder(std::array<double, 3> position,
                      std::vector<int> quantities)
-      : position_(position), quantities_(std::move(quantities)) {}
+      : network_(std::move(quantities)) {
+    network_.add_receiver(position);
+  }
 
   void record(const SolverBase& solver);
   void write_csv(const std::string& path,
                  const std::vector<std::string>& names) const;
-  std::size_t num_samples() const { return times_.size(); }
-  const std::vector<double>& times() const { return times_; }
-  const std::vector<std::vector<double>>& samples() const { return samples_; }
+  std::size_t num_samples() const { return network_.num_samples(); }
+  const std::vector<double>& times() const { return network_.times(); }
+  /// Row-per-record view of the network's traces, rebuilt on demand (the
+  /// network already owns the data; this keeps the legacy return type
+  /// without a second persistent copy).
+  const std::vector<std::vector<double>>& samples() const;
 
  private:
-  std::array<double, 3> position_;
-  std::vector<int> quantities_;
-  std::vector<double> times_;
-  std::vector<std::vector<double>> samples_;  // per record, one per quantity
+  ReceiverNetwork network_;
+  mutable std::vector<std::vector<double>> samples_view_;
 };
 
 }  // namespace exastp

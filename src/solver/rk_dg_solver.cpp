@@ -240,15 +240,4 @@ void RkDgSolver::check_finite() const {
   }
 }
 
-int RkDgSolver::run_until(double t_end, double cfl) {
-  int steps = 0;
-  while (time_ < t_end - 1e-14) {
-    double dt = stable_dt(cfl);
-    if (time_ + dt > t_end) dt = t_end - time_;
-    step(dt);
-    ++steps;
-  }
-  return steps;
-}
-
 }  // namespace exastp

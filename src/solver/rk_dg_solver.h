@@ -38,6 +38,7 @@ class RkDgSolver final : public SolverBase {
   const BasisTables& basis() const override { return basis_; }
   double time() const override { return time_; }
   int order() const override { return basis_.n; }
+  int evolved_quantities() const override { return vars_; }
   std::string stepper_name() const override { return "rk4"; }
 
   void set_initial_condition(const InitialCondition& init) override;
@@ -58,7 +59,6 @@ class RkDgSolver final : public SolverBase {
   /// One classical RK4 step: four evaluations of the semi-discrete DG
   /// operator.
   void step(double dt) override;
-  int run_until(double t_end, double cfl = 0.4) override;
 
   const double* cell_dofs(int cell) const override {
     return q_.data() + static_cast<std::size_t>(cell) * cell_size_;

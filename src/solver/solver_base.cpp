@@ -14,6 +14,35 @@ void SolverBase::set_num_threads(int threads) {
   par_ = ParallelFor(threads);
 }
 
+void SolverBase::add_observer(Observer* observer) {
+  EXASTP_CHECK_MSG(observer != nullptr, "observer must not be null");
+  for (const AttachedObserver& attached : observers_)
+    EXASTP_CHECK_MSG(attached.observer != observer,
+                     "observer is already attached");
+  observers_.push_back({observer, false});
+}
+
+int SolverBase::run_until(double t_end, double cfl) {
+  for (AttachedObserver& attached : observers_) {
+    if (attached.started) continue;
+    attached.observer->on_start(*this);
+    attached.started = true;
+  }
+  int steps = 0;
+  while (time() < t_end - 1e-14) {
+    double dt = stable_dt(cfl);
+    if (time() + dt > t_end) dt = t_end - time();
+    step(dt);
+    ++steps;
+    ++steps_taken_;
+    for (AttachedObserver& attached : observers_)
+      attached.observer->on_step(*this, steps_taken_);
+  }
+  for (AttachedObserver& attached : observers_)
+    attached.observer->on_finish(*this);
+  return steps;
+}
+
 void SolverBase::prepare_point_source(const MeshPointSource& source,
                                       int vars) {
   EXASTP_CHECK_MSG(source.wavelet != nullptr, "source needs a wavelet");

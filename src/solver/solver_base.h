@@ -15,6 +15,7 @@
 
 #include "exastp/basis/basis_tables.h"
 #include "exastp/common/parallel.h"
+#include "exastp/io/observer.h"
 #include "exastp/mesh/grid.h"
 #include "exastp/pde/point_source.h"
 #include "exastp/tensor/layout.h"
@@ -47,6 +48,9 @@ class SolverBase {
   virtual const BasisTables& basis() const = 0;
   virtual double time() const = 0;
   virtual int order() const = 0;
+  /// Evolved quantities — material/geometry parameters excluded (the
+  /// layout's m counts both).
+  virtual int evolved_quantities() const = 0;
   /// Short stepper tag for reports/configs: "ader" or "rk4".
   virtual std::string stepper_name() const = 0;
 
@@ -70,11 +74,25 @@ class SolverBase {
   /// CFL-limited stable time step from the current solution.
   virtual double stable_dt(double cfl = 0.4) const = 0;
   /// Advances by one step of size dt. Throws std::runtime_error if the
-  /// solution leaves the finite range (blow-up detection).
+  /// solution leaves the finite range (blow-up detection). Observer hooks
+  /// do NOT fire for direct step() calls — run_until owns the loop.
   virtual void step(double dt) = 0;
   /// Runs until t_end (last step shortened to land exactly), returns the
-  /// number of steps taken.
-  virtual int run_until(double t_end, double cfl = 0.4) = 0;
+  /// number of steps taken this call. Implemented once here over the
+  /// virtual stable_dt()/step(), so every stepper drives the observer
+  /// hooks identically: on_start before the first observed step, on_step
+  /// after each step, on_finish on return (see io/observer.h).
+  int run_until(double t_end, double cfl = 0.4);
+
+  /// Attaches a read-only observer to the time loop (io/observer.h).
+  /// Non-owning: the caller (typically the Simulation façade) keeps the
+  /// observer alive for the solver's remaining use. Observers fire in
+  /// attachment order; attaching any number of them never changes the
+  /// field state — they only see const SolverBase&.
+  void add_observer(Observer* observer);
+  void clear_observers() { observers_.clear(); }
+  /// Cumulative steps taken by run_until (the step index observers see).
+  int steps_taken() const { return steps_taken_; }
 
   /// Read-only view of a cell's padded AoS DOFs.
   virtual const double* cell_dofs(int cell) const = 0;
@@ -104,6 +122,16 @@ class SolverBase {
   std::vector<PreparedSource> sources_;
   /// The thread team the subclass hot loops run on (1 thread by default).
   ParallelFor par_;
+
+ private:
+  /// An attached observer plus whether its on_start already fired, so
+  /// observers attached between run_until calls still get a start hook.
+  struct AttachedObserver {
+    Observer* observer = nullptr;
+    bool started = false;
+  };
+  std::vector<AttachedObserver> observers_;
+  int steps_taken_ = 0;
 };
 
 }  // namespace exastp

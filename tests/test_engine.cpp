@@ -100,6 +100,88 @@ TEST(ConfigParse, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(ConfigParse, StreamingOutputAndReceiverKeys) {
+  const SimulationConfig config = parse_simulation_args(
+      {"receivers=0.5,0.5,0.5;0.1,0.2,0.3", "output.receivers_csv=a.csv",
+       "output.receivers_bin=a.bin", "output.series=snap",
+       "output.interval=0.25", "output.quantities=0,3", "output.csv=n.csv",
+       "output.vtk=n.vtk"});
+  ASSERT_EQ(config.receivers.size(), 2u);
+  EXPECT_EQ(config.receivers[1], (std::array<double, 3>{0.1, 0.2, 0.3}));
+  EXPECT_EQ(config.output.receivers_csv, "a.csv");
+  EXPECT_EQ(config.output.receivers_bin, "a.bin");
+  EXPECT_EQ(config.output.series, "snap");
+  EXPECT_DOUBLE_EQ(config.output.interval, 0.25);
+  EXPECT_EQ(config.output.quantities, (std::vector<int>{0, 3}));
+  EXPECT_EQ(config.output.csv, "n.csv");  // output.csv aliases csv
+  EXPECT_EQ(config.output.vtk, "n.vtk");
+  EXPECT_THROW(parse_simulation_args({"receivers="}), std::invalid_argument);
+  EXPECT_THROW(parse_simulation_args({"receivers=0.5,0.5"}),
+               std::invalid_argument);
+  // Quantity lists split on ',' only — the 'x' shorthand is for triples.
+  EXPECT_THROW(parse_simulation_args({"output.quantities=0x3"}),
+               std::invalid_argument);
+}
+
+TEST(ConfigParse, ScenarioParamsPassThroughWithPrefixStripped) {
+  const SimulationConfig config = parse_simulation_args(
+      {"scenario=loh1", "scenario.layer_rho=3.5", "scenario.half_cs=4.0"});
+  ASSERT_EQ(config.scenario_params.size(), 2u);
+  EXPECT_EQ(config.scenario_params.at("layer_rho"), "3.5");
+  EXPECT_DOUBLE_EQ(scenario_param(config, "layer_rho", 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(scenario_param(config, "absent", 7.0), 7.0);
+  EXPECT_THROW(parse_simulation_args({"scenario.=1"}),
+               std::invalid_argument);
+}
+
+TEST(Facade, UnknownScenarioParamThrowsWithKnownKeys) {
+  SimulationConfig config = parse_simulation_args(
+      {"scenario=loh1", "scenario.layer_rho=3.5"});
+  config.scenario_params["bogus"] = "1";
+  try {
+    Simulation::from_config(std::move(config));
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("layer_rho"), std::string::npos);
+  }
+}
+
+TEST(Facade, PlanewaveWavenumberParamsKeepTheExactSolution) {
+  // A diagonal (kx, ky) = (1, 1) wave is still exact on the periodic unit
+  // box: the parameterized initial condition and exact solution must stay
+  // consistent with each other.
+  Simulation sim = Simulation::from_args(
+      {"scenario=planewave", "order=5", "cells=3x3x3", "t_end=0.1",
+       "scenario.kx=1", "scenario.ky=1"});
+  sim.run();
+  EXPECT_LT(sim.l2_error(), 5e-3);
+  EXPECT_THROW(Simulation::from_args({"scenario=planewave", "scenario.kx=0",
+                                      "scenario.ky=0", "scenario.kz=0"}),
+               std::invalid_argument);
+}
+
+TEST(Facade, Loh1MaterialParamsChangeTheMedium) {
+  // Doubling the halfspace density must show up in the initialized
+  // parameter field below the interface (rho is quantity kRho).
+  Simulation stock = Simulation::from_args({"scenario=loh1", "order=3"});
+  Simulation dense = Simulation::from_args(
+      {"scenario=loh1", "order=3", "scenario.half_rho=5.4"});
+  const std::array<double, 3> below{4.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(stock.solver().sample(below, ElasticPde::kRho), 2.7);
+  EXPECT_DOUBLE_EQ(dense.solver().sample(below, ElasticPde::kRho), 5.4);
+}
+
+TEST(Facade, GaussianSigmaParamShapesThePulse) {
+  Simulation wide = Simulation::from_args(
+      {"scenario=gaussian", "cells=2x2x2", "scenario.sigma=0.4"});
+  Simulation narrow = Simulation::from_args(
+      {"scenario=gaussian", "cells=2x2x2", "scenario.sigma=0.05"});
+  const std::array<double, 3> off_center{0.75, 0.5, 0.5};
+  EXPECT_GT(wide.solver().sample(off_center, 0),
+            narrow.solver().sample(off_center, 0) + 0.5);
+}
+
 TEST(VariantNames, ParseAndNameAreInverse) {
   int count = 0;
   for (StpVariant v : kAllVariants) {

@@ -1,0 +1,131 @@
+// Tests for src/engine/sweep: spec parsing, arg extraction, and the
+// streaming summary CSV produced by run_sweep (one row per completed run,
+// per-run file outputs suffixed so runs do not overwrite each other).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exastp/engine/sweep.h"
+
+namespace exastp {
+namespace {
+
+TEST(SweepSpec, ParsesKeyAndValues) {
+  const SweepSpec spec = parse_sweep_spec("order:2,3,4");
+  EXPECT_EQ(spec.key, "order");
+  EXPECT_EQ(spec.values, (std::vector<std::string>{"2", "3", "4"}));
+}
+
+TEST(SweepSpec, ParsesSingleValueAndDottedKeys) {
+  const SweepSpec spec = parse_sweep_spec("scenario.kx:2");
+  EXPECT_EQ(spec.key, "scenario.kx");
+  EXPECT_EQ(spec.values, (std::vector<std::string>{"2"}));
+}
+
+TEST(SweepSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_sweep_spec("order"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec(":2,3"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec("order:2,,3"), std::invalid_argument);
+  EXPECT_THROW(parse_sweep_spec("sweep:a,b"), std::invalid_argument);
+}
+
+TEST(SweepSpec, ExtractSeparatesTheSweepArg) {
+  SweepSpec spec;
+  bool found = false;
+  const std::vector<std::string> rest = extract_sweep(
+      {"scenario=planewave", "sweep=order:2,3", "t_end=0.1"}, &spec, &found);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(spec.key, "order");
+  EXPECT_EQ(rest,
+            (std::vector<std::string>{"scenario=planewave", "t_end=0.1"}));
+
+  found = true;
+  const std::vector<std::string> none =
+      extract_sweep({"scenario=planewave"}, &spec, &found);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(none, (std::vector<std::string>{"scenario=planewave"}));
+
+  EXPECT_THROW(
+      extract_sweep({"sweep=order:2", "sweep=cfl:0.3"}, &spec, &found),
+      std::invalid_argument);
+}
+
+TEST(RunSweep, StreamsOneSummaryRowPerRun) {
+  std::ostringstream out;
+  const int runs = run_sweep(
+      {"scenario=planewave", "cells=3x3x3", "t_end=0.05"},
+      {"order", {"2", "3", "4"}}, out);
+  EXPECT_EQ(runs, 3);
+
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "order,steps,t,l2_error,seconds");
+  std::vector<double> errors;
+  for (const std::string expected_value : {"2", "3", "4"}) {
+    ASSERT_TRUE(std::getline(in, line)) << "missing row for " << expected_value;
+    std::stringstream row(line);
+    std::string value;
+    ASSERT_TRUE(std::getline(row, value, ','));
+    EXPECT_EQ(value, expected_value);
+    std::string steps, t, l2, seconds;
+    ASSERT_TRUE(std::getline(row, steps, ','));
+    ASSERT_TRUE(std::getline(row, t, ','));
+    ASSERT_TRUE(std::getline(row, l2, ','));
+    ASSERT_TRUE(std::getline(row, seconds));
+    EXPECT_GT(std::stoi(steps), 0);
+    EXPECT_NEAR(std::stod(t), 0.05, 1e-9);
+    errors.push_back(std::stod(l2));
+    EXPECT_GT(std::stod(seconds), 0.0);
+  }
+  EXPECT_FALSE(std::getline(in, line));
+  // The planewave has an exact solution: error must fall with order.
+  EXPECT_LT(errors[2], errors[0]);
+}
+
+TEST(RunSweep, SuffixesPerRunOutputsSoRunsDoNotCollide) {
+  std::ostringstream out;
+  run_sweep({"scenario=planewave", "cells=3x3x3", "t_end=0.02",
+             "receivers=0.5,0.5,0.5",
+             "output.receivers_csv=/tmp/exastp_sweep_recv.csv"},
+            {"order", {"2", "3"}}, out);
+  for (const char* path :
+       {"/tmp/exastp_sweep_recv_2.csv", "/tmp/exastp_sweep_recv_3.csv"}) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header.rfind("t,", 0), 0u) << path;
+    std::remove(path);
+  }
+}
+
+TEST(RunSweep, SweptScenarioParamsReachTheScenario) {
+  // Sweeping the planewave wavenumber changes the workload: kx=2 halves
+  // the wavelength, so the same mesh resolves it worse and the L2 error
+  // must grow.
+  std::ostringstream out;
+  const int runs = run_sweep(
+      {"scenario=planewave", "order=4", "cells=3x3x3", "t_end=0.05"},
+      {"scenario.kx", {"1", "2"}}, out);
+  EXPECT_EQ(runs, 2);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<double> errors;
+  while (std::getline(in, line)) {
+    std::stringstream row(line);
+    std::string field;
+    for (int i = 0; i < 4; ++i) std::getline(row, field, ',');
+    errors.push_back(std::stod(field));
+  }
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_GT(errors[1], 2.0 * errors[0]);
+}
+
+}  // namespace
+}  // namespace exastp
