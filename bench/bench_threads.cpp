@@ -8,16 +8,17 @@
 // count saturates (CI's bench-smoke job archives this output per commit).
 //
 //   bench/bench_threads [max_threads] [order] [cells_per_dim]
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "exastp/common/parallel.h"
 #include "exastp/engine/simulation.h"
 
 using namespace exastp;
+using exastp::bench::time_fixed_steps;
 
 namespace {
 
@@ -29,16 +30,6 @@ Simulation make_sim(int threads, int order, int cells) {
        "threads=" + std::to_string(threads)});
 }
 
-/// Seconds for `steps` fixed-dt steps (one untimed warm-up step first).
-double time_steps(Simulation& sim, int steps) {
-  const double dt = sim.solver().stable_dt();
-  sim.solver().step(dt);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int s = 0; s < steps; ++s) sim.solver().step(dt);
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,7 +39,7 @@ int main(int argc, char** argv) {
 
   // Calibrate the step count so the serial run takes ~1 s.
   Simulation probe = make_sim(1, order, cells);
-  const double probe_seconds = time_steps(probe, 2) / 2.0;
+  const double probe_seconds = time_fixed_steps(probe, 2) / 2.0;
   const int steps =
       std::max(4, static_cast<int>(1.0 / std::max(probe_seconds, 1e-6)));
 
@@ -65,7 +56,7 @@ int main(int argc, char** argv) {
 
   for (int threads : counts) {
     Simulation sim = make_sim(threads, order, cells);
-    const double seconds = time_steps(sim, steps);
+    const double seconds = time_fixed_steps(sim, steps);
     if (threads == 1) serial_seconds = seconds;
     std::printf("%8d %12.4f %10.2f %8.2fx\n", threads, seconds,
                 steps / seconds, serial_seconds / seconds);

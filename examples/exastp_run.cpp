@@ -5,9 +5,11 @@
 //       variant=aosoa_splitck order=5 cells=3x3x3 t_end=0.25   (one line)
 //
 // Streaming outputs come from the observer subsystem (receivers=...,
-// output.series=..., output.receivers_csv=...), and sweep=key:v1,v2,...
-// runs the config once per value, streaming one summary CSV row per run
-// to stdout.
+// output.series=..., output.receivers_csv=...), shards=AxBxC|N|auto runs
+// the mesh domain-decomposed (the summary line prints the effective
+// topology: shards=AxBxC threads=N cells/shard=...), and
+// sweep=key:v1,v2,... runs the config once per value, streaming one
+// summary CSV row per run to stdout.
 //
 // Run without arguments (or with "help") for the key reference and the
 // registered PDE/scenario/observer names.

@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "exastp/common/check.h"
+#include "exastp/mesh/partition.h"
 #include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/norms.h"
 #include "exastp/solver/output.h"
 #include "exastp/solver/rk_dg_solver.h"
+#include "exastp/solver/sharded_solver.h"
 
 namespace exastp {
 
@@ -56,17 +58,32 @@ Simulation Simulation::from_config(SimulationConfig config) {
                      "host cannot execute isa=" + config.isa);
   }
 
-  std::unique_ptr<SolverBase> solver;
-  if (config.stepper == "ader") {
-    solver = std::make_unique<AderDgSolver>(
-        pde->runtime(),
-        pde->make_kernel(config.variant, config.order, isa, config.family),
-        config.grid, config.family);
-  } else if (config.stepper == "rk4" || config.stepper == "rk") {
-    solver = std::make_unique<RkDgSolver>(pde->runtime(), config.order, isa,
-                                          config.grid, config.family);
-  } else {
+  // One shard factory serves both paths: a monolithic run is the factory
+  // applied to the whole-domain grid, a sharded run applies it to every
+  // partitioned view under the ShardedSolver façade. Each ADER shard gets
+  // its own kernel instance (per-thread clones are forked per shard).
+  const auto make_shard =
+      [&](const Grid& grid) -> std::unique_ptr<SolverBase> {
+    if (config.stepper == "ader") {
+      return std::make_unique<AderDgSolver>(
+          pde->runtime(),
+          pde->make_kernel(config.variant, config.order, isa, config.family),
+          grid, config.family);
+    }
+    if (config.stepper == "rk4" || config.stepper == "rk") {
+      return std::make_unique<RkDgSolver>(pde->runtime(), config.order, isa,
+                                          grid, config.family);
+    }
     EXASTP_FAIL("unknown stepper \"" + config.stepper + "\" (ader|rk4)");
+  };
+
+  const std::array<int, 3> shard_grid = resolve_shard_grid(config);
+  std::unique_ptr<SolverBase> solver;
+  if (shard_grid[0] * shard_grid[1] * shard_grid[2] == 1) {
+    solver = make_shard(Grid(config.grid));
+  } else {
+    solver = std::make_unique<ShardedSolver>(Partition(config.grid, shard_grid),
+                                             make_shard);
   }
 
   solver->set_num_threads(config.threads);
@@ -76,6 +93,7 @@ Simulation Simulation::from_config(SimulationConfig config) {
 
   Simulation simulation(std::move(config), isa, std::move(pde),
                         std::move(scenario), std::move(solver));
+  simulation.shard_grid_ = shard_grid;
   // Attach the config-declared streaming observers (receivers, VTK series,
   // any registered plugin) in registry name order.
   for (std::shared_ptr<Observer>& observer :
@@ -127,15 +145,31 @@ double Simulation::l2_error() const {
 std::string Simulation::summary() const {
   const PdeInfo info = pde_->info();
   const auto& cells = config_.grid.cells;
+  // Effective topology: the shard block grid actually built plus the
+  // owned-cell range per shard (a single number unless the split is
+  // ragged).
+  int min_cells = solver_->shard(0).grid().num_cells();
+  int max_cells = min_cells;
+  for (int s = 1; s < solver_->num_shards(); ++s) {
+    const int n = solver_->shard(s).grid().num_cells();
+    min_cells = std::min(min_cells, n);
+    max_cells = std::max(max_cells, n);
+  }
   std::ostringstream os;
   os << "pde=" << pde_->name() << " (m=" << info.quants << ")"
      << " scenario=" << scenario_->name()
      << " stepper=" << solver_->stepper_name()
      << " variant=" << variant_name(config_.variant)
      << " isa=" << isa_name(isa_) << " order=" << config_.order
-     << " threads=" << solver_->num_threads() << " cells="
-     << cells[0] << "x" << cells[1] << "x" << cells[2]
-     << " t_end=" << config_.t_end;
+     << " shards=" << shard_grid_[0] << "x" << shard_grid_[1] << "x"
+     << shard_grid_[2] << " threads=" << solver_->num_threads() << " cells="
+     << cells[0] << "x" << cells[1] << "x" << cells[2] << " cells/shard=";
+  if (min_cells == max_cells) {
+    os << max_cells;
+  } else {
+    os << min_cells << "-" << max_cells;
+  }
+  os << " t_end=" << config_.t_end;
   return os.str();
 }
 

@@ -40,6 +40,9 @@ class Simulation {
   const Scenario& scenario() const { return *scenario_; }
   /// The resolved instruction set ("auto" already applied).
   Isa isa() const { return isa_; }
+  /// The effective shard block grid (shards= key resolved against the
+  /// mesh; {1,1,1} for monolithic runs).
+  const std::array<int, 3>& shard_grid() const { return shard_grid_; }
 
   /// Runs to config.t_end — streaming observers (receivers, VTK series)
   /// fire from the time loop — then writes any configured post-hoc outputs;
@@ -78,6 +81,7 @@ class Simulation {
 
   SimulationConfig config_;
   Isa isa_ = Isa::kScalar;
+  std::array<int, 3> shard_grid_{1, 1, 1};
   std::shared_ptr<const KernelFactory> pde_;
   std::shared_ptr<const Scenario> scenario_;
   /// Observer lifetime is owned here; the solver only holds raw pointers,

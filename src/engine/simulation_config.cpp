@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "exastp/common/check.h"
+#include "exastp/common/parallel.h"
 #include "exastp/engine/scenario_registry.h"
 #include "exastp/kernels/registry.h"
+#include "exastp/mesh/partition.h"
 
 namespace exastp {
 namespace {
@@ -142,6 +144,20 @@ void apply_pair(SimulationConfig& config, const std::string& key,
     config.family = parse_family(value);
   } else if (key == "threads") {
     config.threads = value == "auto" ? 0 : parse_int(key, value);
+  } else if (key == "shards") {
+    // Validated against the grid later (resolve_shard_grid); here only the
+    // shape is checked so typos fail at parse time.
+    if (value != "auto") {
+      const auto parts = split_list(value);
+      EXASTP_CHECK_MSG(parts.size() == 1 || parts.size() == 3,
+                       "shards=" + value + " (AxBxC, a total count, or auto)");
+      for (const std::string& part : parts) {
+        const int v = parse_int(key, part);
+        EXASTP_CHECK_MSG(v >= 1, "shards=" + value +
+                                     " needs positive counts");
+      }
+    }
+    config.shards = value;
   } else if (key == "cells") {
     config.grid.cells = parse_cells(value);
   } else if (key == "extent") {
@@ -195,6 +211,25 @@ int scenario_param_int(const SimulationConfig& config, const std::string& key,
   return parse_int("scenario." + key, it->second);
 }
 
+std::array<int, 3> resolve_shard_grid(const SimulationConfig& config) {
+  if (config.shards == "auto")
+    return Partition::factor(resolve_threads(config.threads),
+                             config.grid.cells);
+  const auto parts = split_list(config.shards);
+  if (parts.size() == 1)
+    return Partition::factor(parse_int("shards", parts[0]),
+                             config.grid.cells);
+  EXASTP_CHECK_MSG(parts.size() == 3, "shards=" + config.shards);
+  const std::array<int, 3> shards{parse_int("shards", parts[0]),
+                                  parse_int("shards", parts[1]),
+                                  parse_int("shards", parts[2])};
+  for (int d = 0; d < 3; ++d)
+    EXASTP_CHECK_MSG(shards[d] >= 1 && shards[d] <= config.grid.cells[d],
+                     "shards=" + config.shards +
+                         " needs at least one cell per shard per dimension");
+  return shards;
+}
+
 void apply_scenario_defaults(SimulationConfig& config) {
   ScenarioRegistry::instance().find(config.scenario)->configure(config);
 }
@@ -229,6 +264,10 @@ std::string simulation_usage() {
       "  family=NAME     gl | lobatto quadrature nodes (default gl)\n"
       "  threads=N       stepper threads; auto (default) = hardware"
       " concurrency\n"
+      "  shards=AxBxC    mesh shard block grid (or a total count to factor,"
+      " or auto);\n"
+      "                  results are bitwise-identical for every"
+      " decomposition\n"
       "  cells=AxBxC     mesh cells per dimension (or one int for a cube)\n"
       "  extent=X,Y,Z    domain size (or one number for a cube)\n"
       "  origin=X,Y,Z    domain lower corner\n"
@@ -252,7 +291,9 @@ std::string simulation_usage() {
       "                              scenario.kx for planewave; see the"
       " scenario's declared keys)\n"
       "  sweep=KEY:V1,V2,...         (exastp_run) run once per value,"
-      " streaming a summary CSV\n";
+      " streaming a summary CSV\n"
+      "                              (any key above sweeps, e.g."
+      " sweep=shards:1,2,4)\n";
 }
 
 }  // namespace exastp

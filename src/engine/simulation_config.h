@@ -50,6 +50,11 @@ struct SimulationConfig {
   /// "auto" = hardware concurrency. Results are bitwise-identical for
   /// every thread count (see README "Threading").
   int threads = 0;
+  /// Domain decomposition: "AxBxC" shard block grid, a total shard count
+  /// to factor onto the mesh, or "auto" (factor the resolved thread
+  /// count). Resolved by resolve_shard_grid; results are bitwise-identical
+  /// for every decomposition (see README "Sharding").
+  std::string shards = "1";
 
   GridSpec grid;
   double t_end = 0.5;
@@ -74,6 +79,15 @@ double scenario_param(const SimulationConfig& config, const std::string& key,
                       double fallback);
 int scenario_param_int(const SimulationConfig& config, const std::string& key,
                        int fallback);
+
+/// Resolves config.shards against the grid and thread count into the
+/// effective shard block grid: "AxBxC" is taken literally (each dimension
+/// needs at least one cell per shard), a plain total and "auto" (= the
+/// resolved thread count) are factored onto the mesh by
+/// Partition::factor — so the effective topology can be smaller than a
+/// requested total when the mesh cannot be split that finely; the runner's
+/// summary line prints what was actually used.
+std::array<int, 3> resolve_shard_grid(const SimulationConfig& config);
 
 /// Applies the scenario's recommended grid/boundaries/end time to `config`
 /// (looked up by config.scenario). parse_simulation_args calls this before

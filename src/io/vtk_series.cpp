@@ -48,16 +48,26 @@ void VtkSeriesWriter::on_finish(const SolverBase& solver) {
 }
 
 void VtkSeriesWriter::emit(const SolverBase& solver) {
-  char suffix[16];
-  std::snprintf(suffix, sizeof(suffix), "_%04d.vtk",
-                static_cast<int>(entries_.size()));
-  const std::string path = base_ + suffix;
-  write_vtk_cell_averages(solver, quantities_, names_, path);
-  // The index references snapshots relative to its own directory.
-  const auto slash = path.find_last_of('/');
-  entries_.push_back(
-      {solver.time(),
-       slash == std::string::npos ? path : path.substr(slash + 1)});
+  // Monolithic runs keep the flat <base>_NNNN.vtk names; sharded runs emit
+  // one piece per shard, each written over the shard's own grid view so
+  // the pieces tile the domain.
+  const int shards = solver.num_shards();
+  for (int p = 0; p < shards; ++p) {
+    char suffix[24];
+    if (shards == 1) {
+      std::snprintf(suffix, sizeof(suffix), "_%04d.vtk", snapshots_);
+    } else {
+      std::snprintf(suffix, sizeof(suffix), "_%04d_p%02d.vtk", snapshots_, p);
+    }
+    const std::string path = base_ + suffix;
+    write_vtk_cell_averages(solver.shard(p), quantities_, names_, path);
+    // The index references snapshots relative to its own directory.
+    const auto slash = path.find_last_of('/');
+    entries_.push_back(
+        {solver.time(), p,
+         slash == std::string::npos ? path : path.substr(slash + 1)});
+  }
+  ++snapshots_;
   last_emit_time_ = solver.time();
   write_index();
 }
@@ -69,8 +79,8 @@ void VtkSeriesWriter::write_index() const {
       << "<VTKFile type=\"Collection\" version=\"0.1\">\n"
       << "  <Collection>\n";
   for (const Entry& entry : entries_)
-    out << "    <DataSet timestep=\"" << entry.time << "\" part=\"0\" file=\""
-        << entry.file << "\"/>\n";
+    out << "    <DataSet timestep=\"" << entry.time << "\" part=\""
+        << entry.part << "\" file=\"" << entry.file << "\"/>\n";
   out << "  </Collection>\n</VTKFile>\n";
   out.flush();
   EXASTP_CHECK_MSG(out.good(), "write failed: " + index_path());

@@ -5,6 +5,11 @@
 // <base>.pvd — a ParaView-collection XML mapping timestep -> file. The
 // index is rewritten after every snapshot, so the series on disk is
 // complete and loadable at any point during the run, not just after it.
+//
+// Sharded solvers (solver/sharded_solver.h) emit one piece per shard and
+// snapshot — <base>_NNNN_pKK.vtk, each covering its shard's cell box — and
+// the index lists the pieces of a timestep under distinct part attributes,
+// so a decomposed run stays a single loadable series.
 #pragma once
 
 #include <string>
@@ -26,8 +31,8 @@ class VtkSeriesWriter final : public Observer {
   void on_step(const SolverBase& solver, int step) override;
   void on_finish(const SolverBase& solver) override;
 
-  /// Snapshots emitted so far.
-  int num_snapshots() const { return static_cast<int>(entries_.size()); }
+  /// Snapshots emitted so far (a snapshot is all shards of one timestep).
+  int num_snapshots() const { return snapshots_; }
   /// Path of the collection index (<base>.pvd).
   std::string index_path() const { return base_ + ".pvd"; }
 
@@ -46,9 +51,11 @@ class VtkSeriesWriter final : public Observer {
 
   struct Entry {
     double time;
+    int part;          ///< shard index (0 for monolithic runs)
     std::string file;  ///< basename relative to the index file
   };
   std::vector<Entry> entries_;
+  int snapshots_ = 0;
 };
 
 }  // namespace exastp

@@ -1,18 +1,60 @@
 #include "exastp/mesh/grid.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace exastp {
 
-Grid::Grid(const GridSpec& spec)
-    : spec_(spec),
-      nx_(spec.cells[0]),
-      ny_(spec.cells[1]),
-      nz_(spec.cells[2]) {
+Grid::Grid(const GridSpec& spec) : Grid(spec, {0, 0, 0}, spec.cells) {}
+
+Grid::Grid(const GridSpec& global_spec, const std::array<int, 3>& lo,
+           const std::array<int, 3>& size)
+    : global_(global_spec),
+      lo_(lo),
+      nx_(size[0]),
+      ny_(size[1]),
+      nz_(size[2]),
+      gn_(global_spec.cells) {
   for (int d = 0; d < 3; ++d) {
-    EXASTP_CHECK_MSG(spec.cells[d] >= 1, "grid needs at least one cell");
-    EXASTP_CHECK_MSG(spec.extent[d] > 0.0, "grid extent must be positive");
-    dx_[d] = spec.extent[d] / spec.cells[d];
+    EXASTP_CHECK_MSG(gn_[d] >= 1, "grid needs at least one cell");
+    EXASTP_CHECK_MSG(global_.extent[d] > 0.0, "grid extent must be positive");
+    EXASTP_CHECK_MSG(size[d] >= 1, "view needs at least one cell");
+    EXASTP_CHECK_MSG(lo_[d] >= 0 && lo_[d] + size[d] <= gn_[d],
+                     "view box must lie inside the global grid");
+    dx_[d] = global_.extent[d] / gn_[d];
+    if (lo_[d] != 0 || size[d] != gn_[d]) partitioned_ = true;
+  }
+  // The view box as a spec of its own: derived metadata for per-shard
+  // writers. Geometry queries never read it — they use global coordinates.
+  spec_ = global_;
+  spec_.cells = size;
+  for (int d = 0; d < 3; ++d) {
+    spec_.origin[d] = global_.origin[d] + lo_[d] * dx_[d];
+    spec_.extent[d] = size[d] * dx_[d];
+  }
+
+  // Halo slots: one contiguous block per face whose neighbour plane lives
+  // outside the view (another shard, possibly across a periodic wrap).
+  const int n[3] = {nx_, ny_, nz_};
+  for (int dir = 0; dir < 3; ++dir) {
+    for (int side = 0; side < 2; ++side) {
+      halo_begin_[dir][side] = -1;
+      // Global row just beyond this face of the view.
+      const int g = side == 0 ? lo_[dir] - 1 : lo_[dir] + n[dir];
+      bool remote = false;
+      if (g >= 0 && g < gn_[dir]) {
+        remote = true;  // interior to the domain but outside the view box
+      } else if (global_.boundary[dir] == BoundaryKind::kPeriodic) {
+        // Periodic wrap: off-view unless the view spans the dimension.
+        remote = n[dir] != gn_[dir];
+      }
+      if (remote) {
+        const int ad = dir == 0 ? 1 : 0;
+        const int bd = dir == 2 ? 1 : 2;
+        halo_begin_[dir][side] = num_cells() + num_halo_;
+        num_halo_ += n[ad] * n[bd];
+      }
+    }
   }
 }
 
@@ -24,26 +66,48 @@ std::array<int, 3> Grid::coords(int cell) const {
   return {cx, cy, cz};
 }
 
+int Grid::global_cell(int cell) const {
+  const auto c = coords(cell);
+  return ((lo_[2] + c[2]) * gn_[1] + lo_[1] + c[1]) * gn_[0] + lo_[0] + c[0];
+}
+
 std::array<double, 3> Grid::cell_origin(int cell) const {
   const auto c = coords(cell);
-  return {spec_.origin[0] + c[0] * dx_[0], spec_.origin[1] + c[1] * dx_[1],
-          spec_.origin[2] + c[2] * dx_[2]};
+  // Global cell coordinate times global spacing: every view of the same
+  // domain computes the same bits for the same physical cell.
+  return {global_.origin[0] + (lo_[0] + c[0]) * dx_[0],
+          global_.origin[1] + (lo_[1] + c[1]) * dx_[1],
+          global_.origin[2] + (lo_[2] + c[2]) * dx_[2]};
 }
 
 NeighborRef Grid::neighbor(int cell, int dir, int side) const {
   EXASTP_CHECK(dir >= 0 && dir < 3 && (side == 0 || side == 1));
   auto c = coords(cell);
   const int n[3] = {nx_, ny_, nz_};
-  int v = c[dir] + (side == 0 ? -1 : 1);
-  if (v < 0 || v >= n[dir]) {
-    if (spec_.boundary[dir] == BoundaryKind::kPeriodic) {
-      v = (v + n[dir]) % n[dir];
-    } else {
-      return {-1, true, spec_.boundary[dir]};
-    }
+  const int v = c[dir] + (side == 0 ? -1 : 1);
+  if (v >= 0 && v < n[dir]) {
+    c[dir] = v;
+    return {index(c[0], c[1], c[2]), false, global_.boundary[dir]};
   }
-  c[dir] = v;
-  return {index(c[0], c[1], c[2]), false, spec_.boundary[dir]};
+  // Crossing the view edge: resolve in global coordinates.
+  int g = lo_[dir] + v;
+  if (g < 0 || g >= gn_[dir]) {
+    if (global_.boundary[dir] != BoundaryKind::kPeriodic)
+      return {-1, true, global_.boundary[dir]};
+    g = (g + gn_[dir]) % gn_[dir];
+  }
+  if (g >= lo_[dir] && g < lo_[dir] + n[dir]) {
+    // Periodic wrap landing back inside the view (full-span dimension).
+    c[dir] = g - lo_[dir];
+    return {index(c[0], c[1], c[2]), false, global_.boundary[dir]};
+  }
+  // Off-view neighbour: the halo slot of this face at the same in-face
+  // coordinates (ascending dimension order, b-major a-minor).
+  const int hb = halo_begin_[dir][side];
+  EXASTP_CHECK_MSG(hb >= 0, "off-view neighbour without a halo face");
+  const int ad = dir == 0 ? 1 : 0;
+  const int bd = dir == 2 ? 1 : 2;
+  return {hb + c[bd] * n[ad] + c[ad], false, global_.boundary[dir]};
 }
 
 int Grid::locate(const std::array<double, 3>& x,
@@ -52,11 +116,20 @@ int Grid::locate(const std::array<double, 3>& x,
   std::array<double, 3> ref{};
   const int n[3] = {nx_, ny_, nz_};
   for (int d = 0; d < 3; ++d) {
-    const double rel = (x[d] - spec_.origin[d]) / dx_[d];
-    EXASTP_CHECK_MSG(rel >= 0.0 && rel <= n[d] + 1e-12,
+    // Accept points within rounding of the closed global domain and clamp
+    // them into the adjacent cell, so e.g. a receiver at origin + extent
+    // lands in the last cell with xi = 1 instead of throwing.
+    const double hi = global_.origin[d] + global_.extent[d];
+    const double tol = 1e-12 * std::max({1.0, std::abs(global_.origin[d]),
+                                         std::abs(hi)});
+    EXASTP_CHECK_MSG(x[d] >= global_.origin[d] - tol && x[d] <= hi + tol,
                      "point outside the domain");
-    c[d] = std::min(static_cast<int>(rel), n[d] - 1);
-    ref[d] = std::min(std::max(rel - c[d], 0.0), 1.0);
+    const double rel = (x[d] - global_.origin[d]) / dx_[d];
+    const int g = std::min(std::max(static_cast<int>(rel), 0), gn_[d] - 1);
+    ref[d] = std::min(std::max(rel - g, 0.0), 1.0);
+    c[d] = g - lo_[d];
+    EXASTP_CHECK_MSG(c[d] >= 0 && c[d] < n[d],
+                     "point outside this partitioned view");
   }
   if (xi != nullptr) *xi = ref;
   return index(c[0], c[1], c[2]);

@@ -1,0 +1,166 @@
+#include "exastp/mesh/partition.h"
+
+#include <algorithm>
+
+namespace exastp {
+
+std::vector<int> Partition::split_sizes(int n, int k) {
+  EXASTP_CHECK_MSG(k >= 1 && k <= n,
+                   "each shard needs at least one cell per dimension");
+  std::vector<int> sizes(static_cast<std::size_t>(k), n / k);
+  for (int i = 0; i < n % k; ++i) ++sizes[static_cast<std::size_t>(i)];
+  return sizes;
+}
+
+std::array<int, 3> Partition::factor(int total,
+                                     const std::array<int, 3>& cells) {
+  EXASTP_CHECK_MSG(total >= 1, "shard count must be positive");
+  std::array<int, 3> shards{1, 1, 1};
+  int remaining = total;
+  for (int p = 2; remaining > 1; ++p) {
+    while (remaining % p == 0) {
+      // The dimension with the most cells per shard absorbs the factor;
+      // a factor no dimension can absorb (one cell per shard everywhere)
+      // is dropped, shrinking the effective shard count.
+      int best = -1;
+      double best_ratio = 0.0;
+      for (int d = 0; d < 3; ++d) {
+        if (shards[d] * p > cells[d]) continue;
+        const double ratio =
+            static_cast<double>(cells[d]) / (shards[d] * p);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best = d;
+        }
+      }
+      remaining /= p;
+      if (best >= 0) shards[best] *= p;
+    }
+  }
+  return shards;
+}
+
+Partition::Partition(const GridSpec& global, const std::array<int, 3>& shards)
+    : global_(global), shards_(shards) {
+  std::array<std::vector<int>, 3> sizes;
+  for (int d = 0; d < 3; ++d) {
+    sizes[d] = split_sizes(global.cells[d], shards[d]);
+    starts_[d].assign(sizes[d].size(), 0);
+    for (std::size_t i = 1; i < sizes[d].size(); ++i)
+      starts_[d][i] = starts_[d][i - 1] + sizes[d][i - 1];
+  }
+
+  subdomains_.reserve(static_cast<std::size_t>(shards[0]) * shards[1] *
+                      shards[2]);
+  for (int bz = 0; bz < shards[2]; ++bz)
+    for (int by = 0; by < shards[1]; ++by)
+      for (int bx = 0; bx < shards[0]; ++bx) {
+        const std::array<int, 3> lo{starts_[0][static_cast<std::size_t>(bx)],
+                                    starts_[1][static_cast<std::size_t>(by)],
+                                    starts_[2][static_cast<std::size_t>(bz)]};
+        const std::array<int, 3> size{sizes[0][static_cast<std::size_t>(bx)],
+                                      sizes[1][static_cast<std::size_t>(by)],
+                                      sizes[2][static_cast<std::size_t>(bz)]};
+        subdomains_.push_back(Subdomain{shard_index({bx, by, bz}),
+                                        {bx, by, bz},
+                                        lo,
+                                        size,
+                                        Grid(global, lo, size),
+                                        {}});
+      }
+
+  // One HaloPlan per remote face, in the grid's fixed (dir, side) order so
+  // plan order matches halo slot order.
+  for (Subdomain& sub : subdomains_) {
+    for (int dir = 0; dir < 3; ++dir) {
+      const int ad = dir == 0 ? 1 : 0;
+      const int bd = dir == 2 ? 1 : 2;
+      for (int side = 0; side < 2; ++side) {
+        const int dst_begin = sub.grid.halo_begin(dir, side);
+        if (dst_begin < 0) continue;
+        HaloPlan plan;
+        plan.dir = dir;
+        plan.side = side;
+        plan.dst_begin = dst_begin;
+        std::array<int, 3> nb_block = sub.block;
+        nb_block[dir] += side == 0 ? -1 : 1;
+        // A remote face at the true domain edge is necessarily periodic
+        // (Grid only assigns halos there for periodic boundaries).
+        nb_block[dir] = (nb_block[dir] + shards_[dir]) % shards_[dir];
+        plan.src_shard = shard_index(nb_block);
+        const Subdomain& src = subdomains_[static_cast<std::size_t>(
+            plan.src_shard)];
+        // The packed plane: the source cells touching the shared face, at
+        // the same in-face coordinates as the receiving halo slots (the
+        // block grid is tensor-product, so in-face extents match).
+        EXASTP_CHECK(src.size[ad] == sub.size[ad] &&
+                     src.size[bd] == sub.size[bd]);
+        const int plane = side == 0 ? src.size[dir] - 1 : 0;
+        plan.src_cells.reserve(static_cast<std::size_t>(sub.size[ad]) *
+                               sub.size[bd]);
+        for (int b = 0; b < sub.size[bd]; ++b)
+          for (int a = 0; a < sub.size[ad]; ++a) {
+            std::array<int, 3> c{};
+            c[dir] = plane;
+            c[ad] = a;
+            c[bd] = b;
+            plan.src_cells.push_back(src.grid.index(c[0], c[1], c[2]));
+          }
+        sub.halos.push_back(std::move(plan));
+      }
+    }
+  }
+}
+
+const Subdomain& Partition::subdomain(int s) const {
+  EXASTP_CHECK(s >= 0 && s < num_shards());
+  return subdomains_[static_cast<std::size_t>(s)];
+}
+
+int Partition::block_of(int d, int g) const {
+  // Ragged splits: the first (n % k) blocks are one cell larger.
+  const int n = global_.cells[d];
+  const int k = shards_[d];
+  const int big = n / k + 1;
+  const int rem = n % k;
+  if (g < rem * big) return g / big;
+  return rem + (g - rem * big) / (n / k);
+}
+
+int Partition::owner_of(int global_cell) const {
+  EXASTP_CHECK(global_cell >= 0 &&
+               global_cell < global_.cells[0] * global_.cells[1] *
+                                 global_.cells[2]);
+  const int gx = global_cell % global_.cells[0];
+  const int gy = (global_cell / global_.cells[0]) % global_.cells[1];
+  const int gz = global_cell / (global_.cells[0] * global_.cells[1]);
+  return shard_index({block_of(0, gx), block_of(1, gy), block_of(2, gz)});
+}
+
+int Partition::local_cell(int shard, int global_cell) const {
+  const Subdomain& sub = subdomain(shard);
+  const int gx = global_cell % global_.cells[0];
+  const int gy = (global_cell / global_.cells[0]) % global_.cells[1];
+  const int gz = global_cell / (global_.cells[0] * global_.cells[1]);
+  return sub.grid.index(gx - sub.lo[0], gy - sub.lo[1], gz - sub.lo[2]);
+}
+
+int Partition::global_cell(int shard, int local_cell) const {
+  return subdomain(shard).grid.global_cell(local_cell);
+}
+
+int Partition::min_cells_per_shard() const {
+  int best = subdomains_.front().grid.num_cells();
+  for (const Subdomain& sub : subdomains_)
+    best = std::min(best, sub.grid.num_cells());
+  return best;
+}
+
+int Partition::max_cells_per_shard() const {
+  int best = 0;
+  for (const Subdomain& sub : subdomains_)
+    best = std::max(best, sub.grid.num_cells());
+  return best;
+}
+
+}  // namespace exastp

@@ -13,9 +13,15 @@ namespace exastp {
 AderDgSolver::AderDgSolver(std::shared_ptr<const PdeRuntime> pde,
                            StpKernel kernel, const GridSpec& grid_spec,
                            NodeFamily family)
+    : AderDgSolver(std::move(pde), std::move(kernel), Grid(grid_spec),
+                   family) {}
+
+AderDgSolver::AderDgSolver(std::shared_ptr<const PdeRuntime> pde,
+                           StpKernel kernel, const Grid& grid,
+                           NodeFamily family)
     : pde_(std::move(pde)),
       kernel_(std::move(kernel)),
-      grid_(grid_spec),
+      grid_(grid),
       basis_(basis_tables(kernel_.layout().n, family)),
       layout_(kernel_.layout()),
       face_layout_(layout_),
@@ -24,21 +30,25 @@ AderDgSolver::AderDgSolver(std::shared_ptr<const PdeRuntime> pde,
   EXASTP_CHECK_MSG(pde_ != nullptr && kernel_, "solver needs pde and kernel");
   EXASTP_CHECK_MSG(pde_->info().quants == layout_.m,
                    "kernel layout does not match the PDE");
+  // Halo slots extend every buffer so the corrector's neighbour accessor
+  // is one base pointer for owned and exchanged cells alike; only qavg's
+  // halo is ever filled (step_phase_halo), the others stay zero.
   const std::size_t total =
-      static_cast<std::size_t>(grid_.num_cells()) * cell_size_;
+      static_cast<std::size_t>(grid_.num_cells() + grid_.num_halo_cells()) *
+      cell_size_;
   q_.assign(total, 0.0);
   qnew_.assign(total, 0.0);
   qavg_.assign(total, 0.0);
   rebuild_scratch();
 }
 
-void AderDgSolver::set_num_threads(int threads) {
+void AderDgSolver::set_thread_team(const ParallelFor& team) {
   // Validate before touching par_/scratch_, so a throw leaves the solver
   // in its previous, consistent configuration.
-  EXASTP_CHECK_MSG(resolve_threads(threads) == 1 || kernel_.can_fork(),
+  EXASTP_CHECK_MSG(team.num_threads() == 1 || kernel_.can_fork(),
                    "multi-threaded stepping needs a forkable kernel "
                    "(built via make_stp_kernel)");
-  SolverBase::set_num_threads(threads);
+  SolverBase::set_thread_team(team);
   rebuild_scratch();
 }
 
@@ -166,21 +176,30 @@ void AderDgSolver::predict_cell(
 }
 
 void AderDgSolver::step(double dt) {
+  for (int phase = 0; phase < num_step_phases(); ++phase)
+    step_phase(phase, dt);
+}
+
+void AderDgSolver::step_phase(int phase, double dt) {
   EXASTP_CHECK_MSG(dt > 0.0, "dt must be positive");
-  const auto inv_dx = grid_.inv_dx();
-  const auto integral_coeff = taylor_coefficients(dt, layout_.n);
+  EXASTP_CHECK(phase == 0 || phase == 1);
+  if (phase == 0) {
+    const auto inv_dx = grid_.inv_dx();
+    const auto integral_coeff = taylor_coefficients(dt, layout_.n);
+    // Predictor + volume update: embarrassingly cell-parallel — qavg_c and
+    // qnew_c belong to the traversed cell, each thread runs its own kernel
+    // clone and favg scratch.
+    par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
+      ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+      for (long c = begin; c < end; ++c)
+        predict_cell(ts, static_cast<int>(c), dt, inv_dx, integral_coeff);
+    });
+    return;
+  }
 
-  // Predictor + volume update: embarrassingly cell-parallel — qavg_c and
-  // qnew_c belong to the traversed cell, each thread runs its own kernel
-  // clone and favg scratch.
-  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
-    ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
-    for (long c = begin; c < end; ++c)
-      predict_cell(ts, static_cast<int>(c), dt, inv_dx, integral_coeff);
-  });
-
+  // Phase 1 runs after qavg halos are valid (the monolithic grid has
+  // none): surface corrector, buffer swap, time advance.
   apply_corrector(dt);
-
   q_.swap(qnew_);
   time_ += dt;
   check_finite();

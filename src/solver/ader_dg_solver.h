@@ -43,6 +43,10 @@ class AderDgSolver final : public SolverBase {
   AderDgSolver(std::shared_ptr<const PdeRuntime> pde, StpKernel kernel,
                const GridSpec& grid_spec,
                NodeFamily family = NodeFamily::kGaussLegendre);
+  /// Same, over an arbitrary (possibly partitioned) grid view: qavg grows
+  /// a halo ring the corrector reads for off-shard neighbours.
+  AderDgSolver(std::shared_ptr<const PdeRuntime> pde, StpKernel kernel,
+               const Grid& grid, NodeFamily family = NodeFamily::kGaussLegendre);
 
   const Grid& grid() const override { return grid_; }
   const AosLayout& layout() const override { return layout_; }
@@ -57,9 +61,9 @@ class AderDgSolver final : public SolverBase {
   void add_point_source(const MeshPointSource& source) override;
   bool supports_point_sources() const override { return true; }
 
-  /// Rebuilds the per-thread kernel clones and face scratch; threads > 1
-  /// requires a kernel built through make_stp_kernel (forkable).
-  void set_num_threads(int threads) override;
+  /// Rebuilds the per-thread kernel clones and face scratch; teams > 1
+  /// thread require a kernel built through make_stp_kernel (forkable).
+  void set_thread_team(const ParallelFor& team) override;
 
   /// CFL-limited stable time step from the current solution.
   double stable_dt(double cfl = 0.4) const override;
@@ -67,6 +71,15 @@ class AderDgSolver final : public SolverBase {
   /// Advances by one step of size dt. Throws std::runtime_error if the
   /// solution leaves the finite range (blow-up detection).
   void step(double dt) override;
+
+  /// Sharded stepping: phase 0 = element-local predictor + volume update,
+  /// phase 1 = surface corrector + buffer swap + time advance. The
+  /// corrector reads neighbour qavg tensors, so its halo field is qavg.
+  int num_step_phases() const override { return 2; }
+  void step_phase(int phase, double dt) override;
+  double* step_phase_halo(int phase) override {
+    return phase == 1 ? qavg_.data() : nullptr;
+  }
 
   /// Read-only view of a cell's padded AoS DOFs.
   const double* cell_dofs(int cell) const override {

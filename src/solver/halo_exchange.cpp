@@ -1,0 +1,54 @@
+#include "exastp/solver/halo_exchange.h"
+
+#include <cstring>
+
+namespace exastp {
+
+HaloExchange::HaloExchange(const Partition& partition, std::size_t cell_size)
+    : cell_size_(cell_size) {
+  EXASTP_CHECK_MSG(cell_size_ > 0, "halo exchange needs a cell size");
+  for (int s = 0; s < partition.num_shards(); ++s) {
+    for (const HaloPlan& plan : partition.subdomain(s).halos) {
+      Link link;
+      link.dst_shard = s;
+      link.src_shard = plan.src_shard;
+      link.src_cells = plan.src_cells;
+      link.dst_offset = static_cast<std::size_t>(plan.dst_begin) * cell_size_;
+      const std::size_t doubles = plan.src_cells.size() * cell_size_;
+      link.send.assign(doubles, 0.0);
+      link.recv.assign(doubles, 0.0);
+      bytes_per_exchange_ += doubles * sizeof(double);
+      links_.push_back(std::move(link));
+    }
+  }
+}
+
+void HaloExchange::exchange(const std::vector<double*>& shard_fields) {
+  for (Link& link : links_) {
+    EXASTP_CHECK(link.src_shard >= 0 &&
+                 link.src_shard < static_cast<int>(shard_fields.size()) &&
+                 link.dst_shard < static_cast<int>(shard_fields.size()));
+    const double* src = shard_fields[static_cast<std::size_t>(link.src_shard)];
+    double* dst = shard_fields[static_cast<std::size_t>(link.dst_shard)];
+
+    // Pack: the (strided) source face plane into one contiguous buffer.
+    double* out = link.send.data();
+    for (const int cell : link.src_cells) {
+      std::memcpy(out, src + static_cast<std::size_t>(cell) * cell_size_,
+                  cell_size_ * sizeof(double));
+      out += cell_size_;
+    }
+
+    // Swap: in-process today; an MPI backend replaces exactly this copy
+    // with a send/receive of link.send into the peer's link.recv.
+    std::memcpy(link.recv.data(), link.send.data(),
+                link.send.size() * sizeof(double));
+
+    // Unpack: the halo block is contiguous in the destination array and
+    // ordered like the packed plane, so one copy lands every cell.
+    std::memcpy(dst + link.dst_offset, link.recv.data(),
+                link.recv.size() * sizeof(double));
+  }
+}
+
+}  // namespace exastp

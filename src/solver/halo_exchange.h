@@ -1,0 +1,59 @@
+// Halo exchange over contiguous per-face DOF buffers.
+//
+// The corrector (ADER) and the stage operator (RK) read the face-adjacent
+// neighbour cell's full DOF tensor. Under domain decomposition those
+// neighbours live in other shards, so before the phase that reads them the
+// engine refreshes every shard's one-cell halo ring:
+//
+//   pack    copy each HaloPlan's source cells (a face plane, strided in
+//           the source shard's storage) into one contiguous send buffer;
+//   swap    hand the send buffer to the receiving side — an in-process
+//           memcpy today. The buffer format (plan-ordered planes of
+//           cell_size-double tensors) is the MPI seam: swap becomes
+//           MPI_Isend/Irecv of the same bytes, nothing else changes;
+//   unpack  copy the received plane into the destination shard's halo
+//           block (contiguous by construction, mesh/grid.h halo order).
+//
+// The exchange is deterministic: plans are walked in a fixed order and
+// every halo slot is written by exactly one plan, so sharded stepping
+// stays bitwise-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exastp/common/aligned.h"
+#include "exastp/mesh/partition.h"
+
+namespace exastp {
+
+class HaloExchange {
+ public:
+  /// Builds the buffer set for `partition` with `cell_size` doubles per
+  /// cell DOF tensor (the solver layout's padded size).
+  HaloExchange(const Partition& partition, std::size_t cell_size);
+
+  /// Refreshes every shard's halo ring of one logical field.
+  /// `shard_fields[s]` is the base of shard s's DOF array — owned cells
+  /// first, halo blocks appended (the layout both Grid and the solvers
+  /// use). Reads owned cells, writes only halo slots.
+  void exchange(const std::vector<double*>& shard_fields);
+
+  /// Payload bytes moved per exchange() call (send side), for benches.
+  std::size_t bytes_per_exchange() const { return bytes_per_exchange_; }
+
+ private:
+  struct Link {
+    int dst_shard = -1;
+    int src_shard = -1;
+    std::vector<int> src_cells;   ///< pack order = halo slot order
+    std::size_t dst_offset = 0;   ///< doubles into the destination array
+    AlignedVector send, recv;     ///< per-face contiguous DOF buffers
+  };
+
+  std::size_t cell_size_ = 0;
+  std::size_t bytes_per_exchange_ = 0;
+  std::vector<Link> links_;
+};
+
+}  // namespace exastp

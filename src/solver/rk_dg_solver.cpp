@@ -21,16 +21,24 @@ constexpr long kVecGranularity =
 
 RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
                        Isa isa, const GridSpec& grid_spec, NodeFamily family)
+    : RkDgSolver(std::move(pde), order, isa, Grid(grid_spec), family) {}
+
+RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
+                       Isa isa, const Grid& grid, NodeFamily family)
     : pde_(std::move(pde)),
-      grid_(grid_spec),
+      grid_(grid),
       basis_(basis_tables(order, family)),
       isa_(isa),
       layout_(order, pde_->info().quants, isa),
       face_layout_(layout_),
       cell_size_(layout_.size()),
       vars_(pde_->info().vars) {
+  // Halo slots extend every buffer uniformly; only q/stage halos are ever
+  // filled (step_phase_halo), and the element-wise RK sweeps stay on the
+  // owned range.
   const std::size_t total =
-      static_cast<std::size_t>(grid_.num_cells()) * cell_size_;
+      static_cast<std::size_t>(grid_.num_cells() + grid_.num_halo_cells()) *
+      cell_size_;
   q_.assign(total, 0.0);
   stage_.assign(total, 0.0);
   rhs_.assign(total, 0.0);
@@ -38,8 +46,8 @@ RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
   rebuild_scratch();
 }
 
-void RkDgSolver::set_num_threads(int threads) {
-  SolverBase::set_num_threads(threads);
+void RkDgSolver::set_thread_team(const ParallelFor& team) {
+  SolverBase::set_thread_team(team);
   rebuild_scratch();
 }
 
@@ -173,8 +181,16 @@ void RkDgSolver::evaluate_operator(const AlignedVector& state, double t,
 }
 
 void RkDgSolver::step(double dt) {
+  for (int phase = 0; phase < num_step_phases(); ++phase)
+    step_phase(phase, dt);
+}
+
+void RkDgSolver::step_phase(int phase, double dt) {
   if (dt <= 0.0) throw std::invalid_argument("RkDgSolver: dt must be > 0");
-  const long total = static_cast<long>(q_.size());
+  EXASTP_CHECK(phase >= 0 && phase < 4);
+  // Owned cells only: halo slots are refreshed by exchange, never swept.
+  const long total =
+      static_cast<long>(grid_.num_cells()) * static_cast<long>(cell_size_);
 
   // Element-wise stage sweeps, chunked at cache-line granularity so the
   // partition never changes any element's bits (see kVecGranularity).
@@ -195,28 +211,36 @@ void RkDgSolver::step(double dt) {
   };
 
   // Classical RK4: q += dt/6 (k1 + 2 k2 + 2 k3 + k4), with the stage
-  // operator evaluated at t_n, t_n + dt/2 (twice) and t_n + dt.
-  evaluate_operator(q_, time_, rhs_);                 // k1
-  par_copy(rhs_, accum_);
-  par_copy(q_, stage_);
-  par_axpy(0.5 * dt, rhs_, stage_);
-
-  evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k2
-  par_axpy(2.0, rhs_, accum_);
-  par_copy(q_, stage_);
-  par_axpy(0.5 * dt, rhs_, stage_);
-
-  evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k3
-  par_axpy(2.0, rhs_, accum_);
-  par_copy(q_, stage_);
-  par_axpy(dt, rhs_, stage_);
-
-  evaluate_operator(stage_, time_ + dt, rhs_);        // k4
-  par_add(rhs_, accum_);
-
-  par_axpy(dt / 6.0, accum_, q_);
-  time_ += dt;
-  check_finite();
+  // operator evaluated at t_n, t_n + dt/2 (twice) and t_n + dt. Each phase
+  // starts after its input state's halo is valid (q for k1, the stage
+  // buffer afterwards; the monolithic grid has no halo to wait for).
+  switch (phase) {
+    case 0:
+      evaluate_operator(q_, time_, rhs_);                 // k1
+      par_copy(rhs_, accum_);
+      par_copy(q_, stage_);
+      par_axpy(0.5 * dt, rhs_, stage_);
+      break;
+    case 1:
+      evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k2
+      par_axpy(2.0, rhs_, accum_);
+      par_copy(q_, stage_);
+      par_axpy(0.5 * dt, rhs_, stage_);
+      break;
+    case 2:
+      evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k3
+      par_axpy(2.0, rhs_, accum_);
+      par_copy(q_, stage_);
+      par_axpy(dt, rhs_, stage_);
+      break;
+    default:
+      evaluate_operator(stage_, time_ + dt, rhs_);        // k4
+      par_add(rhs_, accum_);
+      par_axpy(dt / 6.0, accum_, q_);
+      time_ += dt;
+      check_finite();
+      break;
+  }
 }
 
 void RkDgSolver::check_finite() const {

@@ -32,6 +32,11 @@ class RkDgSolver final : public SolverBase {
   RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order, Isa isa,
              const GridSpec& grid_spec,
              NodeFamily family = NodeFamily::kGaussLegendre);
+  /// Same, over an arbitrary (possibly partitioned) grid view: the state
+  /// buffers grow a halo ring the stage operator reads for off-shard
+  /// neighbours.
+  RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order, Isa isa,
+             const Grid& grid, NodeFamily family = NodeFamily::kGaussLegendre);
 
   const Grid& grid() const override { return grid_; }
   const AosLayout& layout() const override { return layout_; }
@@ -50,7 +55,7 @@ class RkDgSolver final : public SolverBase {
   bool supports_point_sources() const override { return true; }
 
   /// Rebuilds the per-thread operator scratch.
-  void set_num_threads(int threads) override;
+  void set_thread_team(const ParallelFor& team) override;
 
   /// CFL-limited stable step (same bound as the ADER solver for an
   /// apples-to-apples time-to-solution comparison).
@@ -59,6 +64,16 @@ class RkDgSolver final : public SolverBase {
   /// One classical RK4 step: four evaluations of the semi-discrete DG
   /// operator.
   void step(double dt) override;
+
+  /// Sharded stepping: one phase per RK stage. Every stage operator reads
+  /// neighbour tensors of its input state — q for the first stage, the
+  /// stage buffer afterwards — so each phase names that array as its halo
+  /// field.
+  int num_step_phases() const override { return 4; }
+  void step_phase(int phase, double dt) override;
+  double* step_phase_halo(int phase) override {
+    return phase == 0 ? q_.data() : stage_.data();
+  }
 
   const double* cell_dofs(int cell) const override {
     return q_.data() + static_cast<std::size_t>(cell) * cell_size_;

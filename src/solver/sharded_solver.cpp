@@ -1,0 +1,105 @@
+#include "exastp/solver/sharded_solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+namespace {
+
+std::vector<std::unique_ptr<SolverBase>> build_shards(
+    const Partition& partition,
+    const std::function<std::unique_ptr<SolverBase>(const Grid&)>&
+        make_shard) {
+  EXASTP_CHECK_MSG(make_shard != nullptr, "sharded solver needs a factory");
+  std::vector<std::unique_ptr<SolverBase>> shards;
+  shards.reserve(static_cast<std::size_t>(partition.num_shards()));
+  for (int s = 0; s < partition.num_shards(); ++s) {
+    std::unique_ptr<SolverBase> shard =
+        make_shard(partition.subdomain(s).grid);
+    EXASTP_CHECK_MSG(shard != nullptr, "shard factory returned null");
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace
+
+ShardedSolver::ShardedSolver(
+    Partition partition,
+    const std::function<std::unique_ptr<SolverBase>(const Grid&)>& make_shard)
+    : partition_(std::move(partition)),
+      global_grid_(partition_.global_spec()),
+      shards_(build_shards(partition_, make_shard)),
+      exchange_(partition_, shards_[0]->layout().size()),
+      phases_(shards_[0]->num_step_phases()) {
+  for (const auto& shard : shards_) {
+    EXASTP_CHECK_MSG(shard->layout().size() == shards_[0]->layout().size() &&
+                         shard->stepper_name() == shards_[0]->stepper_name() &&
+                         shard->num_step_phases() == phases_,
+                     "all shards must share layout and stepper");
+  }
+}
+
+void ShardedSolver::set_initial_condition(const InitialCondition& init) {
+  // Each shard evaluates the condition at its own nodes; the views compute
+  // node positions in global coordinates, so the assembled field is
+  // bitwise-identical to the monolithic initialization.
+  for (auto& shard : shards_) shard->set_initial_condition(init);
+}
+
+void ShardedSolver::add_point_source(const MeshPointSource& source) {
+  const int owner = partition_.owner_of(global_grid_.locate(source.position));
+  shards_[static_cast<std::size_t>(owner)]->add_point_source(source);
+}
+
+void ShardedSolver::set_thread_team(const ParallelFor& team) {
+  SolverBase::set_thread_team(team);  // the engine-facing team (norms &c.)
+  // ParallelFor copies share one pool, so every shard reuses this team
+  // instead of spawning shards x threads idle workers.
+  for (auto& shard : shards_) shard->set_thread_team(team);
+}
+
+double ShardedSolver::stable_dt(double cfl) const {
+  double dt = shards_[0]->stable_dt(cfl);
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    dt = std::min(dt, shards_[s]->stable_dt(cfl));
+  return dt;
+}
+
+void ShardedSolver::step(double dt) {
+  std::vector<double*> fields(shards_.size(), nullptr);
+  for (int phase = 0; phase < phases_; ++phase) {
+    std::size_t wanting = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      fields[s] = shards_[s]->step_phase_halo(phase);
+      if (fields[s] != nullptr) ++wanting;
+    }
+    EXASTP_CHECK_MSG(wanting == 0 || wanting == shards_.size(),
+                     "shards disagree on the phase's halo field");
+    if (wanting > 0) exchange_.exchange(fields);
+    for (auto& shard : shards_) shard->step_phase(phase, dt);
+  }
+}
+
+const double* ShardedSolver::cell_dofs(int cell) const {
+  const int owner = partition_.owner_of(cell);
+  return shards_[static_cast<std::size_t>(owner)]->cell_dofs(
+      partition_.local_cell(owner, cell));
+}
+
+std::array<double, 3> ShardedSolver::node_position(int cell, int k1, int k2,
+                                                   int k3) const {
+  const int owner = partition_.owner_of(cell);
+  return shards_[static_cast<std::size_t>(owner)]->node_position(
+      partition_.local_cell(owner, cell), k1, k2, k3);
+}
+
+const SolverBase& ShardedSolver::shard(int s) const {
+  EXASTP_CHECK(s >= 0 && s < num_shards());
+  return *shards_[static_cast<std::size_t>(s)];
+}
+
+}  // namespace exastp

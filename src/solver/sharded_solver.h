@@ -1,0 +1,98 @@
+// Domain-decomposed time stepping: one solver per mesh shard behind the
+// single SolverBase façade.
+//
+// A ShardedSolver owns a Partition (mesh/partition.h), one sub-solver per
+// Subdomain (each built over the shard's partitioned Grid view) and the
+// HaloExchange connecting them. A step runs the sub-solvers' phase
+// protocol in lockstep: for every phase, refresh the halo field the phase
+// reads (pack/swap/unpack across all shards), then run the phase on each
+// shard. Because the views compute geometry in global coordinates and the
+// face corrector reads bitwise-identical neighbour tensors from halo
+// storage, the composite's field state is bitwise-identical to the
+// monolithic solver for any shard grid x thread count (tests/
+// test_sharding.cpp guards the matrix).
+//
+// Engine-facing addressing stays global: grid() is the whole-domain grid,
+// and cell_dofs / node_position / sample / add_point_source route by the
+// owning shard — so observers (receiver networks, writers, norms) work
+// unchanged on a sharded run, while shard-aware writers can reach the
+// per-shard views through num_shards()/shard().
+//
+// Shards advance sequentially within a phase, each on the solver's thread
+// team — the decomposition is the process-boundary seam (MPI ranks run one
+// shard each), not an extra in-process parallel layer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exastp/mesh/partition.h"
+#include "exastp/solver/halo_exchange.h"
+#include "exastp/solver/solver_base.h"
+
+namespace exastp {
+
+class ShardedSolver final : public SolverBase {
+ public:
+  /// Builds one sub-solver per subdomain via `make_shard` (called with the
+  /// shard's Grid view; typically wraps AderDgSolver or RkDgSolver). All
+  /// shards must share layout, basis and stepper.
+  ShardedSolver(
+      Partition partition,
+      const std::function<std::unique_ptr<SolverBase>(const Grid&)>&
+          make_shard);
+
+  const Grid& grid() const override { return global_grid_; }
+  const AosLayout& layout() const override { return shards_[0]->layout(); }
+  const BasisTables& basis() const override { return shards_[0]->basis(); }
+  double time() const override { return shards_[0]->time(); }
+  int order() const override { return shards_[0]->order(); }
+  int evolved_quantities() const override {
+    return shards_[0]->evolved_quantities();
+  }
+  std::string stepper_name() const override {
+    return shards_[0]->stepper_name();
+  }
+
+  void set_initial_condition(const InitialCondition& init) override;
+
+  /// Routes the source to the shard owning its position.
+  void add_point_source(const MeshPointSource& source) override;
+  bool supports_point_sources() const override {
+    return shards_[0]->supports_point_sources();
+  }
+
+  /// One shared team for every shard: shards step sequentially, so a
+  /// single pool serves the composite and all sub-solvers.
+  void set_thread_team(const ParallelFor& team) override;
+
+  /// min over the shards' CFL bounds — identical bits to the monolithic
+  /// bound, since max-wave-speed reduction commutes exactly.
+  double stable_dt(double cfl = 0.4) const override;
+
+  /// Lockstep phase protocol: exchange the phase's halo field across all
+  /// shards, then run the phase on each shard.
+  void step(double dt) override;
+
+  /// Global-cell routing: the owning shard's local tensor / node.
+  const double* cell_dofs(int cell) const override;
+  std::array<double, 3> node_position(int cell, int k1, int k2,
+                                      int k3) const override;
+
+  int num_shards() const override { return partition_.num_shards(); }
+  const SolverBase& shard(int s) const override;
+
+  const Partition& partition() const { return partition_; }
+  /// Exchange statistics (links, payload bytes, call count) for benches.
+  const HaloExchange& halo_exchange() const { return exchange_; }
+
+ private:
+  Partition partition_;
+  Grid global_grid_;
+  std::vector<std::unique_ptr<SolverBase>> shards_;
+  HaloExchange exchange_;
+  int phases_ = 1;
+};
+
+}  // namespace exastp

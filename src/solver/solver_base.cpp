@@ -10,8 +10,18 @@ void SolverBase::add_point_source(const MeshPointSource& /*source*/) {
               ") does not support point sources");
 }
 
-void SolverBase::set_num_threads(int threads) {
-  par_ = ParallelFor(threads);
+void SolverBase::set_thread_team(const ParallelFor& team) { par_ = team; }
+
+void SolverBase::step_phase(int phase, double dt) {
+  EXASTP_CHECK_MSG(phase == 0, "this stepper has a single step phase");
+  step(dt);
+}
+
+double* SolverBase::step_phase_halo(int /*phase*/) { return nullptr; }
+
+const SolverBase& SolverBase::shard(int s) const {
+  EXASTP_CHECK_MSG(s == 0, "monolithic solvers have exactly one shard");
+  return *this;
 }
 
 void SolverBase::add_observer(Observer* observer) {

@@ -65,7 +65,12 @@ class SolverBase {
   /// Simulation façade applies the config's `threads` key. `threads` < 1
   /// means "auto" (hardware concurrency). Results are bitwise-identical
   /// for every thread count — see README "Threading".
-  virtual void set_num_threads(int threads);
+  void set_num_threads(int threads) { set_thread_team(ParallelFor(threads)); }
+  /// Adopts an existing thread team (ParallelFor copies share one pool).
+  /// The sharded composite hands every shard the same team — shards step
+  /// sequentially, so one pool serves them all instead of shards x threads
+  /// idle workers. Subclasses rebuild their per-thread scratch here.
+  virtual void set_thread_team(const ParallelFor& team);
   int num_threads() const { return par_.num_threads(); }
   /// The solver's thread team, for functionals (norms, energies) that want
   /// to reduce over the mesh on the same threads as the stepper.
@@ -77,6 +82,35 @@ class SolverBase {
   /// solution leaves the finite range (blow-up detection). Observer hooks
   /// do NOT fire for direct step() calls — run_until owns the loop.
   virtual void step(double dt) = 0;
+
+  // ---- Domain-decomposition stepping protocol -------------------------
+  // A step decomposes into num_step_phases() ordered phases. Before phase
+  // p, step_phase_halo(p) names the DOF array whose one-cell halo ring
+  // must hold the face-adjacent neighbours' tensors (nullptr = the phase
+  // reads no neighbour data). The sharded engine (sharded_solver.h) runs
+  // N solver instances in lockstep — exchange halos (halo_exchange.h),
+  // then step_phase(p, dt) on every shard — and step() must equal running
+  // all phases in order with no exchange, which is the monolithic path
+  // (a whole-domain Grid has no halo slots). Solvers that want to run
+  // sharded allocate their exchanged arrays over
+  // grid().num_cells() + grid().num_halo_cells() cells.
+
+  /// Phases per step: 2 for ADER (predict | correct+advance), 4 for RK4
+  /// (one per stage), 1 for steppers without a sharded decomposition.
+  virtual int num_step_phases() const { return 1; }
+  /// Runs one phase of a step of size dt; calling phases 0..P-1 in order
+  /// is exactly one step(dt). Default: single-phase, forwards to step().
+  virtual void step_phase(int phase, double dt);
+  /// Base of the array whose halo must be refreshed before `phase`, or
+  /// nullptr when that phase reads no neighbour tensors.
+  virtual double* step_phase_halo(int phase);
+
+  /// Mesh shards behind this solver: 1 for monolithic solvers, the
+  /// partition size for ShardedSolver. shard(s) exposes the per-shard
+  /// sub-solver (whose grid() is the shard's partitioned view) so writers
+  /// can emit per-shard pieces.
+  virtual int num_shards() const { return 1; }
+  virtual const SolverBase& shard(int s) const;
   /// Runs until t_end (last step shortened to land exactly), returns the
   /// number of steps taken this call. Implemented once here over the
   /// virtual stable_dt()/step(), so every stepper drives the observer

@@ -80,6 +80,41 @@ TEST(Grid, LocateRejectsOutsidePoints) {
   EXPECT_THROW(grid.locate({0.0, -0.5, 2.5}), std::invalid_argument);
 }
 
+TEST(Grid, LocateClampsPointsOnTheDomainBoundary) {
+  // Regression: a point exactly on the upper boundary (e.g. a receiver at
+  // origin + extent) used to throw; it now clamps into the last cell.
+  Grid grid(small_spec());
+  std::array<double, 3> xi{};
+  const int c = grid.locate({2.0, 2.0, 3.0}, &xi);
+  EXPECT_EQ(c, grid.index(2, 3, 1));
+  EXPECT_DOUBLE_EQ(xi[0], 1.0);
+  EXPECT_DOUBLE_EQ(xi[1], 1.0);
+  EXPECT_DOUBLE_EQ(xi[2], 1.0);
+  // The lower corner and rounding-level overshoot clamp too ...
+  EXPECT_EQ(grid.locate({-1.0, 0.0, 2.0}, &xi), grid.index(0, 0, 0));
+  EXPECT_DOUBLE_EQ(xi[0], 0.0);
+  EXPECT_EQ(grid.locate({2.0 + 1e-13, 0.5, 2.5}), grid.index(2, 1, 1));
+  // ... while genuinely outside points still throw.
+  EXPECT_THROW(grid.locate({2.1, 0.5, 2.5}), std::invalid_argument);
+}
+
+TEST(Grid, PartitionedViewAddressesHaloSlots) {
+  // A 2-cell-wide x-slab of the periodic small_spec box: the x faces are
+  // remote (halo slots past num_cells), y/z wrap inside the view.
+  Grid view(small_spec(), {1, 0, 0}, {2, 4, 2});
+  EXPECT_TRUE(view.partitioned());
+  EXPECT_EQ(view.num_cells(), 16);
+  EXPECT_EQ(view.num_halo_cells(), 2 * 4 * 2);
+  EXPECT_EQ(view.global_cell(view.index(1, 2, 1)),
+            Grid(small_spec()).index(2, 2, 1));
+
+  const NeighborRef left = view.neighbor(view.index(0, 1, 0), 0, 0);
+  EXPECT_FALSE(left.boundary);
+  EXPECT_GE(left.cell, view.num_cells());
+  const NeighborRef up = view.neighbor(view.index(0, 3, 0), 1, 1);
+  EXPECT_EQ(up.cell, view.index(0, 0, 0)) << "full-span dims wrap locally";
+}
+
 TEST(Grid, RejectsDegenerateSpecs) {
   GridSpec s = small_spec();
   s.cells[1] = 0;
