@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "exastp/common/mpi_runtime.h"
 #include "exastp/engine/simulation.h"
 #include "exastp/engine/sweep.h"
 
@@ -58,11 +59,23 @@ void report_outputs(const Simulation& sim) {
 
 }  // namespace
 
+/// MPI_Init/Finalize bracket for mpirun launches (backend=mpi); both calls
+/// are no-ops in builds without -DEXASTP_WITH_MPI=ON.
+struct ScopedMpi {
+  ScopedMpi(int* argc, char*** argv) { MpiRuntime::init(argc, argv); }
+  ~ScopedMpi() { MpiRuntime::finalize(); }
+};
+
 int main(int argc, char** argv) {
+  ScopedMpi mpi(&argc, &argv);
+  // One reporting rank: under mpirun every rank runs the same simulation
+  // loop (collectives keep them in lockstep) but only rank 0 narrates.
+  const bool root = MpiRuntime::rank() == 0;
+
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty() || args[0] == "help" || args[0] == "--help" ||
       args[0] == "-h") {
-    print_usage();
+    if (root) print_usage();
     return 0;
   }
 
@@ -78,22 +91,30 @@ int main(int argc, char** argv) {
     }
 
     Simulation sim = Simulation::from_args(args);
-    std::printf("%s\n", sim.summary().c_str());
+    if (root) std::printf("%s\n", sim.summary().c_str());
 
     const int steps = sim.run();
-    std::printf("advanced to t = %g in %d steps (%d cells, %d DOF/cell)\n",
-                sim.solver().time(), steps, sim.solver().grid().num_cells(),
-                sim.config().order * sim.config().order * sim.config().order *
-                    sim.pde().info().quants);
+    if (root)
+      std::printf("advanced to t = %g in %d steps (%d cells, %d DOF/cell)\n",
+                  sim.solver().time(), steps, sim.solver().grid().num_cells(),
+                  sim.config().order * sim.config().order *
+                      sim.config().order * sim.pde().info().quants);
 
     if (sim.has_exact_solution()) {
-      std::printf("L2 error (quantity %d) = %.6e\n", sim.error_quantity(),
-                  sim.l2_error());
+      // Collective under backend=mpi — every rank computes, rank 0 prints.
+      const double error = sim.l2_error();
+      if (root)
+        std::printf("L2 error (quantity %d) = %.6e\n", sim.error_quantity(),
+                    error);
     }
-    report_outputs(sim);
+    if (root) report_outputs(sim);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // A rank failing alone must not strand its peers in a collective:
+    // tear the whole launch down (no-op for single-rank and local runs).
+    if (MpiRuntime::initialized() && MpiRuntime::size() > 1)
+      MpiRuntime::abort(1);
     return 1;
   }
 }

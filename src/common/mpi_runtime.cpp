@@ -1,0 +1,102 @@
+#include "exastp/common/mpi_runtime.h"
+
+#if defined(EXASTP_WITH_MPI)
+
+#include <mpi.h>
+
+#include <vector>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+bool MpiRuntime::compiled_in() { return true; }
+
+bool MpiRuntime::initialized() {
+  int init = 0, fini = 0;
+  MPI_Initialized(&init);
+  if (init == 0) return false;
+  MPI_Finalized(&fini);
+  return fini == 0;
+}
+
+void MpiRuntime::init(int* argc, char*** argv) {
+  int already = 0;
+  MPI_Initialized(&already);
+  if (already != 0) return;
+  int provided = 0;
+  MPI_Init_thread(argc, argv, MPI_THREAD_FUNNELED, &provided);
+  // The steppers thread their cell loops while the driving thread talks
+  // to MPI; an implementation granting only MPI_THREAD_SINGLE would make
+  // that undefined — fail loudly instead of proceeding.
+  EXASTP_CHECK_MSG(provided >= MPI_THREAD_FUNNELED,
+                   "this MPI implementation does not provide "
+                   "MPI_THREAD_FUNNELED");
+}
+
+void MpiRuntime::finalize() {
+  if (!initialized()) return;
+  MPI_Finalize();
+}
+
+void MpiRuntime::abort(int code) {
+  if (!initialized()) return;
+  MPI_Abort(MPI_COMM_WORLD, code);
+}
+
+int MpiRuntime::rank() {
+  if (!initialized()) return 0;
+  int rank = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  return rank;
+}
+
+int MpiRuntime::size() {
+  if (!initialized()) return 1;
+  int size = 1;
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  return size;
+}
+
+double MpiRuntime::min_across_ranks(double value) {
+  if (!initialized()) return value;
+  double result = value;
+  MPI_Allreduce(&value, &result, 1, MPI_DOUBLE, MPI_MIN, MPI_COMM_WORLD);
+  return result;
+}
+
+double MpiRuntime::ordered_sum_across_ranks(double value) {
+  if (!initialized()) return value;
+  std::vector<double> partials(static_cast<std::size_t>(size()), 0.0);
+  MPI_Allgather(&value, 1, MPI_DOUBLE, partials.data(), 1, MPI_DOUBLE,
+                MPI_COMM_WORLD);
+  double sum = 0.0;
+  for (double p : partials) sum += p;
+  return sum;
+}
+
+void MpiRuntime::barrier() {
+  if (!initialized()) return;
+  MPI_Barrier(MPI_COMM_WORLD);
+}
+
+}  // namespace exastp
+
+#else  // !EXASTP_WITH_MPI — the single-rank identity.
+
+namespace exastp {
+
+bool MpiRuntime::compiled_in() { return false; }
+bool MpiRuntime::initialized() { return false; }
+void MpiRuntime::init(int* /*argc*/, char*** /*argv*/) {}
+void MpiRuntime::finalize() {}
+void MpiRuntime::abort(int /*code*/) {}
+int MpiRuntime::rank() { return 0; }
+int MpiRuntime::size() { return 1; }
+double MpiRuntime::min_across_ranks(double value) { return value; }
+double MpiRuntime::ordered_sum_across_ranks(double value) { return value; }
+void MpiRuntime::barrier() {}
+
+}  // namespace exastp
+
+#endif

@@ -1,0 +1,50 @@
+// Process-level MPI state behind one header that compiles with and without
+// MPI support.
+//
+// The distributed execution path (backend=mpi, solver/mpi_exchange.h) runs
+// one rank per mesh shard. Everything rank-shaped the engine needs —
+// initialization, the rank/size of the launch, the handful of collectives
+// the solvers use — funnels through MpiRuntime so that non-MPI builds
+// (EXASTP_WITH_MPI undefined, the default) contain no mpi.h include and
+// degrade to a single-rank identity: rank() == 0, size() == 1, reductions
+// return their input, barrier() is a no-op. Callers therefore never need
+// their own #ifdefs; a build without MPI simply cannot construct the mpi
+// exchange backend (make_exchange_backend fails with a clear message).
+#pragma once
+
+namespace exastp {
+
+class MpiRuntime {
+ public:
+  /// True when the library was built with -DEXASTP_WITH_MPI=ON.
+  static bool compiled_in();
+  /// True when MPI_Init has run and MPI_Finalize has not (always false in
+  /// non-MPI builds).
+  static bool initialized();
+
+  /// Initializes MPI (MPI_THREAD_FUNNELED — the steppers thread their cell
+  /// loops but all MPI calls stay on the driving thread). Idempotent; a
+  /// no-op in non-MPI builds, so drivers call it unconditionally.
+  static void init(int* argc, char*** argv);
+  /// Finalizes MPI if this process initialized it. Idempotent.
+  static void finalize();
+  /// Tears the whole multi-rank job down (MPI_Abort) so a rank that
+  /// failed asymmetrically — e.g. threw while its peers sit in a
+  /// collective — does not leave them hanging. No-op when MPI is absent
+  /// or uninitialized; does not return otherwise.
+  static void abort(int code);
+
+  static int rank();
+  static int size();
+
+  /// Exact collectives for the lockstep time loop: min commutes bitwise,
+  /// so every rank computes the identical stable dt.
+  static double min_across_ranks(double value);
+  /// Deterministic sum: gathers every rank's partial and adds them in rank
+  /// order on every rank (norms stay reproducible across runs, though the
+  /// association differs from the monolithic cell-order sum).
+  static double ordered_sum_across_ranks(double value);
+  static void barrier();
+};
+
+}  // namespace exastp

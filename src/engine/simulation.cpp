@@ -1,11 +1,14 @@
 #include "exastp/engine/simulation.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "exastp/common/check.h"
+#include "exastp/common/mpi_runtime.h"
+#include "exastp/io/receiver_sinks.h"
 #include "exastp/mesh/partition.h"
 #include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/norms.h"
@@ -77,13 +80,29 @@ Simulation Simulation::from_config(SimulationConfig config) {
     EXASTP_FAIL("unknown stepper \"" + config.stepper + "\" (ader|rk4)");
   };
 
+  const bool distributed = config.backend == "mpi";
+  if (distributed) {
+    EXASTP_CHECK_MSG(MpiRuntime::compiled_in(),
+                     "backend=mpi needs a build with -DEXASTP_WITH_MPI=ON");
+    EXASTP_CHECK_MSG(MpiRuntime::initialized(),
+                     "backend=mpi needs an MPI launch (mpirun)");
+    // Post-hoc whole-field dumps would need every rank's cells in one
+    // process; the streaming per-shard series covers distributed runs.
+    EXASTP_CHECK_MSG(config.output.csv.empty() && config.output.vtk.empty(),
+                     "csv=/vtk= post-hoc outputs are not supported with "
+                     "backend=mpi — use output.series");
+  }
+
   const std::array<int, 3> shard_grid = resolve_shard_grid(config);
   std::unique_ptr<SolverBase> solver;
-  if (shard_grid[0] * shard_grid[1] * shard_grid[2] == 1) {
+  if (!distributed && shard_grid[0] * shard_grid[1] * shard_grid[2] == 1) {
     solver = make_shard(Grid(config.grid));
   } else {
+    // backend=mpi always goes through the sharded composite (even for one
+    // shard), so the rank/shard match is validated and every rank drives
+    // the same split-phase schedule.
     solver = std::make_unique<ShardedSolver>(Partition(config.grid, shard_grid),
-                                             make_shard);
+                                             make_shard, config.backend);
   }
 
   solver->set_num_threads(config.threads);
@@ -94,10 +113,45 @@ Simulation Simulation::from_config(SimulationConfig config) {
   Simulation simulation(std::move(config), isa, std::move(pde),
                         std::move(scenario), std::move(solver));
   simulation.shard_grid_ = shard_grid;
+  simulation.distributed_ = distributed;
   // Attach the config-declared streaming observers (receivers, VTK series,
-  // any registered plugin) in registry name order.
+  // any registered plugin) in registry name order. Distributed runs build
+  // them from a rank-local view of the config: each rank's network holds
+  // the receivers its shard owns and streams them to a per-rank part file
+  // that rank 0 merges after the run (io/receiver_sinks.h).
+  SimulationConfig observer_config = simulation.config_;
+  if (distributed && !observer_config.receivers.empty()) {
+    const Grid global(observer_config.grid);
+    const auto& partition =
+        dynamic_cast<const ShardedSolver&>(*simulation.solver_).partition();
+    std::vector<std::array<double, 3>> mine;
+    for (const std::array<double, 3>& position : observer_config.receivers)
+      if (simulation.solver_->shard_is_local(
+              partition.owner_of(global.locate(position))))
+        mine.push_back(position);
+
+    const OutputConfig& output = observer_config.output;
+    if (!output.receivers_csv.empty() || !output.receivers_bin.empty()) {
+      ReceiverMergePlan plan;
+      plan.positions = observer_config.receivers;
+      plan.bin_path = output.receivers_bin;
+      plan.csv_path = output.receivers_csv;
+      plan.part_base = plan.bin_path.empty() ? plan.csv_path : plan.bin_path;
+      const std::string part = plan.part_base + ".r" +
+                               std::to_string(simulation.solver_->rank()) +
+                               ".part";
+      // Drop any part a previous run left at this rank's path — a rank
+      // that owns no receivers now opens no sink, and a stale stream
+      // must not leak into the merge.
+      std::remove(part.c_str());
+      observer_config.output.receivers_bin = mine.empty() ? "" : part;
+      observer_config.output.receivers_csv.clear();  // merged, not streamed
+      simulation.receiver_merge_ = std::move(plan);
+    }
+    observer_config.receivers = std::move(mine);
+  }
   for (std::shared_ptr<Observer>& observer :
-       make_observers(simulation.config_, *simulation.pde_))
+       make_observers(observer_config, *simulation.pde_))
     simulation.add_observer(std::move(observer));
   return simulation;
 }
@@ -117,6 +171,15 @@ Simulation Simulation::from_args(const std::vector<std::string>& args) {
 
 int Simulation::run() {
   const int steps = solver_->run_until(config_.t_end, config_.cfl);
+  if (distributed_) {
+    MpiRuntime::barrier();  // every rank's streams and pieces are on disk
+    if (solver_->rank() == 0 && receiver_merge_.has_value())
+      merge_receiver_records(receiver_merge_->part_base, solver_->num_ranks(),
+                             receiver_merge_->positions,
+                             receiver_merge_->bin_path,
+                             receiver_merge_->csv_path);
+    MpiRuntime::barrier();  // merged artifacts visible to every rank
+  }
   if (!config_.output.csv.empty()) write_csv(*solver_, config_.output.csv);
   if (!config_.output.vtk.empty()) {
     // Same quantity selection as the streaming VTK series: explicit
@@ -138,8 +201,18 @@ double Simulation::l2_error() const {
                    "scenario \"" + scenario_->name() +
                        "\" has no exact solution for pde \"" + pde_->name() +
                        "\"");
-  return exastp::l2_error(*solver_, quantity,
-                          scenario_->exact_solution(*pde_, config_));
+  const ExactSolution exact = scenario_->exact_solution(*pde_, config_);
+  if (solver_->num_ranks() > 1) {
+    // Collective: each rank sums its resident shards (in shard order) and
+    // the per-rank partials combine in rank order — deterministic, with
+    // the per-shard association replacing the monolithic cell-order sum.
+    double local = 0.0;
+    for (int s = 0; s < solver_->num_shards(); ++s)
+      if (solver_->shard_is_local(s))
+        local += l2_error_squared(solver_->shard(s), quantity, exact);
+    return std::sqrt(MpiRuntime::ordered_sum_across_ranks(local));
+  }
+  return exastp::l2_error(*solver_, quantity, exact);
 }
 
 std::string Simulation::summary() const {
@@ -147,13 +220,14 @@ std::string Simulation::summary() const {
   const auto& cells = config_.grid.cells;
   // Effective topology: the shard block grid actually built plus the
   // owned-cell range per shard (a single number unless the split is
-  // ragged).
-  int min_cells = solver_->shard(0).grid().num_cells();
-  int max_cells = min_cells;
-  for (int s = 1; s < solver_->num_shards(); ++s) {
-    const int n = solver_->shard(s).grid().num_cells();
-    min_cells = std::min(min_cells, n);
-    max_cells = std::max(max_cells, n);
+  // ragged). The Partition knows every shard's size, so this works on any
+  // rank of a distributed run.
+  int min_cells, max_cells;
+  if (const auto* sharded = dynamic_cast<const ShardedSolver*>(solver_.get())) {
+    min_cells = sharded->partition().min_cells_per_shard();
+    max_cells = sharded->partition().max_cells_per_shard();
+  } else {
+    min_cells = max_cells = solver_->grid().num_cells();
   }
   std::ostringstream os;
   os << "pde=" << pde_->name() << " (m=" << info.quants << ")"
@@ -169,6 +243,9 @@ std::string Simulation::summary() const {
   } else {
     os << min_cells << "-" << max_cells;
   }
+  if (distributed_)
+    os << " backend=mpi rank=" << solver_->rank() << "/"
+       << solver_->num_ranks();
   os << " t_end=" << config_.t_end;
   return os.str();
 }

@@ -9,7 +9,9 @@
 // hand-wiring dance of the old examples in one call.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,7 +49,10 @@ class Simulation {
   /// Runs to config.t_end — streaming observers (receivers, VTK series)
   /// fire from the time loop — then writes any configured post-hoc outputs;
   /// returns the number of steps taken. Callable repeatedly after raising
-  /// t_end.
+  /// t_end. Under backend=mpi this is collective (every rank calls it):
+  /// after the loop, rank 0 merges the per-rank receiver streams into the
+  /// configured paths so distributed runs produce the same artifacts as
+  /// local ones.
   int run();
 
   /// Attaches a streaming observer to the solver's time loop and takes
@@ -67,7 +72,11 @@ class Simulation {
   /// Quantity index the exact solution describes, or -1.
   int error_quantity() const { return scenario_->error_quantity(*pde_); }
   /// L2 error of error_quantity() against the scenario's exact solution at
-  /// the solver's current time; throws if the scenario has none.
+  /// the solver's current time; throws if the scenario has none. Under
+  /// backend=mpi this is collective: every rank sums its shards and the
+  /// partials combine in rank order (deterministic, though the association
+  /// differs from the monolithic cell-order sum by floating-point
+  /// rounding).
   double l2_error() const;
 
   /// One-line human-readable description for logs and CLI banners.
@@ -79,9 +88,22 @@ class Simulation {
              std::shared_ptr<const Scenario> scenario,
              std::unique_ptr<SolverBase> solver);
 
+  /// Rank-0 merge plan of a distributed run's receiver streams: the full
+  /// configured network plus the final artifact paths
+  /// (io/receiver_sinks.h merge_receiver_records). Present on every rank
+  /// of a backend=mpi run with receiver streams configured.
+  struct ReceiverMergePlan {
+    std::vector<std::array<double, 3>> positions;
+    std::string part_base;
+    std::string bin_path;
+    std::string csv_path;
+  };
+
   SimulationConfig config_;
   Isa isa_ = Isa::kScalar;
   std::array<int, 3> shard_grid_{1, 1, 1};
+  bool distributed_ = false;
+  std::optional<ReceiverMergePlan> receiver_merge_;
   std::shared_ptr<const KernelFactory> pde_;
   std::shared_ptr<const Scenario> scenario_;
   /// Observer lifetime is owned here; the solver only holds raw pointers,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exastp/common/check.h"
+#include "exastp/common/mpi_runtime.h"
 #include "exastp/common/parallel.h"
 #include "exastp/engine/scenario_registry.h"
 #include "exastp/kernels/registry.h"
@@ -158,6 +159,10 @@ void apply_pair(SimulationConfig& config, const std::string& key,
       }
     }
     config.shards = value;
+  } else if (key == "backend") {
+    EXASTP_CHECK_MSG(value == "inprocess" || value == "mpi",
+                     "backend=" + value + " (inprocess|mpi)");
+    config.backend = value;
   } else if (key == "cells") {
     config.grid.cells = parse_cells(value);
   } else if (key == "extent") {
@@ -212,9 +217,13 @@ int scenario_param_int(const SimulationConfig& config, const std::string& key,
 }
 
 std::array<int, 3> resolve_shard_grid(const SimulationConfig& config) {
-  if (config.shards == "auto")
-    return Partition::factor(resolve_threads(config.threads),
-                             config.grid.cells);
+  if (config.shards == "auto") {
+    // Local runs factor the thread count onto the mesh; distributed runs
+    // need one shard per rank, so "auto" factors the MPI launch size.
+    const int total = config.backend == "mpi" ? MpiRuntime::size()
+                                              : resolve_threads(config.threads);
+    return Partition::factor(total, config.grid.cells);
+  }
   const auto parts = split_list(config.shards);
   if (parts.size() == 1)
     return Partition::factor(parse_int("shards", parts[0]),
@@ -268,6 +277,9 @@ std::string simulation_usage() {
       " or auto);\n"
       "                  results are bitwise-identical for every"
       " decomposition\n"
+      "  backend=KIND    halo exchange: inprocess (default) | mpi (one rank"
+      " per shard,\n"
+      "                  -DEXASTP_WITH_MPI=ON builds under mpirun)\n"
       "  cells=AxBxC     mesh cells per dimension (or one int for a cube)\n"
       "  extent=X,Y,Z    domain size (or one number for a cube)\n"
       "  origin=X,Y,Z    domain lower corner\n"

@@ -52,9 +52,15 @@ struct SimulationConfig {
   int threads = 0;
   /// Domain decomposition: "AxBxC" shard block grid, a total shard count
   /// to factor onto the mesh, or "auto" (factor the resolved thread
-  /// count). Resolved by resolve_shard_grid; results are bitwise-identical
-  /// for every decomposition (see README "Sharding").
+  /// count — or the MPI launch size under backend=mpi). Resolved by
+  /// resolve_shard_grid; results are bitwise-identical for every
+  /// decomposition (see README "Sharding").
   std::string shards = "1";
+  /// Halo exchange backend: "inprocess" (every shard in this process, the
+  /// default) or "mpi" (one rank per shard, -DEXASTP_WITH_MPI=ON builds
+  /// under mpirun; see README "Distributed execution (MPI)"). Results are
+  /// bitwise-identical across backends.
+  std::string backend = "inprocess";
 
   GridSpec grid;
   double t_end = 0.5;

@@ -70,6 +70,11 @@ int run_sweep(const std::vector<std::string>& base_args,
     std::vector<std::string> args = base_args;
     args.push_back(spec.key + "=" + value);
     SimulationConfig config = parse_simulation_args(args);
+    // A sweep re-partitions per run; a distributed launch is pinned to one
+    // decomposition by its rank count, so the combination cannot work.
+    EXASTP_CHECK_MSG(config.backend != "mpi",
+                     "sweep= is not supported with backend=mpi — run one "
+                     "configuration per mpirun launch");
     config.output.csv = with_value_suffix(config.output.csv, value);
     config.output.vtk = with_value_suffix(config.output.vtk, value);
     config.output.series = with_value_suffix(config.output.series, value);

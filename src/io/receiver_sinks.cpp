@@ -127,4 +127,99 @@ ReceiverRecords read_receiver_records(const std::string& path) {
   return records;
 }
 
+void write_receiver_records(const ReceiverRecords& records,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  EXASTP_CHECK_MSG(out.good(), "cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_raw(out, static_cast<std::uint32_t>(records.positions.size()));
+  write_raw(out, static_cast<std::uint32_t>(records.quantities.size()));
+  for (int s : records.quantities)
+    write_raw(out, static_cast<std::int32_t>(s));
+  for (const auto& position : records.positions)
+    for (double x : position) write_raw(out, x);
+  const std::size_t row_size = records.row_size();
+  for (std::size_t i = 0; i < records.times.size(); ++i) {
+    write_raw(out, records.times[i]);
+    out.write(reinterpret_cast<const char*>(records.data.data() + i * row_size),
+              static_cast<std::streamsize>(row_size * sizeof(double)));
+  }
+  out.flush();
+  EXASTP_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+void write_receiver_csv(const ReceiverRecords& records,
+                        const std::string& path) {
+  std::ofstream out(path);
+  EXASTP_CHECK_MSG(out.good(), "cannot open " + path);
+  out.precision(std::numeric_limits<double>::max_digits10);
+  const std::vector<std::string> names =
+      default_quantity_names(records.quantities);
+  out << "t";
+  for (std::size_t r = 0; r < records.positions.size(); ++r)
+    for (const std::string& name : names) out << ",r" << r << "_" << name;
+  out << "\n";
+  const std::size_t row_size = records.row_size();
+  for (std::size_t i = 0; i < records.times.size(); ++i) {
+    out << records.times[i];
+    for (std::size_t j = 0; j < row_size; ++j)
+      out << "," << records.data[i * row_size + j];
+    out << "\n";
+  }
+  out.flush();
+  EXASTP_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+ReceiverRecords merge_receiver_records(
+    const std::string& part_base, int ranks,
+    const std::vector<std::array<double, 3>>& positions,
+    const std::string& bin_path, const std::string& csv_path) {
+  ReceiverRecords merged;
+  merged.positions = positions;
+  std::vector<bool> filled(positions.size(), false);
+
+  for (int k = 0; k < ranks; ++k) {
+    const std::string part = part_base + ".r" + std::to_string(k) + ".part";
+    if (!std::ifstream(part, std::ios::binary).good())
+      continue;  // this rank owned no receiver
+    const ReceiverRecords records = read_receiver_records(part);
+    if (records.positions.empty()) continue;
+
+    if (merged.quantities.empty()) {
+      merged.quantities = records.quantities;
+      merged.times = records.times;
+      merged.data.assign(merged.times.size() * merged.row_size(), 0.0);
+    }
+    EXASTP_CHECK_MSG(records.quantities == merged.quantities &&
+                         records.times == merged.times,
+                     part + ": per-rank streams disagree on the sample grid");
+
+    // Positions are copied verbatim from the shared config on every rank,
+    // so a row's global slot is its exact position match — the first
+    // still-unfilled one, so duplicate probe points each land in their
+    // own column like a local run streams them.
+    for (std::size_t r = 0; r < records.positions.size(); ++r) {
+      std::size_t slot = positions.size();
+      for (std::size_t p = 0; p < positions.size(); ++p) {
+        if (!filled[p] && positions[p] == records.positions[r]) {
+          slot = p;
+          break;
+        }
+      }
+      EXASTP_CHECK_MSG(slot < positions.size(),
+                       part + ": receiver not in the configured network");
+      filled[slot] = true;
+      const std::size_t nq = merged.quantities.size();
+      for (std::size_t i = 0; i < merged.times.size(); ++i)
+        for (std::size_t q = 0; q < nq; ++q)
+          merged.data[i * merged.row_size() + slot * nq + q] =
+              records.value(i, r, q);
+    }
+  }
+
+  if (!bin_path.empty()) write_receiver_records(merged, bin_path);
+  if (!csv_path.empty()) write_receiver_csv(merged, csv_path);
+  return merged;
+}
+
 }  // namespace exastp

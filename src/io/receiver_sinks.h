@@ -83,4 +83,30 @@ struct ReceiverRecords {
 /// ignored, matching the "valid after every append" contract.
 ReceiverRecords read_receiver_records(const std::string& path);
 
+/// Writes records in the BinaryReceiverSink stream format.
+void write_receiver_records(const ReceiverRecords& records,
+                            const std::string& path);
+/// Writes records in the CsvReceiverSink format (same header and row
+/// layout a local run streams).
+void write_receiver_csv(const ReceiverRecords& records,
+                        const std::string& path);
+
+/// Rank-0 merge of a distributed run's per-rank receiver streams into the
+/// artifacts of a local run (see README "Distributed execution (MPI)").
+/// Under backend=mpi every rank streams its locally-owned receivers to
+/// `<part_base>.r<rank>.part`; this reads every rank's part (ranks that
+/// own no receiver write none — missing parts are skipped), reorders the
+/// rows to the full network's `positions` order (positions are copied
+/// verbatim from the config, so rows match their global slot by exact
+/// position equality), writes the merged binary stream to `bin_path`
+/// and/or a CSV to `csv_path` (empty = skip), and returns the merged
+/// records. The parts stay on disk — a raised-t_end rerun keeps appending
+/// to them, and a re-merge then covers the longer streams. Sample times
+/// must agree across parts (the lockstep time loop guarantees it);
+/// mismatches throw.
+ReceiverRecords merge_receiver_records(
+    const std::string& part_base, int ranks,
+    const std::vector<std::array<double, 3>>& positions,
+    const std::string& bin_path, const std::string& csv_path);
+
 }  // namespace exastp

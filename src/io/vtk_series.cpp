@@ -41,16 +41,22 @@ void VtkSeriesWriter::on_step(const SolverBase& solver, int /*step*/) {
 
 void VtkSeriesWriter::on_finish(const SolverBase& solver) {
   // Capture the end state if the last step landed between emit points.
-  if (entries_.empty() || solver.time() > last_emit_time_ + 1e-12)
+  // snapshots_ (not the index entries, which only rank 0 keeps) decides,
+  // so every rank of a distributed run takes the same branch.
+  if (snapshots_ == 0 || solver.time() > last_emit_time_ + 1e-12)
     emit(solver);
-  else
+  else if (solver.rank() == 0)
     write_index();
 }
 
 void VtkSeriesWriter::emit(const SolverBase& solver) {
   // Monolithic runs keep the flat <base>_NNNN.vtk names; sharded runs emit
   // one piece per shard, each written over the shard's own grid view so
-  // the pieces tile the domain.
+  // the pieces tile the domain. On a distributed run every rank writes
+  // only its resident pieces, while rank 0 — which observes the same
+  // lockstep times and knows the shared naming scheme — indexes all of
+  // them, so the merged .pvd lists the whole decomposition exactly like a
+  // local sharded run's.
   const int shards = solver.num_shards();
   for (int p = 0; p < shards; ++p) {
     char suffix[24];
@@ -60,16 +66,18 @@ void VtkSeriesWriter::emit(const SolverBase& solver) {
       std::snprintf(suffix, sizeof(suffix), "_%04d_p%02d.vtk", snapshots_, p);
     }
     const std::string path = base_ + suffix;
-    write_vtk_cell_averages(solver.shard(p), quantities_, names_, path);
+    if (solver.shard_is_local(p))
+      write_vtk_cell_averages(solver.shard(p), quantities_, names_, path);
     // The index references snapshots relative to its own directory.
     const auto slash = path.find_last_of('/');
-    entries_.push_back(
-        {solver.time(), p,
-         slash == std::string::npos ? path : path.substr(slash + 1)});
+    if (solver.rank() == 0)
+      entries_.push_back(
+          {solver.time(), p,
+           slash == std::string::npos ? path : path.substr(slash + 1)});
   }
   ++snapshots_;
   last_emit_time_ = solver.time();
-  write_index();
+  if (solver.rank() == 0) write_index();
 }
 
 void VtkSeriesWriter::write_index() const {

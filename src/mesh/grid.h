@@ -16,7 +16,7 @@
 // physical cell yields the same node positions and reference coordinates no
 // matter which view addresses it. Faces whose neighbour lies outside the
 // view map to appended halo cell slots (indices >= num_cells()), which the
-// solvers back with exchanged DOF storage (solver/halo_exchange.h).
+// solvers back with exchanged DOF storage (solver/exchange_backend.h).
 #pragma once
 
 #include <array>

@@ -4,6 +4,24 @@
 
 namespace exastp {
 
+CellClassification classify_cells(const Grid& grid) {
+  CellClassification cells;
+  cells.interior.reserve(static_cast<std::size_t>(grid.num_cells()));
+  for (int c = 0; c < grid.num_cells(); ++c) {
+    bool touches_halo = false;
+    for (int dir = 0; dir < 3 && !touches_halo; ++dir)
+      for (int side = 0; side < 2; ++side) {
+        const NeighborRef nb = grid.neighbor(c, dir, side);
+        if (!nb.boundary && nb.cell >= grid.num_cells()) {
+          touches_halo = true;
+          break;
+        }
+      }
+    (touches_halo ? cells.boundary : cells.interior).push_back(c);
+  }
+  return cells;
+}
+
 std::vector<int> Partition::split_sizes(int n, int k) {
   EXASTP_CHECK_MSG(k >= 1 && k <= n,
                    "each shard needs at least one cell per dimension");
@@ -66,6 +84,7 @@ Partition::Partition(const GridSpec& global, const std::array<int, 3>& shards)
                                         lo,
                                         size,
                                         Grid(global, lo, size),
+                                        {},
                                         {}});
       }
 
@@ -109,6 +128,7 @@ Partition::Partition(const GridSpec& global, const std::array<int, 3>& shards)
         sub.halos.push_back(std::move(plan));
       }
     }
+    sub.cells = classify_cells(sub.grid);
   }
 }
 

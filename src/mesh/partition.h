@@ -12,9 +12,11 @@
 // the far shard; outflow/wall faces at the true domain edge need no plan —
 // the solvers build ghost states there, exactly like the monolithic path.
 //
-// The plans are consumed by solver/halo_exchange.h (pack/swap/unpack over
-// contiguous per-face DOF buffers — the MPI seam) and the per-shard solvers
-// are composed by solver/sharded_solver.h.
+// The plans are consumed by the exchange backends
+// (solver/exchange_backend.h: the zero-copy in-process gather of
+// solver/halo_exchange.h, or the rank-per-shard MPI_Isend/Irecv of
+// solver/mpi_exchange.h) and the per-shard solvers are composed by
+// solver/sharded_solver.h.
 #pragma once
 
 #include <array>
@@ -37,6 +39,23 @@ struct HaloPlan {
   int dst_begin = -1;
 };
 
+/// Interior/boundary split of a grid view's owned cells, the basis of the
+/// split-phase exchange protocol (solver/exchange_backend.h): `boundary`
+/// lists cells with at least one face neighbour in halo storage — they read
+/// exchanged data, so their sweep must wait for the exchange to complete —
+/// and `interior` the rest, which a solver can traverse while halos are
+/// still in flight. Both lists are ascending, and together they cover
+/// every owned cell exactly once. A whole-domain grid has no halo slots,
+/// so its boundary set is empty.
+struct CellClassification {
+  std::vector<int> interior;
+  std::vector<int> boundary;
+};
+
+/// Classifies the owned cells of `grid` (any view, including whole-domain
+/// grids) by whether one of their six face neighbours is a halo slot.
+CellClassification classify_cells(const Grid& grid);
+
 struct Subdomain {
   int id = -1;
   std::array<int, 3> block{};  ///< coordinates in the shard block grid
@@ -44,6 +63,7 @@ struct Subdomain {
   std::array<int, 3> size{};   ///< owned cells per dimension
   Grid grid;                   ///< the partitioned view (owned + halo slots)
   std::vector<HaloPlan> halos; ///< one per remote face, fixed (dir, side) order
+  CellClassification cells;    ///< interior vs halo-adjacent boundary cells
 };
 
 class Partition {

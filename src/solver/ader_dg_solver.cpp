@@ -7,6 +7,7 @@
 #include "exastp/basis/lagrange.h"
 #include "exastp/common/taylor.h"
 #include "exastp/gemm/vecops.h"
+#include "exastp/mesh/partition.h"
 
 namespace exastp {
 
@@ -39,6 +40,9 @@ AderDgSolver::AderDgSolver(std::shared_ptr<const PdeRuntime> pde,
   q_.assign(total, 0.0);
   qnew_.assign(total, 0.0);
   qavg_.assign(total, 0.0);
+  CellClassification cells = classify_cells(grid_);
+  interior_cells_ = std::move(cells.interior);
+  boundary_cells_ = std::move(cells.boundary);
   rebuild_scratch();
 }
 
@@ -181,6 +185,11 @@ void AderDgSolver::step(double dt) {
 }
 
 void AderDgSolver::step_phase(int phase, double dt) {
+  step_phase_interior(phase, dt);
+  step_phase_boundary(phase, dt);
+}
+
+void AderDgSolver::step_phase_interior(int phase, double dt) {
   EXASTP_CHECK_MSG(dt > 0.0, "dt must be positive");
   EXASTP_CHECK(phase == 0 || phase == 1);
   if (phase == 0) {
@@ -188,7 +197,8 @@ void AderDgSolver::step_phase(int phase, double dt) {
     const auto integral_coeff = taylor_coefficients(dt, layout_.n);
     // Predictor + volume update: embarrassingly cell-parallel — qavg_c and
     // qnew_c belong to the traversed cell, each thread runs its own kernel
-    // clone and favg scratch.
+    // clone and favg scratch. No neighbour reads, so the phase is all
+    // interior.
     par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
       ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
       for (long c = begin; c < end; ++c)
@@ -197,9 +207,18 @@ void AderDgSolver::step_phase(int phase, double dt) {
     return;
   }
 
-  // Phase 1 runs after qavg halos are valid (the monolithic grid has
-  // none): surface corrector, buffer swap, time advance.
-  apply_corrector(dt);
+  // Corrector over the interior set: these cells read only owned qavg
+  // tensors, so the sweep runs while the halo exchange is in flight.
+  apply_corrector(dt, interior_cells_);
+}
+
+void AderDgSolver::step_phase_boundary(int phase, double dt) {
+  EXASTP_CHECK(phase == 0 || phase == 1);
+  if (phase == 0) return;
+
+  // Runs after qavg halos are valid (the monolithic grid has none, and its
+  // boundary set is empty): boundary corrector, buffer swap, time advance.
+  apply_corrector(dt, boundary_cells_);
   q_.swap(qnew_);
   time_ += dt;
   check_finite();
@@ -217,15 +236,17 @@ void AderDgSolver::correct_cell(ThreadScratch& ts, int c, double dt) {
                      dt * inv_dx[dir], qavg_of, ts.faces, qnew_c);
 }
 
-void AderDgSolver::apply_corrector(double dt) {
-  // Cell-parallel surface sweep: each cell applies the lift from its own
-  // six faces to itself only (interior Riemann solves are recomputed once
-  // per side — identical bits, no write races).
-  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
-    ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
-    for (long c = begin; c < end; ++c)
-      correct_cell(ts, static_cast<int>(c), dt);
-  });
+void AderDgSolver::apply_corrector(double dt, const std::vector<int>& cells) {
+  // Cell-parallel surface sweep over one classification set: each cell
+  // applies the lift from its own six faces to itself only (interior
+  // Riemann solves are recomputed once per side — identical bits, no write
+  // races), so the interior/boundary split never changes any cell's bits.
+  par_.run(static_cast<long>(cells.size()), 1,
+           [&](int tid, long begin, long end) {
+             ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+             for (long i = begin; i < end; ++i)
+               correct_cell(ts, cells[static_cast<std::size_t>(i)], dt);
+           });
 }
 
 void AderDgSolver::check_finite() const {

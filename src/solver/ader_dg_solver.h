@@ -74,9 +74,15 @@ class AderDgSolver final : public SolverBase {
 
   /// Sharded stepping: phase 0 = element-local predictor + volume update,
   /// phase 1 = surface corrector + buffer swap + time advance. The
-  /// corrector reads neighbour qavg tensors, so its halo field is qavg.
+  /// corrector reads neighbour qavg tensors, so its halo field is qavg —
+  /// and its sweep splits into an interior sweep (cells with no halo
+  /// neighbour, runnable while the qavg exchange is in flight) and the
+  /// boundary remainder after wait(). The predictor reads no neighbour
+  /// data, so phase 0 is all interior.
   int num_step_phases() const override { return 2; }
   void step_phase(int phase, double dt) override;
+  void step_phase_interior(int phase, double dt) override;
+  void step_phase_boundary(int phase, double dt) override;
   double* step_phase_halo(int phase) override {
     return phase == 1 ? qavg_.data() : nullptr;
   }
@@ -107,7 +113,8 @@ class AderDgSolver final : public SolverBase {
                     const std::array<double, 3>& inv_dx,
                     const std::array<double, kMaxOrder>& integral_coeff);
   void correct_cell(ThreadScratch& ts, int c, double dt);
-  void apply_corrector(double dt);
+  /// Surface sweep over one cell list (the interior or boundary set).
+  void apply_corrector(double dt, const std::vector<int>& cells);
   void check_finite() const;
 
   std::shared_ptr<const PdeRuntime> pde_;
@@ -120,6 +127,10 @@ class AderDgSolver final : public SolverBase {
   int vars_ = 0;  ///< evolved quantities (parameters excluded)
 
   AlignedVector q_, qnew_, qavg_;
+  /// Interior/boundary split of the corrector sweep (mesh/partition.h);
+  /// boundary is empty for whole-domain grids, so the monolithic path is
+  /// one full interior sweep.
+  std::vector<int> interior_cells_, boundary_cells_;
   std::vector<ThreadScratch> scratch_;  ///< one slot per thread
 
   double time_ = 0.0;

@@ -1,0 +1,19 @@
+#include "exastp/solver/exchange_backend.h"
+
+#include "exastp/common/check.h"
+#include "exastp/solver/halo_exchange.h"
+#include "exastp/solver/mpi_exchange.h"
+
+namespace exastp {
+
+std::unique_ptr<ExchangeBackend> make_exchange_backend(
+    const std::string& backend, const Partition& partition,
+    std::size_t cell_size) {
+  if (backend == "inprocess")
+    return std::make_unique<InProcessExchange>(partition, cell_size);
+  if (backend == "mpi") return make_mpi_exchange(partition, cell_size);
+  EXASTP_FAIL("unknown exchange backend \"" + backend +
+              "\" (inprocess|mpi)");
+}
+
+}  // namespace exastp

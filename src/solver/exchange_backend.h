@@ -1,0 +1,86 @@
+// Pluggable halo-exchange backends with a split-phase protocol.
+//
+// PR 4 left the in-process swap memcpy as "the MPI seam". This interface
+// cashes that in: an ExchangeBackend moves every HaloPlan's plan-ordered
+// plane of cell_size-double DOF tensors from source shards into destination
+// halo blocks, in two phases —
+//
+//   post(fields)   start moving the halo data (in-process: deliver it
+//                  synchronously; MPI: MPI_Irecv into the halo blocks +
+//                  pack and MPI_Isend the outgoing planes);
+//   wait()         block until every halo slot of the posted fields is
+//                  valid.
+//
+// Between post() and wait() the driving solver runs the phase's *interior*
+// sweep (cells that read no halo data — see CellClassification in
+// mesh/partition.h), so on a distributed run the halo latency hides behind
+// compute instead of serializing in front of it. The boundary sweep runs
+// after wait(). Contract for the in-flight window: the exchanged field's
+// owned cells must not be written (the backend may still be reading them)
+// and its halo slots must not be read (the backend is writing them); both
+// steppers' interior sweeps satisfy this by construction.
+//
+// Whatever the backend, the bytes delivered into a halo slot are exactly
+// the source cell's tensor, so sharded stepping stays bitwise-identical to
+// the monolithic path for every backend, decomposition and thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exastp/mesh/partition.h"
+
+namespace exastp {
+
+class ExchangeBackend {
+ public:
+  virtual ~ExchangeBackend() = default;
+
+  /// Registry-style key: "inprocess" or "mpi".
+  virtual std::string name() const = 0;
+
+  /// Starts refreshing the halo rings of one logical field.
+  /// `shard_fields[s]` is the base of shard s's DOF array (owned cells
+  /// first, halo blocks appended) for every shard materialized in this
+  /// process, nullptr for the others — the in-process backend needs all
+  /// entries, the MPI backend exactly this rank's. No exchange may
+  /// already be in flight.
+  virtual void post(const std::vector<double*>& shard_fields) = 0;
+
+  /// Completes the posted exchange; afterwards every halo slot of the
+  /// posted fields holds its neighbour's tensor.
+  virtual void wait() = 0;
+
+  /// post() + wait(): the serialized exchange for drivers that do not
+  /// overlap (benches measuring the unhidden halo cost).
+  void exchange(const std::vector<double*>& shard_fields) {
+    post(shard_fields);
+    wait();
+  }
+
+  /// Halo bytes delivered into this process's shards per exchange (the
+  /// logical traffic; identical for every backend on a local run).
+  std::size_t payload_bytes_per_exchange() const { return payload_bytes_; }
+  /// Bytes actually memcpy'd per exchange. The zero-copy in-process swap
+  /// gathers each source plane straight into the peer's halo block, so
+  /// this equals the payload (it used to be 3x: pack + swap + unpack);
+  /// the MPI backend only copies on the send side (receives land directly
+  /// in the halo block).
+  std::size_t copied_bytes_per_exchange() const { return copied_bytes_; }
+
+ protected:
+  std::size_t payload_bytes_ = 0;
+  std::size_t copied_bytes_ = 0;
+};
+
+/// Builds the backend named by the `backend=` config key ("inprocess" |
+/// "mpi") over `partition` with `cell_size` doubles per cell DOF tensor.
+/// "mpi" requires a -DEXASTP_WITH_MPI=ON build and an initialized MPI
+/// launch with one rank per shard; violations fail with a clear message.
+std::unique_ptr<ExchangeBackend> make_exchange_backend(
+    const std::string& backend, const Partition& partition,
+    std::size_t cell_size);
+
+}  // namespace exastp

@@ -4,7 +4,8 @@
 
 namespace exastp {
 
-HaloExchange::HaloExchange(const Partition& partition, std::size_t cell_size)
+InProcessExchange::InProcessExchange(const Partition& partition,
+                                     std::size_t cell_size)
     : cell_size_(cell_size) {
   EXASTP_CHECK_MSG(cell_size_ > 0, "halo exchange needs a cell size");
   for (int s = 0; s < partition.num_shards(); ++s) {
@@ -14,41 +15,42 @@ HaloExchange::HaloExchange(const Partition& partition, std::size_t cell_size)
       link.src_shard = plan.src_shard;
       link.src_cells = plan.src_cells;
       link.dst_offset = static_cast<std::size_t>(plan.dst_begin) * cell_size_;
-      const std::size_t doubles = plan.src_cells.size() * cell_size_;
-      link.send.assign(doubles, 0.0);
-      link.recv.assign(doubles, 0.0);
-      bytes_per_exchange_ += doubles * sizeof(double);
+      const std::size_t bytes =
+          plan.src_cells.size() * cell_size_ * sizeof(double);
+      payload_bytes_ += bytes;
+      copied_bytes_ += bytes;
       links_.push_back(std::move(link));
     }
   }
 }
 
-void HaloExchange::exchange(const std::vector<double*>& shard_fields) {
-  for (Link& link : links_) {
+void InProcessExchange::post(const std::vector<double*>& shard_fields) {
+  EXASTP_CHECK_MSG(!in_flight_, "an exchange is already in flight");
+  in_flight_ = true;
+  for (const Link& link : links_) {
     EXASTP_CHECK(link.src_shard >= 0 &&
                  link.src_shard < static_cast<int>(shard_fields.size()) &&
                  link.dst_shard < static_cast<int>(shard_fields.size()));
     const double* src = shard_fields[static_cast<std::size_t>(link.src_shard)];
     double* dst = shard_fields[static_cast<std::size_t>(link.dst_shard)];
+    EXASTP_CHECK_MSG(src != nullptr && dst != nullptr,
+                     "the in-process backend needs every shard's field");
 
-    // Pack: the (strided) source face plane into one contiguous buffer.
-    double* out = link.send.data();
+    // Zero-copy gather: the halo block is contiguous in the destination
+    // array and ordered like the plan's plane, so each source tensor lands
+    // directly in its slot — no intermediate send/recv buffers.
+    double* out = dst + link.dst_offset;
     for (const int cell : link.src_cells) {
       std::memcpy(out, src + static_cast<std::size_t>(cell) * cell_size_,
                   cell_size_ * sizeof(double));
       out += cell_size_;
     }
-
-    // Swap: in-process today; an MPI backend replaces exactly this copy
-    // with a send/receive of link.send into the peer's link.recv.
-    std::memcpy(link.recv.data(), link.send.data(),
-                link.send.size() * sizeof(double));
-
-    // Unpack: the halo block is contiguous in the destination array and
-    // ordered like the packed plane, so one copy lands every cell.
-    std::memcpy(dst + link.dst_offset, link.recv.data(),
-                link.recv.size() * sizeof(double));
   }
+}
+
+void InProcessExchange::wait() {
+  EXASTP_CHECK_MSG(in_flight_, "wait() without a posted exchange");
+  in_flight_ = false;
 }
 
 }  // namespace exastp

@@ -1,20 +1,19 @@
-// Halo exchange over contiguous per-face DOF buffers.
+// In-process exchange backend: every shard lives in this process, so the
+// halo refresh is a zero-copy gather.
 //
-// The corrector (ADER) and the stage operator (RK) read the face-adjacent
-// neighbour cell's full DOF tensor. Under domain decomposition those
-// neighbours live in other shards, so before the phase that reads them the
-// engine refreshes every shard's one-cell halo ring:
+// The destination halo block is contiguous and ordered exactly like the
+// HaloPlan's packed plane (mesh/grid.h halo order), so the PR-4
+// pack -> swap -> unpack chain of three memcpys collapses to a single
+// strided gather per link: each source cell's tensor is copied straight
+// into its halo slot in the receiving shard's array. copied bytes ==
+// payload bytes (it used to be 3x the payload).
 //
-//   pack    copy each HaloPlan's source cells (a face plane, strided in
-//           the source shard's storage) into one contiguous send buffer;
-//   swap    hand the send buffer to the receiving side — an in-process
-//           memcpy today. The buffer format (plan-ordered planes of
-//           cell_size-double tensors) is the MPI seam: swap becomes
-//           MPI_Isend/Irecv of the same bytes, nothing else changes;
-//   unpack  copy the received plane into the destination shard's halo
-//           block (contiguous by construction, mesh/grid.h halo order).
+// The split-phase protocol is degenerate here — post() delivers
+// synchronously and wait() is a no-op — but the driver runs the same
+// post / interior / wait / boundary schedule as the MPI backend, so the
+// overlapped path is exercised (and bitwise-verified) on every local run.
 //
-// The exchange is deterministic: plans are walked in a fixed order and
+// The exchange is deterministic: links are walked in a fixed order and
 // every halo slot is written by exactly one plan, so sharded stepping
 // stays bitwise-reproducible.
 #pragma once
@@ -22,38 +21,38 @@
 #include <cstddef>
 #include <vector>
 
-#include "exastp/common/aligned.h"
 #include "exastp/mesh/partition.h"
+#include "exastp/solver/exchange_backend.h"
 
 namespace exastp {
 
-class HaloExchange {
+class InProcessExchange final : public ExchangeBackend {
  public:
-  /// Builds the buffer set for `partition` with `cell_size` doubles per
-  /// cell DOF tensor (the solver layout's padded size).
-  HaloExchange(const Partition& partition, std::size_t cell_size);
+  /// Builds the link set for `partition` with `cell_size` doubles per cell
+  /// DOF tensor (the solver layout's padded size).
+  InProcessExchange(const Partition& partition, std::size_t cell_size);
 
-  /// Refreshes every shard's halo ring of one logical field.
-  /// `shard_fields[s]` is the base of shard s's DOF array — owned cells
-  /// first, halo blocks appended (the layout both Grid and the solvers
-  /// use). Reads owned cells, writes only halo slots.
-  void exchange(const std::vector<double*>& shard_fields);
+  std::string name() const override { return "inprocess"; }
 
-  /// Payload bytes moved per exchange() call (send side), for benches.
-  std::size_t bytes_per_exchange() const { return bytes_per_exchange_; }
+  /// Delivers every shard's halo ring synchronously. All entries of
+  /// `shard_fields` must be non-null. Reads owned cells, writes only halo
+  /// slots. The post/wait pairing is enforced even though delivery is
+  /// synchronous, so a driver that would deadlock or corrupt halos under
+  /// the MPI backend fails the local test suite too.
+  void post(const std::vector<double*>& shard_fields) override;
+  void wait() override;
 
  private:
   struct Link {
     int dst_shard = -1;
     int src_shard = -1;
-    std::vector<int> src_cells;   ///< pack order = halo slot order
+    std::vector<int> src_cells;   ///< gather order = halo slot order
     std::size_t dst_offset = 0;   ///< doubles into the destination array
-    AlignedVector send, recv;     ///< per-face contiguous DOF buffers
   };
 
   std::size_t cell_size_ = 0;
-  std::size_t bytes_per_exchange_ = 0;
   std::vector<Link> links_;
+  bool in_flight_ = false;
 };
 
 }  // namespace exastp

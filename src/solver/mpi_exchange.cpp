@@ -1,0 +1,153 @@
+#include "exastp/solver/mpi_exchange.h"
+
+#include "exastp/common/check.h"
+
+#if defined(EXASTP_WITH_MPI)
+
+#include <mpi.h>
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "exastp/common/aligned.h"
+#include "exastp/common/mpi_runtime.h"
+
+namespace exastp {
+namespace {
+
+class MpiExchangeBackend final : public ExchangeBackend {
+ public:
+  MpiExchangeBackend(const Partition& partition, std::size_t cell_size)
+      : cell_size_(cell_size), rank_(MpiRuntime::rank()) {
+    EXASTP_CHECK_MSG(cell_size_ > 0, "halo exchange needs a cell size");
+    EXASTP_CHECK_MSG(MpiRuntime::initialized(),
+                     "the mpi exchange backend needs an initialized MPI "
+                     "launch (mpirun)");
+    EXASTP_CHECK_MSG(MpiRuntime::size() == partition.num_shards(),
+                     "the mpi exchange backend runs one rank per shard");
+
+    // Receives: this rank's plans, landing directly in the halo block
+    // (contiguous and plan-ordered), so there is no unpack copy.
+    for (const HaloPlan& plan : partition.subdomain(rank_).halos) {
+      EXASTP_CHECK(plan.src_shard != rank_);
+      RecvOp op;
+      op.peer = plan.src_shard;
+      op.tag = plan.dir * 2 + plan.side;
+      op.offset = static_cast<std::size_t>(plan.dst_begin) * cell_size_;
+      op.count = plan.src_cells.size() * cell_size_;
+      // MPI-3 counts are int; a face plane that overflows one must fail
+      // loudly, not wrap into a truncated transfer.
+      EXASTP_CHECK_MSG(op.count <= static_cast<std::size_t>(
+                                       std::numeric_limits<int>::max()),
+                       "halo face exceeds the MPI int count limit");
+      payload_bytes_ += op.count * sizeof(double);
+      recvs_.push_back(op);
+    }
+
+    // Sends: every plan of another shard naming this rank as the source.
+    // The tag is the *receiving* face's (dir, side) slot — the sender and
+    // receiver walk the same Partition, so both derive the same tag.
+    for (int s = 0; s < partition.num_shards(); ++s) {
+      if (s == rank_) continue;
+      for (const HaloPlan& plan : partition.subdomain(s).halos) {
+        if (plan.src_shard != rank_) continue;
+        SendOp op;
+        op.peer = s;
+        op.tag = plan.dir * 2 + plan.side;
+        op.cells = plan.src_cells;
+        op.buffer.assign(plan.src_cells.size() * cell_size_, 0.0);
+        EXASTP_CHECK_MSG(op.buffer.size() <=
+                             static_cast<std::size_t>(
+                                 std::numeric_limits<int>::max()),
+                         "halo face exceeds the MPI int count limit");
+        copied_bytes_ += op.buffer.size() * sizeof(double);
+        sends_.push_back(std::move(op));
+      }
+    }
+    requests_.reserve(recvs_.size() + sends_.size());
+  }
+
+  std::string name() const override { return "mpi"; }
+
+  void post(const std::vector<double*>& shard_fields) override {
+    EXASTP_CHECK_MSG(!in_flight_, "an exchange is already in flight");
+    EXASTP_CHECK(rank_ < static_cast<int>(shard_fields.size()));
+    double* mine = shard_fields[static_cast<std::size_t>(rank_)];
+    EXASTP_CHECK_MSG(mine != nullptr,
+                     "the mpi backend needs this rank's shard field");
+
+    requests_.clear();
+    for (const RecvOp& op : recvs_) {
+      MPI_Request request;
+      MPI_Irecv(mine + op.offset, static_cast<int>(op.count), MPI_DOUBLE,
+                op.peer, op.tag, MPI_COMM_WORLD, &request);
+      requests_.push_back(request);
+    }
+    for (SendOp& op : sends_) {
+      double* out = op.buffer.data();
+      for (const int cell : op.cells) {
+        std::memcpy(out, mine + static_cast<std::size_t>(cell) * cell_size_,
+                    cell_size_ * sizeof(double));
+        out += cell_size_;
+      }
+      MPI_Request request;
+      MPI_Isend(op.buffer.data(), static_cast<int>(op.buffer.size()),
+                MPI_DOUBLE, op.peer, op.tag, MPI_COMM_WORLD, &request);
+      requests_.push_back(request);
+    }
+    in_flight_ = true;
+  }
+
+  void wait() override {
+    EXASTP_CHECK_MSG(in_flight_, "wait() without a posted exchange");
+    MPI_Waitall(static_cast<int>(requests_.size()), requests_.data(),
+                MPI_STATUSES_IGNORE);
+    in_flight_ = false;
+  }
+
+ private:
+  struct RecvOp {
+    int peer = -1;
+    int tag = 0;
+    std::size_t offset = 0;  ///< doubles into this rank's field
+    std::size_t count = 0;   ///< doubles received
+  };
+  struct SendOp {
+    int peer = -1;
+    int tag = 0;
+    std::vector<int> cells;  ///< pack order = the receiver's halo order
+    AlignedVector buffer;
+  };
+
+  std::size_t cell_size_ = 0;
+  int rank_ = 0;
+  std::vector<RecvOp> recvs_;
+  std::vector<SendOp> sends_;
+  std::vector<MPI_Request> requests_;
+  bool in_flight_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ExchangeBackend> make_mpi_exchange(const Partition& partition,
+                                                   std::size_t cell_size) {
+  return std::make_unique<MpiExchangeBackend>(partition, cell_size);
+}
+
+}  // namespace exastp
+
+#else  // !EXASTP_WITH_MPI
+
+namespace exastp {
+
+std::unique_ptr<ExchangeBackend> make_mpi_exchange(
+    const Partition& /*partition*/, std::size_t /*cell_size*/) {
+  EXASTP_FAIL(
+      "this build has no MPI support — reconfigure with "
+      "-DEXASTP_WITH_MPI=ON to use backend=mpi");
+}
+
+}  // namespace exastp
+
+#endif

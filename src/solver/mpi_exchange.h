@@ -1,0 +1,35 @@
+// Distributed exchange backend: MPI_Isend/MPI_Irecv of the plan-ordered
+// halo buffers, one rank per shard (rank r drives shard r of the same
+// Partition on every rank).
+//
+// post() first posts one MPI_Irecv per HaloPlan of this rank's shard —
+// straight into the destination halo block, which is contiguous and
+// plan-ordered, so the receive side needs no unpack copy — then packs and
+// MPI_Isends the outgoing plane of every plan that names this rank as the
+// source. The message tag is the receiving face's (dir, side) slot, which
+// uniquely identifies a message between a shard pair (two shards can
+// neighbour on at most one face per (dir, side), including the periodic
+// wrap). wait() is MPI_Waitall over every posted request.
+//
+// The bytes a halo slot receives are exactly the bytes the in-process
+// backend would have gathered, so backend=mpi runs are bitwise-identical
+// to backend=inprocess (and to the monolithic solver) — tests/test_mpi.cpp
+// proves it under mpirun.
+//
+// Only the factory is exposed here; the backend class lives in the
+// MPI-gated translation unit. Builds without -DEXASTP_WITH_MPI=ON fail
+// with a clear message instead of linking against a missing MPI.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "exastp/mesh/partition.h"
+#include "exastp/solver/exchange_backend.h"
+
+namespace exastp {
+
+std::unique_ptr<ExchangeBackend> make_mpi_exchange(const Partition& partition,
+                                                   std::size_t cell_size);
+
+}  // namespace exastp

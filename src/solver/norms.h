@@ -18,10 +18,13 @@
 
 namespace exastp {
 
-/// L2 norm of (q_h - exact) for one quantity over the whole mesh.
+/// Squared L2 norm of (q_h - exact) for one quantity over the solver's
+/// cells — the summable building block distributed runs reduce across
+/// ranks (one partial per shard, added in rank order; see
+/// Simulation::l2_error).
 template <class Solver>
-double l2_error(const Solver& solver, int quantity,
-                const ExactSolution& exact) {
+double l2_error_squared(const Solver& solver, int quantity,
+                        const ExactSolution& exact) {
   const auto& basis = solver.basis();
   const auto& layout = solver.layout();
   const int n = layout.n;
@@ -45,7 +48,14 @@ double l2_error(const Solver& solver, int quantity,
       });
   double sum = 0.0;
   for (double p : partials) sum += p;
-  return std::sqrt(sum);
+  return sum;
+}
+
+/// L2 norm of (q_h - exact) for one quantity over the whole mesh.
+template <class Solver>
+double l2_error(const Solver& solver, int quantity,
+                const ExactSolution& exact) {
+  return std::sqrt(l2_error_squared(solver, quantity, exact));
 }
 
 /// Max norm of the nodal error for one quantity.

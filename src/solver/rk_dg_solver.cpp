@@ -6,6 +6,7 @@
 
 #include "exastp/gemm/vecops.h"
 #include "exastp/kernels/derivative_ops.h"
+#include "exastp/mesh/partition.h"
 
 namespace exastp {
 namespace {
@@ -43,6 +44,9 @@ RkDgSolver::RkDgSolver(std::shared_ptr<const PdeRuntime> pde, int order,
   stage_.assign(total, 0.0);
   rhs_.assign(total, 0.0);
   accum_.assign(total, 0.0);
+  CellClassification cells = classify_cells(grid_);
+  interior_cells_ = std::move(cells.interior);
+  boundary_cells_ = std::move(cells.boundary);
   rebuild_scratch();
 }
 
@@ -169,15 +173,19 @@ void RkDgSolver::operator_cell(ThreadScratch& ts, const AlignedVector& state,
 }
 
 void RkDgSolver::evaluate_operator(const AlignedVector& state, double t,
-                                   AlignedVector& rhs) {
-  ++operator_evals_;
-  // One fused cell-parallel traversal: volume terms, own-face surface
-  // corrections and source injection all write only the cell's rhs slice.
-  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
-    ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
-    for (long c = begin; c < end; ++c)
-      operator_cell(ts, state, t, static_cast<int>(c), rhs);
-  });
+                                   AlignedVector& rhs,
+                                   const std::vector<int>& cells) {
+  // One fused cell-parallel traversal over a classification set: volume
+  // terms, own-face surface corrections and source injection all write
+  // only the listed cell's rhs slice, so the interior/boundary split
+  // never changes any cell's bits.
+  par_.run(static_cast<long>(cells.size()), 1,
+           [&](int tid, long begin, long end) {
+             ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+             for (long i = begin; i < end; ++i)
+               operator_cell(ts, state, t, cells[static_cast<std::size_t>(i)],
+                             rhs);
+           });
 }
 
 void RkDgSolver::step(double dt) {
@@ -186,8 +194,28 @@ void RkDgSolver::step(double dt) {
 }
 
 void RkDgSolver::step_phase(int phase, double dt) {
+  step_phase_interior(phase, dt);
+  step_phase_boundary(phase, dt);
+}
+
+void RkDgSolver::step_phase_interior(int phase, double dt) {
   if (dt <= 0.0) throw std::invalid_argument("RkDgSolver: dt must be > 0");
   EXASTP_CHECK(phase >= 0 && phase < 4);
+  // The stage operator over the interior set: these cells read no halo
+  // tensors of the stage's input state, so the sweep runs while the
+  // exchange is in flight. The input state itself is only read, never
+  // written, until step_phase_boundary's element-wise sweeps.
+  ++operator_evals_;
+  evaluate_operator(stage_state(phase), stage_time(phase, dt), rhs_,
+                    interior_cells_);
+}
+
+void RkDgSolver::step_phase_boundary(int phase, double dt) {
+  EXASTP_CHECK(phase >= 0 && phase < 4);
+  // Boundary remainder of the stage operator, after the halo completed.
+  evaluate_operator(stage_state(phase), stage_time(phase, dt), rhs_,
+                    boundary_cells_);
+
   // Owned cells only: halo slots are refreshed by exchange, never swept.
   const long total =
       static_cast<long>(grid_.num_cells()) * static_cast<long>(cell_size_);
@@ -216,26 +244,22 @@ void RkDgSolver::step_phase(int phase, double dt) {
   // buffer afterwards; the monolithic grid has no halo to wait for).
   switch (phase) {
     case 0:
-      evaluate_operator(q_, time_, rhs_);                 // k1
-      par_copy(rhs_, accum_);
+      par_copy(rhs_, accum_);                             // k1
       par_copy(q_, stage_);
       par_axpy(0.5 * dt, rhs_, stage_);
       break;
     case 1:
-      evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k2
-      par_axpy(2.0, rhs_, accum_);
+      par_axpy(2.0, rhs_, accum_);                        // k2
       par_copy(q_, stage_);
       par_axpy(0.5 * dt, rhs_, stage_);
       break;
     case 2:
-      evaluate_operator(stage_, time_ + 0.5 * dt, rhs_);  // k3
-      par_axpy(2.0, rhs_, accum_);
+      par_axpy(2.0, rhs_, accum_);                        // k3
       par_copy(q_, stage_);
       par_axpy(dt, rhs_, stage_);
       break;
     default:
-      evaluate_operator(stage_, time_ + dt, rhs_);        // k4
-      par_add(rhs_, accum_);
+      par_add(rhs_, accum_);                              // k4
       par_axpy(dt / 6.0, accum_, q_);
       time_ += dt;
       check_finite();

@@ -68,9 +68,13 @@ class RkDgSolver final : public SolverBase {
   /// Sharded stepping: one phase per RK stage. Every stage operator reads
   /// neighbour tensors of its input state — q for the first stage, the
   /// stage buffer afterwards — so each phase names that array as its halo
-  /// field.
+  /// field. The operator traversal splits into an interior sweep (no halo
+  /// neighbours, runs while the exchange is in flight) and the boundary
+  /// remainder plus the element-wise stage sweeps after wait().
   int num_step_phases() const override { return 4; }
   void step_phase(int phase, double dt) override;
+  void step_phase_interior(int phase, double dt) override;
+  void step_phase_boundary(int phase, double dt) override;
   double* step_phase_halo(int phase) override {
     return phase == 0 ? q_.data() : stage_.data();
   }
@@ -93,12 +97,21 @@ class RkDgSolver final : public SolverBase {
   };
 
   void rebuild_scratch();
-  /// rhs = L(state) at time t: volume derivative terms, surface
-  /// corrections and point-source injection.
+  /// rhs = L(state) at time t over one cell list (the interior or
+  /// boundary classification set): volume derivative terms, surface
+  /// corrections and point-source injection, writing only the listed
+  /// cells' rhs slices.
   void evaluate_operator(const AlignedVector& state, double t,
-                         AlignedVector& rhs);
+                         AlignedVector& rhs, const std::vector<int>& cells);
   void operator_cell(ThreadScratch& ts, const AlignedVector& state, double t,
                      int c, AlignedVector& rhs);
+  /// Input state and evaluation time of one RK stage.
+  const AlignedVector& stage_state(int phase) const {
+    return phase == 0 ? q_ : stage_;
+  }
+  double stage_time(int phase, double dt) const {
+    return phase == 0 ? time_ : (phase == 3 ? time_ + dt : time_ + 0.5 * dt);
+  }
   void check_finite() const;
 
   std::shared_ptr<const PdeRuntime> pde_;
@@ -111,6 +124,9 @@ class RkDgSolver final : public SolverBase {
   int vars_ = 0;
 
   AlignedVector q_, stage_, rhs_, accum_;
+  /// Interior/boundary split of the operator traversal (mesh/partition.h);
+  /// boundary is empty for whole-domain grids.
+  std::vector<int> interior_cells_, boundary_cells_;
   std::vector<ThreadScratch> scratch_;  ///< one slot per thread
 
   double time_ = 0.0;

@@ -4,54 +4,72 @@
 #include <utility>
 
 #include "exastp/common/check.h"
+#include "exastp/common/mpi_runtime.h"
 
 namespace exastp {
 
-namespace {
-
-std::vector<std::unique_ptr<SolverBase>> build_shards(
-    const Partition& partition,
-    const std::function<std::unique_ptr<SolverBase>(const Grid&)>&
-        make_shard) {
-  EXASTP_CHECK_MSG(make_shard != nullptr, "sharded solver needs a factory");
-  std::vector<std::unique_ptr<SolverBase>> shards;
-  shards.reserve(static_cast<std::size_t>(partition.num_shards()));
-  for (int s = 0; s < partition.num_shards(); ++s) {
-    std::unique_ptr<SolverBase> shard =
-        make_shard(partition.subdomain(s).grid);
-    EXASTP_CHECK_MSG(shard != nullptr, "shard factory returned null");
-    shards.push_back(std::move(shard));
-  }
-  return shards;
-}
-
-}  // namespace
-
 ShardedSolver::ShardedSolver(
     Partition partition,
-    const std::function<std::unique_ptr<SolverBase>(const Grid&)>& make_shard)
+    const std::function<std::unique_ptr<SolverBase>(const Grid&)>& make_shard,
+    const std::string& backend)
     : partition_(std::move(partition)),
       global_grid_(partition_.global_spec()),
-      shards_(build_shards(partition_, make_shard)),
-      exchange_(partition_, shards_[0]->layout().size()),
-      phases_(shards_[0]->num_step_phases()) {
+      distributed_(backend == "mpi"),
+      rank_(distributed_ ? MpiRuntime::rank() : 0) {
+  EXASTP_CHECK_MSG(make_shard != nullptr, "sharded solver needs a factory");
+  if (distributed_) {
+    EXASTP_CHECK_MSG(MpiRuntime::initialized(),
+                     "backend=mpi needs an MPI launch (mpirun); exastp_run "
+                     "initializes MPI when built with -DEXASTP_WITH_MPI=ON");
+    if (MpiRuntime::size() != partition_.num_shards()) {
+      const auto& s = partition_.shards();
+      EXASTP_FAIL("backend=mpi runs one rank per shard: the decomposition " +
+                  std::to_string(s[0]) + "x" + std::to_string(s[1]) + "x" +
+                  std::to_string(s[2]) + " has " +
+                  std::to_string(partition_.num_shards()) +
+                  " shard(s) but the launch provides " +
+                  std::to_string(MpiRuntime::size()) +
+                  " rank(s) — launch with mpirun -np " +
+                  std::to_string(partition_.num_shards()) +
+                  " or set shards=" + std::to_string(MpiRuntime::size()));
+    }
+  }
+
+  shards_.resize(static_cast<std::size_t>(partition_.num_shards()));
+  for (int s = 0; s < partition_.num_shards(); ++s) {
+    if (!shard_is_local(s)) continue;
+    std::unique_ptr<SolverBase> shard =
+        make_shard(partition_.subdomain(s).grid);
+    EXASTP_CHECK_MSG(shard != nullptr, "shard factory returned null");
+    shards_[static_cast<std::size_t>(s)] = std::move(shard);
+  }
+  phases_ = primary().num_step_phases();
   for (const auto& shard : shards_) {
-    EXASTP_CHECK_MSG(shard->layout().size() == shards_[0]->layout().size() &&
-                         shard->stepper_name() == shards_[0]->stepper_name() &&
+    if (shard == nullptr) continue;
+    EXASTP_CHECK_MSG(shard->layout().size() == primary().layout().size() &&
+                         shard->stepper_name() == primary().stepper_name() &&
                          shard->num_step_phases() == phases_,
                      "all shards must share layout and stepper");
   }
+  exchange_ =
+      make_exchange_backend(backend, partition_, primary().layout().size());
+}
+
+int ShardedSolver::num_ranks() const {
+  return distributed_ ? MpiRuntime::size() : 1;
 }
 
 void ShardedSolver::set_initial_condition(const InitialCondition& init) {
-  // Each shard evaluates the condition at its own nodes; the views compute
-  // node positions in global coordinates, so the assembled field is
-  // bitwise-identical to the monolithic initialization.
-  for (auto& shard : shards_) shard->set_initial_condition(init);
+  // Each local shard evaluates the condition at its own nodes; the views
+  // compute node positions in global coordinates, so the assembled field
+  // is bitwise-identical to the monolithic initialization.
+  for (auto& shard : shards_)
+    if (shard != nullptr) shard->set_initial_condition(init);
 }
 
 void ShardedSolver::add_point_source(const MeshPointSource& source) {
   const int owner = partition_.owner_of(global_grid_.locate(source.position));
+  if (!shard_is_local(owner)) return;  // the owning rank adds it
   shards_[static_cast<std::size_t>(owner)]->add_point_source(source);
 }
 
@@ -59,33 +77,57 @@ void ShardedSolver::set_thread_team(const ParallelFor& team) {
   SolverBase::set_thread_team(team);  // the engine-facing team (norms &c.)
   // ParallelFor copies share one pool, so every shard reuses this team
   // instead of spawning shards x threads idle workers.
-  for (auto& shard : shards_) shard->set_thread_team(team);
+  for (auto& shard : shards_)
+    if (shard != nullptr) shard->set_thread_team(team);
 }
 
 double ShardedSolver::stable_dt(double cfl) const {
-  double dt = shards_[0]->stable_dt(cfl);
-  for (std::size_t s = 1; s < shards_.size(); ++s)
-    dt = std::min(dt, shards_[s]->stable_dt(cfl));
+  double dt = 0.0;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    if (shard == nullptr) continue;
+    const double shard_dt = shard->stable_dt(cfl);
+    dt = first ? shard_dt : std::min(dt, shard_dt);
+    first = false;
+  }
+  // Exact min across ranks: every rank computes the identical dt, keeping
+  // the distributed time loop in lockstep (a no-op for local runs).
+  if (distributed_) dt = MpiRuntime::min_across_ranks(dt);
   return dt;
 }
 
 void ShardedSolver::step(double dt) {
   std::vector<double*> fields(shards_.size(), nullptr);
   for (int phase = 0; phase < phases_; ++phase) {
-    std::size_t wanting = 0;
+    std::size_t wanting = 0, locals = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
+      fields[s] = nullptr;
+      if (shards_[s] == nullptr) continue;
+      ++locals;
       fields[s] = shards_[s]->step_phase_halo(phase);
       if (fields[s] != nullptr) ++wanting;
     }
-    EXASTP_CHECK_MSG(wanting == 0 || wanting == shards_.size(),
+    EXASTP_CHECK_MSG(wanting == 0 || wanting == locals,
                      "shards disagree on the phase's halo field");
-    if (wanting > 0) exchange_.exchange(fields);
-    for (auto& shard : shards_) shard->step_phase(phase, dt);
+    const bool exchanging = wanting > 0;
+
+    // Split-phase schedule: the interior sweeps run while the halo bytes
+    // are in flight; the boundary sweeps (which read halo slots) wait.
+    if (exchanging) exchange_->post(fields);
+    for (auto& shard : shards_)
+      if (shard != nullptr) shard->step_phase_interior(phase, dt);
+    if (exchanging) exchange_->wait();
+    for (auto& shard : shards_)
+      if (shard != nullptr) shard->step_phase_boundary(phase, dt);
   }
 }
 
 const double* ShardedSolver::cell_dofs(int cell) const {
   const int owner = partition_.owner_of(cell);
+  EXASTP_CHECK_MSG(shard_is_local(owner),
+                   "cell " + std::to_string(cell) + " is owned by rank " +
+                       std::to_string(owner) + ", not resident on rank " +
+                       std::to_string(rank_));
   return shards_[static_cast<std::size_t>(owner)]->cell_dofs(
       partition_.local_cell(owner, cell));
 }
@@ -93,12 +135,19 @@ const double* ShardedSolver::cell_dofs(int cell) const {
 std::array<double, 3> ShardedSolver::node_position(int cell, int k1, int k2,
                                                    int k3) const {
   const int owner = partition_.owner_of(cell);
+  EXASTP_CHECK_MSG(shard_is_local(owner),
+                   "cell " + std::to_string(cell) + " is owned by rank " +
+                       std::to_string(owner) + ", not resident on rank " +
+                       std::to_string(rank_));
   return shards_[static_cast<std::size_t>(owner)]->node_position(
       partition_.local_cell(owner, cell), k1, k2, k3);
 }
 
 const SolverBase& ShardedSolver::shard(int s) const {
   EXASTP_CHECK(s >= 0 && s < num_shards());
+  EXASTP_CHECK_MSG(shard_is_local(s),
+                   "shard " + std::to_string(s) + " is not resident on rank " +
+                       std::to_string(rank_));
   return *shards_[static_cast<std::size_t>(s)];
 }
 

@@ -1,81 +1,99 @@
 // Domain-decomposed time stepping: one solver per mesh shard behind the
-// single SolverBase façade.
+// single SolverBase façade, over a pluggable exchange backend.
 //
-// A ShardedSolver owns a Partition (mesh/partition.h), one sub-solver per
-// Subdomain (each built over the shard's partitioned Grid view) and the
-// HaloExchange connecting them. A step runs the sub-solvers' phase
-// protocol in lockstep: for every phase, refresh the halo field the phase
-// reads (pack/swap/unpack across all shards), then run the phase on each
-// shard. Because the views compute geometry in global coordinates and the
-// face corrector reads bitwise-identical neighbour tensors from halo
-// storage, the composite's field state is bitwise-identical to the
-// monolithic solver for any shard grid x thread count (tests/
-// test_sharding.cpp guards the matrix).
+// A ShardedSolver owns a Partition (mesh/partition.h), sub-solvers built
+// over the shards' partitioned Grid views, and the ExchangeBackend
+// connecting them (exchange_backend.h). A step runs the sub-solvers' phase
+// protocol in lockstep with the split-phase exchange schedule: for every
+// phase, post the halo field the phase reads, run every local shard's
+// interior sweep while the halo is in flight, wait, then run the boundary
+// sweeps. Because the views compute geometry in global coordinates and
+// every halo slot receives the exact bytes of its neighbour tensor, the
+// composite's field state is bitwise-identical to the monolithic solver
+// for any backend x shard grid x thread count (tests/test_sharding.cpp,
+// tests/test_overlap.cpp and tests/test_mpi.cpp guard the matrix).
+//
+// Two execution modes share this class:
+//   backend=inprocess  all shards live here; they advance sequentially
+//                      within a phase, each on the solver's thread team
+//                      (the decomposition is the process-boundary seam,
+//                      not an extra in-process parallel layer);
+//   backend=mpi        one rank per shard — only this rank's sub-solver
+//                      is materialized, the interior sweep overlaps the
+//                      MPI_Isend/Irecv traffic, and rank()/num_ranks()/
+//                      shard_is_local() tell rank-aware writers which
+//                      pieces live here.
 //
 // Engine-facing addressing stays global: grid() is the whole-domain grid,
 // and cell_dofs / node_position / sample / add_point_source route by the
 // owning shard — so observers (receiver networks, writers, norms) work
-// unchanged on a sharded run, while shard-aware writers can reach the
-// per-shard views through num_shards()/shard().
-//
-// Shards advance sequentially within a phase, each on the solver's thread
-// team — the decomposition is the process-boundary seam (MPI ranks run one
-// shard each), not an extra in-process parallel layer.
+// unchanged on a local sharded run. Under backend=mpi those accessors only
+// serve locally-owned cells (remote ones fail loudly); the engine filters
+// receivers by ownership and rank 0 merges the streams (engine/simulation.h).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exastp/mesh/partition.h"
-#include "exastp/solver/halo_exchange.h"
+#include "exastp/solver/exchange_backend.h"
 #include "exastp/solver/solver_base.h"
 
 namespace exastp {
 
 class ShardedSolver final : public SolverBase {
  public:
-  /// Builds one sub-solver per subdomain via `make_shard` (called with the
-  /// shard's Grid view; typically wraps AderDgSolver or RkDgSolver). All
-  /// shards must share layout, basis and stepper.
+  /// Builds one sub-solver per locally-materialized subdomain via
+  /// `make_shard` (called with the shard's Grid view; typically wraps
+  /// AderDgSolver or RkDgSolver). All shards must share layout, basis and
+  /// stepper. `backend` picks the exchange: "inprocess" (default, every
+  /// shard in this process) or "mpi" (one rank per shard; fails with a
+  /// clear message when the decomposition does not match the MPI launch).
   ShardedSolver(
       Partition partition,
       const std::function<std::unique_ptr<SolverBase>(const Grid&)>&
-          make_shard);
+          make_shard,
+      const std::string& backend = "inprocess");
 
   const Grid& grid() const override { return global_grid_; }
-  const AosLayout& layout() const override { return shards_[0]->layout(); }
-  const BasisTables& basis() const override { return shards_[0]->basis(); }
-  double time() const override { return shards_[0]->time(); }
-  int order() const override { return shards_[0]->order(); }
+  const AosLayout& layout() const override { return primary().layout(); }
+  const BasisTables& basis() const override { return primary().basis(); }
+  double time() const override { return primary().time(); }
+  int order() const override { return primary().order(); }
   int evolved_quantities() const override {
-    return shards_[0]->evolved_quantities();
+    return primary().evolved_quantities();
   }
   std::string stepper_name() const override {
-    return shards_[0]->stepper_name();
+    return primary().stepper_name();
   }
 
   void set_initial_condition(const InitialCondition& init) override;
 
-  /// Routes the source to the shard owning its position.
+  /// Routes the source to the shard owning its position (a no-op on ranks
+  /// that do not own it — every rank calls this with the same sources).
   void add_point_source(const MeshPointSource& source) override;
   bool supports_point_sources() const override {
-    return shards_[0]->supports_point_sources();
+    return primary().supports_point_sources();
   }
 
-  /// One shared team for every shard: shards step sequentially, so a
+  /// One shared team for every local shard: shards step sequentially, so a
   /// single pool serves the composite and all sub-solvers.
   void set_thread_team(const ParallelFor& team) override;
 
-  /// min over the shards' CFL bounds — identical bits to the monolithic
-  /// bound, since max-wave-speed reduction commutes exactly.
+  /// min over the shards' CFL bounds (an exact MPI_Allreduce(MIN) under
+  /// backend=mpi) — identical bits to the monolithic bound on every rank,
+  /// since max-wave-speed reduction commutes exactly.
   double stable_dt(double cfl = 0.4) const override;
 
-  /// Lockstep phase protocol: exchange the phase's halo field across all
-  /// shards, then run the phase on each shard.
+  /// Lockstep split-phase protocol: post the phase's halo field, run every
+  /// local shard's interior sweep while it is in flight, wait, then the
+  /// boundary sweeps.
   void step(double dt) override;
 
-  /// Global-cell routing: the owning shard's local tensor / node.
+  /// Global-cell routing: the owning shard's local tensor / node. Under
+  /// backend=mpi only locally-owned cells are served.
   const double* cell_dofs(int cell) const override;
   std::array<double, 3> node_position(int cell, int k1, int k2,
                                       int k3) const override;
@@ -83,15 +101,32 @@ class ShardedSolver final : public SolverBase {
   int num_shards() const override { return partition_.num_shards(); }
   const SolverBase& shard(int s) const override;
 
+  int rank() const override { return rank_; }
+  int num_ranks() const override;
+  bool shard_is_local(int s) const override {
+    return !distributed_ || s == rank_;
+  }
+
   const Partition& partition() const { return partition_; }
-  /// Exchange statistics (links, payload bytes, call count) for benches.
-  const HaloExchange& halo_exchange() const { return exchange_; }
+  /// The exchange backend (name, payload/copied bytes) for benches.
+  const ExchangeBackend& exchange_backend() const { return *exchange_; }
 
  private:
+  const SolverBase& primary() const {
+    return *shards_[static_cast<std::size_t>(distributed_ ? rank_ : 0)];
+  }
+  SolverBase& primary() {
+    return *shards_[static_cast<std::size_t>(distributed_ ? rank_ : 0)];
+  }
+
   Partition partition_;
   Grid global_grid_;
+  bool distributed_ = false;
+  int rank_ = 0;
+  /// One slot per shard; only locally-materialized shards are non-null
+  /// (all of them for backend=inprocess, exactly [rank_] for backend=mpi).
   std::vector<std::unique_ptr<SolverBase>> shards_;
-  HaloExchange exchange_;
+  std::unique_ptr<ExchangeBackend> exchange_;
   int phases_ = 1;
 };
 

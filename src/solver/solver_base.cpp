@@ -17,6 +17,12 @@ void SolverBase::step_phase(int phase, double dt) {
   step(dt);
 }
 
+void SolverBase::step_phase_interior(int /*phase*/, double /*dt*/) {}
+
+void SolverBase::step_phase_boundary(int phase, double dt) {
+  step_phase(phase, dt);
+}
+
 double* SolverBase::step_phase_halo(int /*phase*/) { return nullptr; }
 
 const SolverBase& SolverBase::shard(int s) const {

@@ -87,12 +87,22 @@ class SolverBase {
   // A step decomposes into num_step_phases() ordered phases. Before phase
   // p, step_phase_halo(p) names the DOF array whose one-cell halo ring
   // must hold the face-adjacent neighbours' tensors (nullptr = the phase
-  // reads no neighbour data). The sharded engine (sharded_solver.h) runs
-  // N solver instances in lockstep — exchange halos (halo_exchange.h),
-  // then step_phase(p, dt) on every shard — and step() must equal running
-  // all phases in order with no exchange, which is the monolithic path
-  // (a whole-domain Grid has no halo slots). Solvers that want to run
-  // sharded allocate their exchanged arrays over
+  // reads no neighbour data). Each phase further splits into begin/end
+  // exchange hooks so the halo transfer can overlap compute
+  // (exchange_backend.h):
+  //
+  //   backend.post(halo field)      start moving the halo bytes
+  //   step_phase_interior(p, dt)    cells that read no halo data
+  //   backend.wait()                halo slots valid from here
+  //   step_phase_boundary(p, dt)    halo-adjacent cells + phase tail
+  //
+  // step_phase(p, dt) must equal interior + boundary run back to back,
+  // and calling phases 0..P-1 in order must equal one step(dt) — the
+  // monolithic path (a whole-domain Grid has no halo slots, so its
+  // boundary set is empty and interior covers every cell). While an
+  // exchange is in flight, step_phase_interior must neither write the
+  // exchanged field's owned cells nor read its halo slots. Solvers that
+  // want to run sharded allocate their exchanged arrays over
   // grid().num_cells() + grid().num_halo_cells() cells.
 
   /// Phases per step: 2 for ADER (predict | correct+advance), 4 for RK4
@@ -101,6 +111,14 @@ class SolverBase {
   /// Runs one phase of a step of size dt; calling phases 0..P-1 in order
   /// is exactly one step(dt). Default: single-phase, forwards to step().
   virtual void step_phase(int phase, double dt);
+  /// Begin-exchange hook: the part of a phase that reads no halo data and
+  /// can therefore run while the exchange is in flight. Default: no-op —
+  /// a stepper that does not override the split runs its whole phase
+  /// after wait() (no overlap, but never a halo read mid-flight).
+  virtual void step_phase_interior(int phase, double dt);
+  /// End-exchange hook: the halo-adjacent remainder, run after the
+  /// exchange completed. Default: the whole phase.
+  virtual void step_phase_boundary(int phase, double dt);
   /// Base of the array whose halo must be refreshed before `phase`, or
   /// nullptr when that phase reads no neighbour tensors.
   virtual double* step_phase_halo(int phase);
@@ -111,6 +129,16 @@ class SolverBase {
   /// can emit per-shard pieces.
   virtual int num_shards() const { return 1; }
   virtual const SolverBase& shard(int s) const;
+
+  /// Process topology of the run: local runs are rank 0 of 1. Under the
+  /// MPI exchange backend every rank drives one shard of the same
+  /// decomposition; shard_is_local(s) says whether shard s's sub-solver
+  /// (and its cells' DOF storage) is materialized in this process —
+  /// rank-aware writers emit only local pieces, and rank 0 merges the
+  /// rest (io/vtk_series.h, io/receiver_sinks.h).
+  virtual int rank() const { return 0; }
+  virtual int num_ranks() const { return 1; }
+  virtual bool shard_is_local(int /*s*/) const { return true; }
   /// Runs until t_end (last step shortened to land exactly), returns the
   /// number of steps taken this call. Implemented once here over the
   /// virtual stable_dt()/step(), so every stepper drives the observer

@@ -1,0 +1,265 @@
+// Distributed execution: backend=mpi equivalence against backend=inprocess,
+// run under mpirun (see CMakeLists.txt: test_mpi_np2 / test_mpi_np4,
+// `ctest -L mpi`).
+//
+// Every rank runs this binary. The acceptance contract: for every
+// decomposition of the PR-4 matrix matching the launch size, the fields
+// after run_until are bitwise-identical between `backend=inprocess
+// shards=N` (each rank replays the local run, which is deterministic) and
+// `backend=mpi` with N ranks — and the merged receiver/VTK artifacts match
+// the local run's byte for byte. Tests skip decompositions that do not
+// match the launch size, so one binary serves -np 2 and -np 4.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exastp/common/mpi_runtime.h"
+#include "exastp/engine/simulation.h"
+#include "exastp/io/receiver_sinks.h"
+
+namespace exastp {
+namespace {
+
+/// Decompositions of the PR-4 test matrix that fit this launch size.
+std::vector<std::string> decompositions_for(int ranks) {
+  switch (ranks) {
+    case 2:
+      return {"2x1x1"};
+    case 4:
+      return {"2x2x1", "4x1x1"};
+    case 6:
+      return {"3x2x1"};
+    default:
+      return {};
+  }
+}
+
+Simulation run_with(const std::vector<std::string>& args,
+                    const std::vector<std::string>& extra) {
+  std::vector<std::string> full = args;
+  full.insert(full.end(), extra.begin(), extra.end());
+  Simulation sim = Simulation::from_args(full);
+  sim.run();
+  return sim;
+}
+
+/// Bitwise comparison of this rank's shard between a distributed run and
+/// the locally-replayed in-process reference.
+void expect_local_shard_bitwise_equal(const Simulation& mpi,
+                                      const Simulation& local,
+                                      const std::string& label) {
+  const int rank = MpiRuntime::rank();
+  ASSERT_EQ(mpi.solver().num_ranks(), MpiRuntime::size()) << label;
+  ASSERT_TRUE(mpi.solver().shard_is_local(rank)) << label;
+  const SolverBase& mine = mpi.solver().shard(rank);
+  const SolverBase& ref = local.solver().shard(rank);
+  ASSERT_EQ(mine.grid().num_cells(), ref.grid().num_cells()) << label;
+  EXPECT_EQ(mpi.solver().time(), local.solver().time()) << label;
+  for (int c = 0; c < mine.grid().num_cells(); ++c) {
+    const double* qa = mine.cell_dofs(c);
+    const double* qb = ref.cell_dofs(c);
+    for (std::size_t i = 0; i < mine.layout().size(); ++i)
+      ASSERT_EQ(qa[i], qb[i])
+          << label << ": rank " << rank << " cell " << c << " slot " << i
+          << " diverged from the in-process run";
+  }
+}
+
+/// The acceptance matrix body: every launch-compatible decomposition must
+/// be bitwise-identical between the two backends.
+void expect_mpi_invariant(const std::vector<std::string>& args) {
+  const std::vector<std::string> decompositions =
+      decompositions_for(MpiRuntime::size());
+  if (decompositions.empty())
+    GTEST_SKIP() << "no matrix decomposition for " << MpiRuntime::size()
+                 << " ranks";
+  for (const std::string& shards : decompositions) {
+    Simulation mpi =
+        run_with(args, {"shards=" + shards, "backend=mpi"});
+    Simulation local =
+        run_with(args, {"shards=" + shards, "backend=inprocess"});
+    expect_local_shard_bitwise_equal(mpi, local, "shards=" + shards);
+    if (local.has_exact_solution()) {
+      // The distributed L2 sums per shard then per rank; same value up to
+      // the changed floating-point association.
+      const double mpi_l2 = mpi.l2_error();
+      const double local_l2 = local.l2_error();
+      EXPECT_NEAR(mpi_l2, local_l2, 1e-12 * (1.0 + std::abs(local_l2)))
+          << "shards=" << shards;
+    }
+  }
+}
+
+TEST(MpiEquivalence, AderAcousticPlanewave) {
+  expect_mpi_invariant({"scenario=planewave", "pde=acoustic", "stepper=ader",
+                        "order=3", "cells=5x4x3", "t_end=0.08", "threads=1"});
+}
+
+TEST(MpiEquivalence, RkAcousticPlanewave) {
+  expect_mpi_invariant({"scenario=planewave", "pde=acoustic", "stepper=rk4",
+                        "order=3", "cells=5x4x3", "t_end=0.08", "threads=1"});
+}
+
+TEST(MpiEquivalence, AderMaxwellGaussian) {
+  expect_mpi_invariant({"scenario=gaussian", "pde=maxwell", "stepper=ader",
+                        "order=3", "cells=5x4x3", "t_end=0.08", "threads=1"});
+}
+
+TEST(MpiEquivalence, RkMaxwellGaussian) {
+  expect_mpi_invariant({"scenario=gaussian", "pde=maxwell", "stepper=rk4",
+                        "order=3", "cells=5x4x3", "t_end=0.08", "threads=1"});
+}
+
+TEST(MpiEquivalence, AderOutflowWallPeriodicMix) {
+  expect_mpi_invariant({"scenario=planewave", "order=3", "cells=5x4x3",
+                        "bc=outflow,wall,periodic", "t_end=0.08",
+                        "threads=1"});
+}
+
+TEST(MpiEquivalence, AderLoh1PointSourceThreaded) {
+  // Point sources route to the owning rank; threads=2 exercises the
+  // MPI_THREAD_FUNNELED claim (cell loops threaded, MPI on the driver).
+  expect_mpi_invariant(
+      {"scenario=loh1", "stepper=ader", "order=3", "t_end=0.3", "threads=2"});
+}
+
+TEST(MpiRankMismatch, FailsWithAClearMessage) {
+  // A decomposition whose shard count cannot match the launch must fail
+  // loudly — on every rank, before any communication (no hang).
+  const std::string shards =
+      std::to_string(MpiRuntime::size() + 1) + "x1x1";
+  try {
+    Simulation::from_args({"scenario=planewave", "order=3", "cells=16x4x4",
+                           "t_end=0.05", "shards=" + shards, "backend=mpi"});
+    FAIL() << "mismatched rank/shard counts must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("one rank per shard"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(MpiArtifacts, ReceiverStreamsMergeToTheLocalRunsFiles) {
+  const int ranks = MpiRuntime::size();
+  if (decompositions_for(ranks).empty())
+    GTEST_SKIP() << "no matrix decomposition for " << ranks << " ranks";
+  const std::string shards = decompositions_for(ranks).front();
+  const std::string tag = "/tmp/exastp_mpi_recv_" + std::to_string(ranks);
+  const std::vector<std::string> args = {
+      "scenario=planewave", "order=4",  "cells=4x4x4",
+      "t_end=0.1",          "threads=1",
+      "receivers=0.2,0.5,0.5;0.8,0.5,0.5;1.0,1.0,1.0"};
+
+  // The collective distributed run first (all ranks), then the local
+  // reference on rank 0 alone.
+  Simulation mpi = run_with(
+      args, {"shards=" + shards, "backend=mpi",
+             "output.receivers_bin=" + tag + "_mpi.bin",
+             "output.receivers_csv=" + tag + "_mpi.csv"});
+  (void)mpi;
+  if (MpiRuntime::rank() != 0) return;
+
+  run_with(args, {"shards=" + shards, "backend=inprocess",
+                  "output.receivers_bin=" + tag + "_local.bin",
+                  "output.receivers_csv=" + tag + "_local.csv"});
+
+  const ReceiverRecords merged = read_receiver_records(tag + "_mpi.bin");
+  const ReceiverRecords reference = read_receiver_records(tag + "_local.bin");
+  ASSERT_EQ(merged.positions, reference.positions);
+  ASSERT_EQ(merged.quantities, reference.quantities);
+  ASSERT_EQ(merged.times, reference.times);
+  ASSERT_EQ(merged.data.size(), reference.data.size());
+  for (std::size_t i = 0; i < merged.data.size(); ++i)
+    ASSERT_EQ(merged.data[i], reference.data[i]) << "slot " << i;
+
+  // The merged CSV is byte-identical to a local streaming run's.
+  EXPECT_EQ(slurp(tag + "_mpi.csv"), slurp(tag + "_local.csv"));
+}
+
+TEST(MpiArtifacts, VtkPiecesAndIndexMatchTheLocalRun) {
+  const int ranks = MpiRuntime::size();
+  if (decompositions_for(ranks).empty())
+    GTEST_SKIP() << "no matrix decomposition for " << ranks << " ranks";
+  const std::string shards = decompositions_for(ranks).front();
+  const std::string tag = "/tmp/exastp_mpi_vtk_" + std::to_string(ranks);
+  const std::vector<std::string> args = {"scenario=planewave", "order=3",
+                                         "cells=4x4x2", "t_end=0.06",
+                                         "threads=1",
+                                         "output.interval=0.03"};
+
+  Simulation mpi = run_with(args, {"shards=" + shards, "backend=mpi",
+                                   "output.series=" + tag + "_mpi"});
+  // Simulation::run barriers, so every rank's pieces are on disk here.
+  if (MpiRuntime::rank() != 0) return;
+
+  run_with(args, {"shards=" + shards, "backend=inprocess",
+                  "output.series=" + tag + "_local"});
+
+  // Same piece files (every shard, every snapshot) and the same index —
+  // modulo the base-name difference.
+  const std::string mpi_index = slurp(tag + "_mpi.pvd");
+  std::string local_index = slurp(tag + "_local.pvd");
+  std::string expected = mpi_index;
+  for (std::string::size_type at = 0;
+       (at = expected.find("_mpi_", at)) != std::string::npos;)
+    expected.replace(at, 5, "_local_");
+  EXPECT_EQ(expected, local_index);
+
+  // Both runs take identical lockstep steps, so they emit the same
+  // snapshot set; compare every piece the local run produced.
+  int snapshots = 0;
+  for (int snapshot = 0;; ++snapshot) {
+    char probe[24];
+    std::snprintf(probe, sizeof(probe), "_%04d_p00.vtk", snapshot);
+    if (!std::ifstream(tag + "_local" + probe).good()) break;
+    ++snapshots;
+    for (int p = 0; p < mpi.solver().num_shards(); ++p) {
+      char suffix[24];
+      std::snprintf(suffix, sizeof(suffix), "_%04d_p%02d.vtk", snapshot, p);
+      EXPECT_EQ(slurp(tag + "_mpi" + suffix), slurp(tag + "_local" + suffix))
+          << suffix;
+    }
+  }
+  EXPECT_GE(snapshots, 2);
+}
+
+TEST(MpiSummary, ReportsBackendAndRank) {
+  if (decompositions_for(MpiRuntime::size()).empty())
+    GTEST_SKIP() << "no matrix decomposition";
+  const std::string shards = decompositions_for(MpiRuntime::size()).front();
+  Simulation sim = Simulation::from_args(
+      {"scenario=planewave", "order=3", "cells=5x4x3", "threads=1",
+       "shards=" + shards, "backend=mpi"});
+  const std::string summary = sim.summary();
+  EXPECT_NE(summary.find("backend=mpi rank=" +
+                         std::to_string(MpiRuntime::rank()) + "/" +
+                         std::to_string(MpiRuntime::size())),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("shards=" + shards), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace exastp
+
+int main(int argc, char** argv) {
+  exastp::MpiRuntime::init(&argc, &argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  const int result = RUN_ALL_TESTS();
+  exastp::MpiRuntime::finalize();
+  return result;
+}
