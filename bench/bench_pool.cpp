@@ -1,0 +1,147 @@
+// Ensemble-throughput bench: one batch of identical planewave jobs pushed
+// through the SimulationPool at jobs=1/2/4.
+//
+// The regime is the opposite of bench_shards: many small simulations per
+// machine instead of one big one. Reported per concurrency level: batch
+// wall seconds, completed jobs/s, aggregate evolved-DOF throughput
+// (sum of every job's DOFs x steps over the batch wall time), and the
+// kernel-prototype-cache traffic — the cache-sharing effect is the miss
+// column staying at ~1 while every other job forks the shared prototype
+// instead of rebuilding basis tables and kernel workspace from scratch.
+// Memoization is disabled so every job really runs (the pool would
+// otherwise collapse the identical batch to a single simulation).
+//
+//   bench/bench_pool [max_jobs] [batch_size] [order] [cells] [json_path]
+//
+// With a json_path the same numbers are also written as one JSON document
+// (BENCH_ensemble.json in the repo root holds a committed reference run).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exastp/common/parallel.h"
+#include "exastp/engine/kernel_cache.h"
+#include "exastp/engine/simulation.h"
+#include "exastp/service/simulation_pool.h"
+
+using namespace exastp;
+
+namespace {
+
+std::vector<std::string> job_args(int order, int cells) {
+  return {"scenario=planewave", "stepper=ader", "variant=aosoa_splitck",
+          "order=" + std::to_string(order), "cells=" + std::to_string(cells),
+          "t_end=0.1"};
+}
+
+struct PoolRun {
+  int jobs = 0;
+  double seconds = 0.0;
+  double jobs_per_s = 0.0;
+  double mdof_per_s = 0.0;
+  long cache_hits = 0;
+  long cache_misses = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_jobs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 12;
+  const int order = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int cells = argc > 4 ? std::atoi(argv[4]) : 4;
+  const std::string json_path = argc > 5 ? argv[5] : "";
+
+  // DOFs one job evolves per step, and the steps it takes — identical for
+  // every job in the batch.
+  Simulation probe = Simulation::from_args(job_args(order, cells));
+  const int steps_per_job = probe.run();
+  const double dofs_per_job =
+      static_cast<double>(probe.solver().grid().num_cells()) * order * order *
+      order * probe.solver().evolved_quantities();
+
+  std::printf("# ensemble throughput — %s\n", probe.summary().c_str());
+  std::printf("# batch: %d identical jobs, %d steps x %.0f evolved DOFs "
+              "each, memoization off\n",
+              batch, steps_per_job, dofs_per_job);
+  std::printf("%6s %12s %10s %14s %12s %14s %11s\n", "jobs", "seconds",
+              "jobs/s", "agg MDOF/s", "cache hits", "cache misses",
+              "vs jobs=1");
+
+  std::vector<PoolRun> runs;
+  std::vector<int> levels;
+  for (int j = 1; j <= max_jobs; j *= 2) levels.push_back(j);
+  if (levels.back() != max_jobs) levels.push_back(max_jobs);
+
+  double serial_jobs_per_s = 0.0;
+  for (int jobs : levels) {
+    PoolOptions options;
+    options.jobs = jobs;
+    options.memoize = false;
+    SimulationPool pool(options);
+    for (int i = 0; i < batch; ++i) pool.submit(job_args(order, cells));
+
+    const KernelCacheStats before = kernel_cache_stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<JobResult> results = pool.run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const KernelCacheStats after = kernel_cache_stats();
+
+    for (const JobResult& r : results)
+      if (r.status != JobStatus::kDone) {
+        std::fprintf(stderr, "job %d failed: %s\n", r.id, r.error.c_str());
+        return 1;
+      }
+
+    PoolRun run;
+    run.jobs = jobs;
+    run.seconds = seconds;
+    run.jobs_per_s = batch / seconds;
+    run.mdof_per_s =
+        dofs_per_job * steps_per_job * batch / seconds / 1e6;
+    run.cache_hits = after.hits - before.hits;
+    run.cache_misses = after.misses - before.misses;
+    runs.push_back(run);
+    if (jobs == 1) serial_jobs_per_s = run.jobs_per_s;
+
+    std::printf("%6d %12.4f %10.2f %14.2f %12ld %14ld %10.2fx\n", jobs,
+                run.seconds, run.jobs_per_s, run.mdof_per_s, run.cache_hits,
+                run.cache_misses, run.jobs_per_s / serial_jobs_per_s);
+  }
+  std::printf("# misses stay at 0 across the whole table (the probe run "
+              "built the prototype): every job forks the shared kernel\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"ensemble\",\n"
+        << "  \"workload\": \"" << "planewave aosoa_splitck order=" << order
+        << " cells=" << cells << "^3 t_end=0.1\",\n"
+        << "  \"hardware_threads\": " << hardware_threads() << ",\n"
+        << "  \"batch_jobs\": " << batch << ",\n"
+        << "  \"steps_per_job\": " << steps_per_job << ",\n"
+        << "  \"dofs_per_job\": " << dofs_per_job << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const PoolRun& r = runs[i];
+      out << "    {\"jobs\": " << r.jobs << ", \"seconds\": " << r.seconds
+          << ", \"jobs_per_s\": " << r.jobs_per_s
+          << ", \"agg_mdof_per_s\": " << r.mdof_per_s
+          << ", \"kernel_cache_hits\": " << r.cache_hits
+          << ", \"kernel_cache_misses\": " << r.cache_misses << "}"
+          << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

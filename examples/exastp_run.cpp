@@ -11,16 +11,28 @@
 // sweep=key:v1,v2,... runs the config once per value, streaming one
 // summary CSV row per run to stdout.
 //
+// Ensemble mode: batch=jobs.txt runs every line of the file (one
+// key=value config per line, '#' comments) through the SimulationPool —
+// jobs=N simulations concurrently, results streamed in job order through
+// gallery=csv|jsonl|bin|dir sinks (csv to stdout by default). A failing
+// job is reported failed in its gallery row and the batch continues
+// (failure isolation), so the exit code stays 0 as long as the batch
+// itself ran.
+//
 // Run without arguments (or with "help") for the key reference and the
-// registered PDE/scenario/observer names.
+// registered PDE/scenario/observer/gallery names.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exastp/common/mpi_runtime.h"
 #include "exastp/engine/simulation.h"
 #include "exastp/engine/sweep.h"
+#include "exastp/service/simulation_pool.h"
 
 using namespace exastp;
 
@@ -37,7 +49,84 @@ void print_usage() {
   std::printf("\nregistered observers:");
   for (const std::string& name : ObserverRegistry::instance().names())
     std::printf(" %s", name.c_str());
+  std::printf("\nregistered galleries:");
+  for (const std::string& name : GalleryRegistry::instance().names())
+    std::printf(" %s", name.c_str());
   std::printf("\n");
+}
+
+/// The ensemble keys, peeled off before config parsing (like sweep=):
+/// batch=FILE, jobs=N, gallery=KIND[:PATH] (repeatable). Everything else
+/// stays in the argument list as batch-wide config defaults.
+struct BatchCli {
+  bool found = false;
+  std::string file;
+  int jobs = 1;
+  std::vector<GallerySpec> galleries;
+};
+
+std::vector<std::string> extract_batch(const std::vector<std::string>& args,
+                                       BatchCli* batch) {
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    if (arg.rfind("batch=", 0) == 0) {
+      batch->found = true;
+      batch->file = arg.substr(6);
+    } else if (arg.rfind("jobs=", 0) == 0) {
+      batch->jobs = std::atoi(arg.c_str() + 5);
+      if (batch->jobs < 1) {
+        throw std::invalid_argument("jobs=" + arg.substr(5) +
+                                    " needs a positive count");
+      }
+    } else if (arg.rfind("gallery=", 0) == 0) {
+      batch->galleries.push_back(parse_gallery_spec(arg.substr(8)));
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  return rest;
+}
+
+int run_batch(const BatchCli& batch, std::vector<std::string> base_args) {
+  PoolOptions options;
+  options.jobs = batch.jobs;
+  options.base_args = std::move(base_args);
+  SimulationPool pool(std::move(options));
+  const int submitted = pool.submit_batch_file(batch.file);
+  std::fprintf(stderr, "batch %s: %d jobs at jobs=%d\n", batch.file.c_str(),
+               submitted, batch.jobs);
+
+  std::vector<GallerySpec> specs = batch.galleries;
+  if (specs.empty()) specs.push_back(GallerySpec{});  // csv to stdout
+  std::vector<std::unique_ptr<ResultGallery>> galleries;
+  std::vector<ResultGallery*> sinks;
+  for (const GallerySpec& spec : specs) {
+    galleries.push_back(make_gallery(spec, &std::cout));
+    sinks.push_back(galleries.back().get());
+  }
+
+  const std::vector<JobResult> results = pool.run(sinks);
+  int done = 0, failed = 0, cached = 0, skipped = 0;
+  for (const JobResult& r : results) {
+    if (r.status == JobStatus::kDone) ++done;
+    if (r.status == JobStatus::kFailed) ++failed;
+    if (r.status == JobStatus::kSkipped) ++skipped;
+    if (r.from_cache) ++cached;
+    if (r.status == JobStatus::kFailed)
+      std::fprintf(stderr, "job %d failed (%s): %s\n", r.id,
+                   r.label.c_str(), r.error.c_str());
+  }
+  std::fprintf(stderr,
+               "batch done: %d done (%d cached), %d failed, %d skipped — "
+               "%d simulations executed\n",
+               done, cached, failed, skipped, pool.runs_executed());
+  for (const GallerySpec& spec : specs)
+    if (!spec.path.empty())
+      std::fprintf(stderr, "gallery %s: %s\n", spec.kind.c_str(),
+                   spec.path.c_str());
+  // Failure isolation is the point of the pool: bad configs are reported
+  // in their rows, not through the batch exit code.
+  return 0;
 }
 
 void report_outputs(const Simulation& sim) {
@@ -83,6 +172,23 @@ int main(int argc, char** argv) {
     SweepSpec sweep;
     bool has_sweep = false;
     args = extract_sweep(args, &sweep, &has_sweep);
+
+    BatchCli batch;
+    args = extract_batch(args, &batch);
+    if (!batch.found && (batch.jobs != 1 || !batch.galleries.empty()))
+      throw std::invalid_argument("jobs=/gallery= need batch=FILE");
+    if (batch.found) {
+      if (has_sweep)
+        throw std::invalid_argument(
+            "batch= and sweep= are mutually exclusive — put the swept "
+            "configs in the batch file");
+      if (MpiRuntime::initialized() && MpiRuntime::size() > 1)
+        throw std::invalid_argument(
+            "batch= is a single-process ensemble — do not launch it under "
+            "mpirun");
+      return run_batch(batch, std::move(args));
+    }
+
     if (has_sweep) {
       std::fprintf(stderr, "sweep %s over %zu values\n", sweep.key.c_str(),
                    sweep.values.size());

@@ -8,6 +8,7 @@
 
 #include "exastp/common/check.h"
 #include "exastp/common/mpi_runtime.h"
+#include "exastp/engine/kernel_cache.h"
 #include "exastp/io/receiver_sinks.h"
 #include "exastp/mesh/partition.h"
 #include "exastp/solver/ader_dg_solver.h"
@@ -68,9 +69,14 @@ Simulation Simulation::from_config(SimulationConfig config) {
   const auto make_shard =
       [&](const Grid& grid) -> std::unique_ptr<SolverBase> {
     if (config.stepper == "ader") {
+      // Kernels come from the process-wide prototype cache (one build per
+      // (pde, variant, order, isa, family), shared across every Simulation
+      // in the process — the ensemble pool's jobs in particular); the fork
+      // gives this shard an independent workspace.
       return std::make_unique<AderDgSolver>(
           pde->runtime(),
-          pde->make_kernel(config.variant, config.order, isa, config.family),
+          cached_stp_kernel(*pde, config.variant, config.order, isa,
+                            config.family),
           grid, config.family);
     }
     if (config.stepper == "rk4" || config.stepper == "rk") {

@@ -1,7 +1,10 @@
 #include "exastp/engine/simulation_config.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "exastp/common/check.h"
@@ -216,6 +219,65 @@ int scenario_param_int(const SimulationConfig& config, const std::string& key,
   return parse_int("scenario." + key, it->second);
 }
 
+namespace {
+
+/// Round-trip-exact double text (%.17g re-reads to the same bits), so the
+/// canonical string distinguishes exactly the configs that differ.
+std::string exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* boundary_token(BoundaryKind kind) {
+  switch (kind) {
+    case BoundaryKind::kPeriodic: return "periodic";
+    case BoundaryKind::kOutflow: return "outflow";
+    case BoundaryKind::kWall: return "wall";
+  }
+  EXASTP_FAIL("unknown boundary kind");
+}
+
+}  // namespace
+
+std::string canonical_config_string(const SimulationConfig& config) {
+  std::ostringstream os;
+  os << "scenario=" << config.scenario << "|pde=" << config.pde
+     << "|stepper=" << config.stepper
+     << "|variant=" << variant_name(config.variant) << "|isa=" << config.isa
+     << "|order=" << config.order << "|family="
+     << (config.family == NodeFamily::kGaussLegendre ? "gl" : "lobatto")
+     << "|shards=" << config.shards << "|backend=" << config.backend;
+  // threads is intentionally absent: results are bitwise-identical for
+  // every thread count, so it must not split the memoization key.
+  os << "|cells=" << config.grid.cells[0] << "x" << config.grid.cells[1]
+     << "x" << config.grid.cells[2];
+  os << "|extent=" << exact(config.grid.extent[0]) << ","
+     << exact(config.grid.extent[1]) << "," << exact(config.grid.extent[2]);
+  os << "|origin=" << exact(config.grid.origin[0]) << ","
+     << exact(config.grid.origin[1]) << "," << exact(config.grid.origin[2]);
+  os << "|bc=" << boundary_token(config.grid.boundary[0]) << ","
+     << boundary_token(config.grid.boundary[1]) << ","
+     << boundary_token(config.grid.boundary[2]);
+  os << "|t_end=" << exact(config.t_end) << "|cfl=" << exact(config.cfl);
+  os << "|csv=" << config.output.csv << "|vtk=" << config.output.vtk
+     << "|series=" << config.output.series
+     << "|interval=" << exact(config.output.interval)
+     << "|receivers_csv=" << config.output.receivers_csv
+     << "|receivers_bin=" << config.output.receivers_bin;
+  os << "|quantities=";
+  for (std::size_t i = 0; i < config.output.quantities.size(); ++i)
+    os << (i ? "," : "") << config.output.quantities[i];
+  os << "|receivers=";
+  for (std::size_t i = 0; i < config.receivers.size(); ++i)
+    os << (i ? ";" : "") << exact(config.receivers[i][0]) << ","
+       << exact(config.receivers[i][1]) << "," << exact(config.receivers[i][2]);
+  // std::map iterates in key order, so the passthrough block is canonical.
+  for (const auto& [key, value] : config.scenario_params)
+    os << "|scenario." << key << "=" << value;
+  return os.str();
+}
+
 std::array<int, 3> resolve_shard_grid(const SimulationConfig& config) {
   if (config.shards == "auto") {
     // Local runs factor the thread count onto the mesh; distributed runs
@@ -246,9 +308,14 @@ void apply_scenario_defaults(SimulationConfig& config) {
 SimulationConfig parse_simulation_args(const std::vector<std::string>& args) {
   SimulationConfig config;
   // The scenario decides the default grid/boundaries/t_end, so resolve it
-  // before the remaining pairs override those defaults.
+  // before the remaining pairs override those defaults. The same pass
+  // rejects duplicate keys: silently letting the later pair win would run
+  // a config the user did not ask for (batch files are hand-written).
+  std::set<std::string> seen;
   for (const std::string& arg : args) {
     const auto [key, value] = split_pair(arg);
+    EXASTP_CHECK_MSG(seen.insert(key).second,
+                     "duplicate config key \"" + key + "\"");
     if (key == "scenario") config.scenario = value;
   }
   apply_scenario_defaults(config);
@@ -305,7 +372,18 @@ std::string simulation_usage() {
       "  sweep=KEY:V1,V2,...         (exastp_run) run once per value,"
       " streaming a summary CSV\n"
       "                              (any key above sweeps, e.g."
-      " sweep=shards:1,2,4)\n";
+      " sweep=shards:1,2,4)\n"
+      "  batch=FILE                  (exastp_run) ensemble mode: run every"
+      " line of FILE (one\n"
+      "                              key=value config per line, # comments)"
+      " as a pool job;\n"
+      "                              remaining args are batch-wide defaults\n"
+      "  jobs=N                      (exastp_run) concurrent simulations for"
+      " batch= (default 1)\n"
+      "  gallery=KIND[:PATH]         (exastp_run) batch result sink: csv |"
+      " jsonl | bin | dir\n"
+      "                              (repeatable; csv/jsonl stream to stdout"
+      " without a PATH)\n";
 }
 
 }  // namespace exastp

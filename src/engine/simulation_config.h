@@ -86,6 +86,15 @@ double scenario_param(const SimulationConfig& config, const std::string& key,
 int scenario_param_int(const SimulationConfig& config, const std::string& key,
                        int fallback);
 
+/// Deterministic one-line serialization of every config field (maps in key
+/// order, doubles printed round-trip exactly) — the memoization key of the
+/// ensemble service (src/service/simulation_pool.h): two configs with equal
+/// canonical strings produce bitwise-identical results. `threads` is
+/// deliberately excluded: results are bitwise-identical for every thread
+/// count (README "Threading"), so a batch that re-runs a config with a
+/// different thread budget still hits the cache.
+std::string canonical_config_string(const SimulationConfig& config);
+
 /// Resolves config.shards against the grid and thread count into the
 /// effective shard block grid: "AxBxC" is taken literally (each dimension
 /// needs at least one cell per shard), a plain total and "auto" (= the
@@ -104,6 +113,9 @@ void apply_scenario_defaults(SimulationConfig& config);
 /// Parses "key=value" arguments into a config. The scenario is resolved
 /// first and its defaults applied, then the remaining pairs override them,
 /// so e.g. {"scenario=loh1", "cells=8x8x8"} refines the stock LOH1 box.
+/// A key given twice is a hard error naming the key — a duplicate in a
+/// hand-written batch line is almost always a typo, and silently letting
+/// the later pair win would run a config the user did not ask for.
 ///
 /// Keys: pde, scenario, stepper, variant, isa, order, family (gl|lobatto),
 /// cells (NxMxK or one int for a cube), extent, origin (comma- or

@@ -1,25 +1,48 @@
 #include "exastp/engine/sweep.h"
 
-#include <chrono>
+#include <cmath>
 #include <ostream>
+#include <stdexcept>
 
 #include "exastp/common/check.h"
-#include "exastp/engine/simulation.h"
+#include "exastp/service/result_gallery.h"
+#include "exastp/service/simulation_pool.h"
 
 namespace exastp {
 namespace {
 
-/// "out.csv" + "5" -> "out_5.csv"; extensionless paths (series basenames)
-/// get the suffix appended. Only the filename part is inspected.
-std::string with_value_suffix(const std::string& path,
-                              const std::string& value) {
-  if (path.empty()) return path;
-  const auto slash = path.find_last_of('/');
-  const auto dot = path.find_last_of('.');
-  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
-    return path + "_" + value;
-  return path.substr(0, dot) + "_" + value + path.substr(dot);
-}
+/// The sweep's historical summary format, as a gallery: one
+/// "<value>,steps,t,l2_error,seconds" row per completed run, header first,
+/// flushed per row (long sweeps can be tailed). Failed/skipped jobs stream
+/// no row — run_sweep turns the failure into the throw it has always been.
+class SweepSummaryGallery final : public ResultGallery {
+ public:
+  SweepSummaryGallery(std::string key, std::ostream& out)
+      : key_(std::move(key)), out_(out) {}
+
+  void open() override {
+    out_ << key_ << ",steps,t,l2_error,seconds\n" << std::flush;
+  }
+
+  void add(const JobResult& r) override {
+    if (r.status != JobStatus::kDone) return;
+    out_ << r.label << "," << r.steps << "," << r.t << ",";
+    // "nan" keeps the column numerically parseable when the scenario has
+    // no exact solution.
+    if (std::isnan(r.l2_error)) {
+      out_ << "nan";
+    } else {
+      out_ << r.l2_error;
+    }
+    out_ << "," << r.seconds << "\n" << std::flush;
+  }
+
+  void finish() override {}
+
+ private:
+  std::string key_;
+  std::ostream& out_;
+};
 
 }  // namespace
 
@@ -64,43 +87,32 @@ std::vector<std::string> extract_sweep(const std::vector<std::string>& args,
 int run_sweep(const std::vector<std::string>& base_args,
               const SweepSpec& spec, std::ostream& out) {
   EXASTP_CHECK_MSG(!spec.values.empty(), "sweep needs at least one value");
-  out << spec.key << ",steps,t,l2_error,seconds\n" << std::flush;
+  // A sweep is the ensemble pool with one job per swept value: sequential
+  // (jobs=1, so rows stream in value order as each run finishes) and
+  // aborting at the first failure, exactly the semantics the sweep always
+  // had — there is no second run-many code path.
+  PoolOptions options;
+  options.jobs = 1;
+  options.stop_on_failure = true;
+  // The swept key is appended per job; a base arg already naming it would
+  // be a duplicate-key error, so drop it (the swept value wins, as before).
+  for (const std::string& arg : base_args)
+    if (arg.rfind(spec.key + "=", 0) != 0) options.base_args.push_back(arg);
+
+  SimulationPool pool(std::move(options));
+  for (const std::string& value : spec.values)
+    pool.submit({spec.key + "=" + value}, value, "_" + value);
+
+  SweepSummaryGallery gallery(spec.key, out);
+  const std::vector<JobResult> results = pool.run({&gallery});
   int runs = 0;
-  for (const std::string& value : spec.values) {
-    std::vector<std::string> args = base_args;
-    args.push_back(spec.key + "=" + value);
-    SimulationConfig config = parse_simulation_args(args);
-    // A sweep re-partitions per run; a distributed launch is pinned to one
-    // decomposition by its rank count, so the combination cannot work.
-    EXASTP_CHECK_MSG(config.backend != "mpi",
-                     "sweep= is not supported with backend=mpi — run one "
-                     "configuration per mpirun launch");
-    config.output.csv = with_value_suffix(config.output.csv, value);
-    config.output.vtk = with_value_suffix(config.output.vtk, value);
-    config.output.series = with_value_suffix(config.output.series, value);
-    config.output.receivers_csv =
-        with_value_suffix(config.output.receivers_csv, value);
-    config.output.receivers_bin =
-        with_value_suffix(config.output.receivers_bin, value);
-
-    const auto start = std::chrono::steady_clock::now();
-    Simulation sim = Simulation::from_config(std::move(config));
-    const int steps = sim.run();
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-
-    out << value << "," << steps << "," << sim.solver().time() << ",";
-    // "nan" keeps the column numerically parseable when the scenario has
-    // no exact solution.
-    if (sim.has_exact_solution()) {
-      out << sim.l2_error();
-    } else {
-      out << "nan";
-    }
-    out << "," << seconds << "\n" << std::flush;
-    ++runs;
+  for (const JobResult& r : results) {
+    // Rows up to the failure are already streamed (partial CSV intact);
+    // re-raise the captured error as the abort the sweep contract promises.
+    if (r.status == JobStatus::kFailed)
+      throw std::runtime_error("sweep " + spec.key + "=" + r.label +
+                               " failed: " + r.error);
+    if (r.status == JobStatus::kDone) ++runs;
   }
   return runs;
 }

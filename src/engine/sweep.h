@@ -1,14 +1,19 @@
 // Parameter sweeps over the config-driven runner: one base config, one
 // swept key, one summary CSV row streamed per completed run.
 //
-// Replaces the bespoke bench-driver pattern for scenario-level studies
-// (ROADMAP): `exastp_run sweep=order:2,3,4 scenario=planewave ...` runs the
-// config once per value and streams
+// `exastp_run sweep=order:2,3,4 scenario=planewave ...` runs the config
+// once per value and streams
 //   <key>,steps,t,l2_error,seconds
 // rows as each run finishes, so a long sweep can be tailed or consumed
 // downstream while later runs are still executing. Per-run file outputs
 // (csv/vtk/series/receiver streams) get a "_<value>" suffix so runs do not
 // overwrite each other.
+//
+// run_sweep is a thin wrapper over the ensemble service
+// (src/service/simulation_pool.h): each swept value becomes one pool job,
+// run sequentially (jobs=1) with stop-on-failure — so sweeps share the
+// pool's kernel cache and result memoization (a duplicate value streams
+// its row from the cached run) without a second run-many code path.
 #pragma once
 
 #include <iosfwd>

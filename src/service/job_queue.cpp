@@ -1,0 +1,49 @@
+#include "exastp/service/job_queue.h"
+
+#include <cctype>
+#include <fstream>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+std::vector<std::string> split_batch_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;  // comment runs to end of line
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::vector<std::string>> parse_batch_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  EXASTP_CHECK_MSG(in.good(), "cannot open batch file \"" + path + "\"");
+  std::vector<std::vector<std::string>> jobs;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> tokens = split_batch_line(line);
+    if (!tokens.empty()) jobs.push_back(std::move(tokens));
+  }
+  return jobs;
+}
+
+std::string with_path_suffix(const std::string& path,
+                             const std::string& suffix) {
+  if (path.empty()) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + suffix;
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace exastp

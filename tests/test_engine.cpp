@@ -100,6 +100,21 @@ TEST(ConfigParse, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(ConfigParse, DuplicateKeyIsAHardErrorNamingTheKey) {
+  try {
+    parse_simulation_args({"scenario=planewave", "order=3", "order=4"});
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate config key \"order\""),
+              std::string::npos)
+        << e.what();
+  }
+  // Also for dotted keys — no silent last-one-wins anywhere.
+  EXPECT_THROW(parse_simulation_args({"scenario=loh1", "scenario.half_cs=4",
+                                      "scenario.half_cs=5"}),
+               std::invalid_argument);
+}
+
 TEST(ConfigParse, StreamingOutputAndReceiverKeys) {
   const SimulationConfig config = parse_simulation_args(
       {"receivers=0.5,0.5,0.5;0.1,0.2,0.3", "output.receivers_csv=a.csv",

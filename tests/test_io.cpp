@@ -38,8 +38,17 @@ class LoggingObserver final : public Observer {
 };
 
 Simulation planewave_sim(const std::vector<std::string>& extra = {}) {
-  std::vector<std::string> args = {"scenario=planewave", "order=4",
-                                   "cells=3x3x3", "t_end=0.1"};
+  // A base default survives only when `extra` does not set the same key —
+  // duplicate config keys are a hard parse error.
+  std::vector<std::string> args;
+  for (const std::string& def :
+       {"scenario=planewave", "order=4", "cells=3x3x3", "t_end=0.1"}) {
+    const std::string key = def.substr(0, def.find('=') + 1);
+    bool overridden = false;
+    for (const std::string& arg : extra)
+      if (arg.rfind(key, 0) == 0) overridden = true;
+    if (!overridden) args.push_back(def);
+  }
   args.insert(args.end(), extra.begin(), extra.end());
   return Simulation::from_args(args);
 }
