@@ -75,12 +75,16 @@ inline AlignedVector benchmark_cell(const AosLayout& aos, int seed) {
   return q;
 }
 
-/// Measures one (variant, order, isa) configuration.
+/// Measures one (variant, order, isa, precision) configuration. The kernel
+/// boundary stays double in both precisions, so the same harness (and the
+/// same dynamically counted FLOPs — fp32 is classified at double lane
+/// width, see gemm.h) serves both.
 inline Measurement measure_stp(StpVariant variant, int order, Isa isa,
-                               double min_seconds = 0.15,
-                               int mesh_cells = 8) {
+                               double min_seconds = 0.15, int mesh_cells = 8,
+                               Precision precision = Precision::kF64) {
   StpKernel kernel =
-      make_stp_kernel(CurvilinearElasticPde{}, variant, order, isa);
+      make_stp_kernel(CurvilinearElasticPde{}, variant, order, isa,
+                      NodeFamily::kGaussLegendre, precision);
   const AosLayout& aos = kernel.layout();
 
   std::vector<AlignedVector> cells;

@@ -20,7 +20,8 @@ int main() {
 
   ReportTable table({"order", "generic_pct", "log_pct", "splitck_pct",
                      "aosoa_pct", "generic_stall", "log_stall",
-                     "splitck_stall", "aosoa_stall", "aosoa_vs_generic"});
+                     "splitck_stall", "aosoa_stall", "aosoa_vs_generic",
+                     "splitck_f32_x", "aosoa_f32_x"});
   std::vector<double> orders;
   std::vector<double> perf[4], stall[4];
   double headline_speedup = 0.0;
@@ -31,6 +32,13 @@ int main() {
     Measurement sp = measure_stp(StpVariant::kSplitCk, order, Isa::kAvx512);
     Measurement ao =
         measure_stp(StpVariant::kAosoaSplitCk, order, Isa::kAvx512);
+    // fp32 storage rows (same FLOP ledger, so the gflops ratio IS the
+    // wall-clock speedup per cell update); detailed DOF/s numbers live in
+    // bench_kernels / BENCH_kernels.json.
+    Measurement sp32 = measure_stp(StpVariant::kSplitCk, order, Isa::kAvx512,
+                                   0.15, 8, Precision::kF32);
+    Measurement ao32 = measure_stp(StpVariant::kAosoaSplitCk, order,
+                                   Isa::kAvx512, 0.15, 8, Precision::kF32);
     const double speedup = ao.gflops / generic.gflops *
                            (static_cast<double>(generic.flops_per_call) /
                             static_cast<double>(ao.flops_per_call));
@@ -50,7 +58,9 @@ int main() {
                    ReportTable::num(log.stall_pct, 1),
                    ReportTable::num(sp.stall_pct, 1),
                    ReportTable::num(ao.stall_pct, 1),
-                   ReportTable::num(speedup, 2)});
+                   ReportTable::num(speedup, 2),
+                   ReportTable::num(sp32.gflops / sp.gflops, 2),
+                   ReportTable::num(ao32.gflops / ao.gflops, 2)});
   }
   table.print("Fig. 10 — all four STP variants");
   table.write_csv("bench_fig10.csv");

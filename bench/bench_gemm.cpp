@@ -51,6 +51,28 @@ void run_gemm(benchmark::State& state, Isa isa, bool reference) {
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
 
+// Float GEMM on the same shapes: the fp32 storage path's microkernels
+// (identical schedule, twice the lanes per vector). Compare against the
+// double rows to see the fp32 arithmetic headroom in isolation.
+void run_gemm_f32(benchmark::State& state, Isa isa) {
+  const Shape shape = kShapes[state.range(0)];
+  if (isa != Isa::kScalar && !host_supports(isa)) {
+    state.SkipWithError("host lacks ISA");
+    return;
+  }
+  AlignedVectorF a(static_cast<std::size_t>(shape.m) * shape.k, 1.5f);
+  AlignedVectorF b(static_cast<std::size_t>(shape.k) * shape.n, -0.5f);
+  AlignedVectorF c(static_cast<std::size_t>(shape.m) * shape.n, 0.0f);
+  for (auto _ : state) {
+    gemm_acc(isa, shape.m, shape.n, shape.k, a.data(), shape.k, b.data(),
+             shape.n, c.data(), shape.n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * shape.m * shape.n * shape.k * state.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
 void BM_Naive(benchmark::State& state) {
   run_gemm(state, Isa::kScalar, /*reference=*/true);
 }
@@ -63,6 +85,12 @@ void BM_Avx2(benchmark::State& state) {
 void BM_Avx512(benchmark::State& state) {
   run_gemm(state, Isa::kAvx512, /*reference=*/false);
 }
+void BM_Avx2F32(benchmark::State& state) {
+  run_gemm_f32(state, Isa::kAvx2);
+}
+void BM_Avx512F32(benchmark::State& state) {
+  run_gemm_f32(state, Isa::kAvx512);
+}
 
 }  // namespace
 
@@ -70,5 +98,7 @@ BENCHMARK(BM_Naive)->DenseRange(0, 6);
 BENCHMARK(BM_Baseline)->DenseRange(0, 6);
 BENCHMARK(BM_Avx2)->DenseRange(0, 6);
 BENCHMARK(BM_Avx512)->DenseRange(0, 6);
+BENCHMARK(BM_Avx2F32)->DenseRange(0, 6);
+BENCHMARK(BM_Avx512F32)->DenseRange(0, 6);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Kernel-level DOF throughput ledger: fp64 vs fp32 storage on the two
+// production SplitCK-family variants, written as BENCH_kernels.json.
+//
+// The committed copy at the repo root records this machine's before/after
+// numbers for the mixed-precision + fused-GEMM work (see docs/precision.md
+// for the measured table and the acceptance bar: fp32 aggregate DOF/s at
+// least 1.4x fp64 on at least one variant). CI re-runs the bench and
+// uploads the fresh JSON from the bench-smoke job; the committed file is a
+// reference point, not a gate the build compares against.
+//
+// Workload: the paper's benchmark PDE (curvilinear elastic, m = 21) at the
+// memory-bound upper orders, host-best ISA, mesh-traversal cell rotation —
+// identical harness to the figure benches (bench_common.h), so DOF/s here
+// and %-of-peak there describe the same runs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace exastp;
+using namespace exastp::bench;
+
+namespace {
+
+struct Row {
+  StpVariant variant;
+  int order;
+  Precision precision;
+  double dof_per_s;
+  double gflops;
+  double us_per_call;
+};
+
+double dof_per_s(int order, const Measurement& m) {
+  const double dof = static_cast<double>(order) * order * order *
+                     CurvilinearElasticPde::kQuants;
+  return dof / m.seconds_per_call;
+}
+
+}  // namespace
+
+int main() {
+  const Isa isa = host_best_isa();
+  const std::vector<StpVariant> variants = {StpVariant::kSplitCk,
+                                            StpVariant::kAosoaSplitCk};
+  const std::vector<int> orders = {6, 8, 10};
+
+  std::vector<Row> rows;
+  ReportTable table({"variant", "order", "precision", "MDOF_per_s", "gflops",
+                     "us_per_call"});
+  for (StpVariant variant : variants)
+    for (int order : orders)
+      for (Precision precision : {Precision::kF64, Precision::kF32}) {
+        const Measurement m = measure_stp(variant, order, isa,
+                                          /*min_seconds=*/0.2,
+                                          /*mesh_cells=*/8, precision);
+        const Row row{variant, order, precision, dof_per_s(order, m),
+                      m.gflops, m.seconds_per_call * 1e6};
+        rows.push_back(row);
+        table.add_row({variant_name(variant), std::to_string(order),
+                       precision_name(precision),
+                       ReportTable::num(row.dof_per_s / 1e6, 2),
+                       ReportTable::num(row.gflops, 2),
+                       ReportTable::num(row.us_per_call, 1)});
+      }
+  table.print("Kernel DOF throughput — fp64 vs fp32 storage");
+
+  std::FILE* json = std::fopen("BENCH_kernels.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_kernels.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"bench_kernels\",\n"
+               "  \"pde\": \"%s\",\n"
+               "  \"quants\": %d,\n"
+               "  \"isa\": \"%s\",\n"
+               "  \"rows\": [\n",
+               CurvilinearElasticPde::kName, CurvilinearElasticPde::kQuants,
+               isa_name(isa).c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"variant\": \"%s\", \"order\": %d, \"precision\": "
+                 "\"%s\", \"dof_per_s\": %.6g, \"gflops\": %.6g, "
+                 "\"us_per_call\": %.6g}%s\n",
+                 variant_name(r.variant).c_str(), r.order,
+                 precision_name(r.precision).c_str(), r.dof_per_s, r.gflops,
+                 r.us_per_call, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"aggregate\": [\n");
+
+  // Aggregate DOF/s per (variant, precision): total DOF pushed across the
+  // order sweep divided by total kernel time — the number the acceptance
+  // bar compares (fp32 >= 1.4x fp64 on at least one variant).
+  bool bar_met = false;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    double dof[2] = {0.0, 0.0}, sec[2] = {0.0, 0.0};
+    for (const Row& r : rows) {
+      if (r.variant != variants[v]) continue;
+      const int p = r.precision == Precision::kF32 ? 1 : 0;
+      // One call's DOF and seconds per config: the ratio of sums weights
+      // each order by its actual cost instead of averaging ratios.
+      dof[p] += r.dof_per_s * (r.us_per_call * 1e-6);
+      sec[p] += r.us_per_call * 1e-6;
+    }
+    const double f64 = dof[0] / sec[0], f32 = dof[1] / sec[1];
+    const double speedup = f32 / f64;
+    bar_met = bar_met || speedup >= 1.4;
+    std::fprintf(json,
+                 "    {\"variant\": \"%s\", \"fp64_dof_per_s\": %.6g, "
+                 "\"fp32_dof_per_s\": %.6g, \"fp32_speedup\": %.4g}%s\n",
+                 variant_name(variants[v]).c_str(), f64, f32, speedup,
+                 v + 1 < variants.size() ? "," : "");
+    std::printf("%s aggregate: fp64 %.2f MDOF/s, fp32 %.2f MDOF/s "
+                "(%.2fx)\n",
+                variant_name(variants[v]).c_str(), f64 / 1e6, f32 / 1e6,
+                speedup);
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_kernels.json (fp32 >= 1.4x bar %s)\n",
+              bar_met ? "met" : "NOT met");
+  return 0;
+}

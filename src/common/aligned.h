@@ -50,9 +50,19 @@ struct AlignedAllocator {
   }
 };
 
+/// Aligned vector of any scalar type. The fp32 kernel path stores its
+/// internal tensors as AlignedVectorT<float>; everything engine-facing
+/// stays AlignedVector (double).
+template <class T>
+using AlignedVectorT = std::vector<T, AlignedAllocator<T>>;
+
 /// Aligned vector of doubles: the workhorse storage type for DOFs, operator
 /// tables and kernel scratch space.
-using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+using AlignedVector = AlignedVectorT<double>;
+
+/// Aligned vector of floats: kernel-internal storage of the precision=fp32
+/// path (DOF/flux/update tensors at half the bytes per value).
+using AlignedVectorF = AlignedVectorT<float>;
 
 /// Rounds `n` up to the next multiple of `multiple` (> 0). This is the
 /// zero-padding rule applied to the leading tensor dimension (Sec. III-A).

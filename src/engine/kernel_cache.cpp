@@ -25,11 +25,13 @@ KernelCacheStats& stats() {
 }  // namespace
 
 StpKernel cached_stp_kernel(const KernelFactory& pde, StpVariant variant,
-                            int order, Isa isa, NodeFamily family) {
+                            int order, Isa isa, NodeFamily family,
+                            Precision precision) {
   const std::string key = pde.name() + "/" + variant_name(variant) + "/" +
                           std::to_string(order) + "/" + isa_name(isa) + "/" +
                           (family == NodeFamily::kGaussLegendre ? "gl"
-                                                                : "lobatto");
+                                                                : "lobatto") +
+                          "/" + precision_name(precision);
   StpKernel prototype;
   {
     std::lock_guard<std::mutex> lock(cache_mutex());
@@ -45,7 +47,7 @@ StpKernel cached_stp_kernel(const KernelFactory& pde, StpVariant variant,
     // tables); a racing thread may build the same prototype — the first
     // insert wins and the duplicate is discarded, still counted as the
     // miss it was.
-    StpKernel built = pde.make_kernel(variant, order, isa, family);
+    StpKernel built = pde.make_kernel(variant, order, isa, family, precision);
     std::lock_guard<std::mutex> lock(cache_mutex());
     ++stats().misses;
     auto [it, inserted] = cache().emplace(key, built);

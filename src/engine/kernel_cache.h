@@ -29,12 +29,15 @@ struct KernelCacheStats {
   long misses = 0;
 };
 
-/// A configured kernel for (pde, variant, order, isa, family), forked from
-/// the process-wide prototype cache (built through pde.make_kernel on the
-/// first request). The returned kernel owns its workspace and can fork
-/// again — it behaves exactly like a kernel from pde.make_kernel.
+/// A configured kernel for (pde, variant, order, isa, family, precision),
+/// forked from the process-wide prototype cache (built through
+/// pde.make_kernel on the first request). The returned kernel owns its
+/// workspace and can fork again — it behaves exactly like a kernel from
+/// pde.make_kernel. The precision is part of the cache key: fp64 and fp32
+/// prototypes of one configuration coexist.
 StpKernel cached_stp_kernel(const KernelFactory& pde, StpVariant variant,
-                            int order, Isa isa, NodeFamily family);
+                            int order, Isa isa, NodeFamily family,
+                            Precision precision = Precision::kF64);
 
 KernelCacheStats kernel_cache_stats();
 /// Zeroes the counters (prototypes stay cached) — bench/test bookkeeping.

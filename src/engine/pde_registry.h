@@ -34,10 +34,13 @@ class KernelFactory {
   /// The type-erased pointwise view; one shared instance per factory.
   virtual std::shared_ptr<const PdeRuntime> runtime() const = 0;
   /// Builds a configured kernel — the virtual wrapper around the
-  /// make_stp_kernel template switch.
+  /// make_stp_kernel template switch. precision=kF32 selects the
+  /// float-storage SplitCK-family kernels (fp64 boundary, see
+  /// docs/precision.md); other variants reject it.
   virtual StpKernel make_kernel(
       StpVariant variant, int order, Isa isa,
-      NodeFamily family = NodeFamily::kGaussLegendre) const = 0;
+      NodeFamily family = NodeFamily::kGaussLegendre,
+      Precision precision = Precision::kF64) const = 0;
   /// Fills the material/geometry parameter entries (s in [vars, quants)) of
   /// one node with the PDE's canonical background medium, so generic
   /// scenarios can initialize any registered PDE.
@@ -62,8 +65,8 @@ class TypedKernelFactory final : public KernelFactory {
     return runtime_;
   }
   StpKernel make_kernel(StpVariant variant, int order, Isa isa,
-                        NodeFamily family) const override {
-    return make_stp_kernel(pde_, variant, order, isa, family);
+                        NodeFamily family, Precision precision) const override {
+    return make_stp_kernel(pde_, variant, order, isa, family, precision);
   }
   void default_parameters(double* node) const override {
     if (defaults_) defaults_(node);

@@ -10,6 +10,7 @@
 #include "exastp/common/mpi_runtime.h"
 #include "exastp/engine/kernel_cache.h"
 #include "exastp/io/receiver_sinks.h"
+#include "exastp/kernels/fusion_autotune.h"
 #include "exastp/mesh/partition.h"
 #include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/norms.h"
@@ -62,6 +63,35 @@ Simulation Simulation::from_config(SimulationConfig config) {
                      "host cannot execute isa=" + config.isa);
   }
 
+  // fp32 storage lives inside the ADER predictor kernels; the RK4 baseline
+  // has no kernel to narrow. The variant restriction (splitck |
+  // aosoa_splitck) is enforced where the kernel is built, with the same
+  // wording, so programmatic make_kernel callers get it too.
+  EXASTP_CHECK_MSG(
+      config.precision == Precision::kF64 || config.stepper == "ader",
+      "precision=fp32 requires stepper=ader (rk4 has no fp32 kernel path)");
+
+  // Fused-block autotune table: load whatever the file already knows, then
+  // measure this run's (pde, order, isa, precision) entry if it is missing
+  // and persist the grown table. Block sizes are bitwise-neutral, so this
+  // only changes speed — but note the prototype kernel cache bakes the
+  // block size in at construction, so a prototype built before the tune
+  // keeps its old block until the process restarts.
+  if (!config.autotune.empty() && config.stepper == "ader" &&
+      (config.variant == StpVariant::kSplitCk ||
+       config.variant == StpVariant::kAosoaSplitCk)) {
+    FusionTuneTable& table = FusionTuneTable::instance();
+    table.load_file(config.autotune);
+    if (!table.has(pde->name(), config.order, isa, config.precision)) {
+      table.tune(pde->name(), config.order, pde->info().quants, isa,
+                 config.precision, [&] {
+                   return pde->make_kernel(config.variant, config.order, isa,
+                                           config.family, config.precision);
+                 });
+      table.save_file(config.autotune);
+    }
+  }
+
   // One shard factory serves both paths: a monolithic run is the factory
   // applied to the whole-domain grid, a sharded run applies it to every
   // partitioned view under the ShardedSolver façade. Each ADER shard gets
@@ -76,7 +106,7 @@ Simulation Simulation::from_config(SimulationConfig config) {
       return std::make_unique<AderDgSolver>(
           pde->runtime(),
           cached_stp_kernel(*pde, config.variant, config.order, isa,
-                            config.family),
+                            config.family, config.precision),
           grid, config.family);
     }
     if (config.stepper == "rk4" || config.stepper == "rk") {
@@ -241,6 +271,7 @@ std::string Simulation::summary() const {
      << " stepper=" << solver_->stepper_name()
      << " variant=" << variant_name(config_.variant)
      << " isa=" << isa_name(isa_) << " order=" << config_.order
+     << " precision=" << precision_name(config_.precision)
      << " shards=" << shard_grid_[0] << "x" << shard_grid_[1] << "x"
      << shard_grid_[2] << " threads=" << solver_->num_threads() << " cells="
      << cells[0] << "x" << cells[1] << "x" << cells[2] << " cells/shard=";

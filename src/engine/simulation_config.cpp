@@ -1,5 +1,6 @@
 #include "exastp/engine/simulation_config.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -166,6 +167,11 @@ void apply_pair(SimulationConfig& config, const std::string& key,
     EXASTP_CHECK_MSG(value == "inprocess" || value == "mpi",
                      "backend=" + value + " (inprocess|mpi)");
     config.backend = value;
+  } else if (key == "precision") {
+    config.precision = parse_precision(value);
+  } else if (key == "autotune") {
+    EXASTP_CHECK_MSG(!value.empty(), "autotune= needs a table path");
+    config.autotune = value;
   } else if (key == "cells") {
     config.grid.cells = parse_cells(value);
   } else if (key == "extent") {
@@ -247,9 +253,13 @@ std::string canonical_config_string(const SimulationConfig& config) {
      << "|variant=" << variant_name(config.variant) << "|isa=" << config.isa
      << "|order=" << config.order << "|family="
      << (config.family == NodeFamily::kGaussLegendre ? "gl" : "lobatto")
-     << "|shards=" << config.shards << "|backend=" << config.backend;
+     << "|shards=" << config.shards << "|backend=" << config.backend
+     << "|precision=" << precision_name(config.precision);
   // threads is intentionally absent: results are bitwise-identical for
-  // every thread count, so it must not split the memoization key.
+  // every thread count, so it must not split the memoization key. The
+  // autotune table path is absent for the same reason: fused block sizes
+  // are bitwise-neutral, so tuned and untuned runs of one config must
+  // share a memoization entry.
   os << "|cells=" << config.grid.cells[0] << "x" << config.grid.cells[1]
      << "x" << config.grid.cells[2];
   os << "|extent=" << exact(config.grid.extent[0]) << ","
@@ -311,11 +321,20 @@ SimulationConfig parse_simulation_args(const std::vector<std::string>& args) {
   // before the remaining pairs override those defaults. The same pass
   // rejects duplicate keys: silently letting the later pair win would run
   // a config the user did not ask for (batch files are hand-written).
+  // Membership is checked against accepted_config_keys() — the same list
+  // the config reference documents — so a key accepted by apply_pair but
+  // absent from the list cannot slip through undocumented.
+  const std::vector<std::string> known = accepted_config_keys();
   std::set<std::string> seen;
   for (const std::string& arg : args) {
     const auto [key, value] = split_pair(arg);
     EXASTP_CHECK_MSG(seen.insert(key).second,
                      "duplicate config key \"" + key + "\"");
+    const bool listed =
+        key.rfind("scenario.", 0) == 0 ||
+        std::find(known.begin(), known.end(), key) != known.end();
+    EXASTP_CHECK_MSG(listed, "unknown config key \"" + key + "\"\n" +
+                                 simulation_usage());
     if (key == "scenario") config.scenario = value;
   }
   apply_scenario_defaults(config);
@@ -324,6 +343,45 @@ SimulationConfig parse_simulation_args(const std::vector<std::string>& args) {
     apply_pair(config, key, value);
   }
   return config;
+}
+
+std::vector<std::string> accepted_config_keys() {
+  // Keep in usage/reference order. "csv"/"vtk" are the unprefixed aliases
+  // of output.csv/output.vtk; "scenario.*" stands for the passthrough
+  // family (any key the selected scenario declares).
+  return {"scenario",
+          "pde",
+          "stepper",
+          "variant",
+          "isa",
+          "order",
+          "family",
+          "precision",
+          "threads",
+          "shards",
+          "backend",
+          "autotune",
+          "cells",
+          "extent",
+          "origin",
+          "bc",
+          "t_end",
+          "cfl",
+          "csv",
+          "vtk",
+          "output.csv",
+          "output.vtk",
+          "output.series",
+          "output.interval",
+          "output.receivers_csv",
+          "output.receivers_bin",
+          "output.quantities",
+          "receivers",
+          "scenario.*"};
+}
+
+std::vector<std::string> driver_only_keys() {
+  return {"sweep", "batch", "jobs", "gallery"};
 }
 
 std::string simulation_usage() {
@@ -338,6 +396,10 @@ std::string simulation_usage() {
       "  isa=NAME        auto | scalar | avx2 | avx512 (default auto)\n"
       "  order=N         nodes per dimension (default 4)\n"
       "  family=NAME     gl | lobatto quadrature nodes (default gl)\n"
+      "  precision=NAME  fp64 (default) | fp32 kernel storage precision;"
+      " fp32 needs\n"
+      "                  stepper=ader and variant=splitck|aosoa_splitck"
+      " (see docs/precision.md)\n"
       "  threads=N       stepper threads; auto (default) = hardware"
       " concurrency\n"
       "  shards=AxBxC    mesh shard block grid (or a total count to factor,"
@@ -347,14 +409,19 @@ std::string simulation_usage() {
       "  backend=KIND    halo exchange: inprocess (default) | mpi (one rank"
       " per shard,\n"
       "                  -DEXASTP_WITH_MPI=ON builds under mpirun)\n"
+      "  autotune=PATH   fused-block autotune table: load, measure missing"
+      " entries,\n"
+      "                  save back (bitwise-neutral; see docs/precision.md)\n"
       "  cells=AxBxC     mesh cells per dimension (or one int for a cube)\n"
       "  extent=X,Y,Z    domain size (or one number for a cube)\n"
       "  origin=X,Y,Z    domain lower corner\n"
       "  bc=KIND[,KIND,KIND]  periodic | outflow | wall per dimension\n"
       "  t_end=T         end time\n"
       "  cfl=C           CFL factor (default 0.4)\n"
-      "  csv=PATH        write nodal values CSV after the run\n"
-      "  vtk=PATH        write cell-average VTK after the run\n"
+      "  csv=PATH        write nodal values CSV after the run (alias of"
+      " output.csv=)\n"
+      "  vtk=PATH        write cell-average VTK after the run (alias of"
+      " output.vtk=)\n"
       "  receivers=X,Y,Z[;X,Y,Z...]  probe points sampled every step\n"
       "  output.receivers_csv=PATH   stream receiver samples as CSV\n"
       "  output.receivers_bin=PATH   stream receiver samples as a binary"

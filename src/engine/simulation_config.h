@@ -61,6 +61,21 @@ struct SimulationConfig {
   /// under mpirun; see README "Distributed execution (MPI)"). Results are
   /// bitwise-identical across backends.
   std::string backend = "inprocess";
+  /// Kernel storage precision: kF64 (default) runs the paper's double
+  /// kernels; kF32 stores the predictor's DOF/flux/derivative tensors in
+  /// float inside the kernel (half the bytes through the memory-bound GEMM
+  /// chains) while the kernel boundary, the solver state and every
+  /// reduction (stable_dt, norms, energy) stay double. fp32 requires
+  /// stepper=ader and a SplitCK-family variant (splitck | aosoa_splitck);
+  /// accuracy bounds per order are documented in docs/precision.md.
+  Precision precision = Precision::kF64;
+  /// Path of a fused-block autotune table (kernels/fusion_autotune.h):
+  /// loaded before kernels are built, the entry for this run's
+  /// (pde, order, isa, precision) is measured if missing, and the table is
+  /// saved back. Empty = use the built-in footprint heuristic. Block sizes
+  /// are bitwise- and FLOP-neutral, so this key is pure performance state
+  /// and excluded from the canonical config string.
+  std::string autotune;
 
   GridSpec grid;
   double t_end = 0.5;
@@ -128,5 +143,19 @@ SimulationConfig parse_simulation_args(const std::vector<std::string>& args);
 
 /// One-line-per-key usage text for CLI drivers.
 std::string simulation_usage();
+
+/// Every key parse_simulation_args accepts, in usage order, with the
+/// scenario passthrough family spelled "scenario.*". parse_simulation_args
+/// itself validates incoming keys against this list (before the typed
+/// apply step), so a parser branch whose key is missing here fails loudly
+/// in any test that uses the key — and the docs-sync test
+/// (tests/test_docs.cpp) cross-checks this list against
+/// docs/config_reference.md, keeping parser and reference in lockstep.
+std::vector<std::string> accepted_config_keys();
+
+/// The driver-only keys exastp_run peels off before config parsing
+/// (sweep=, batch=, jobs=, gallery=). Documented in the same reference;
+/// exported separately because parse_simulation_args rejects them.
+std::vector<std::string> driver_only_keys();
 
 }  // namespace exastp

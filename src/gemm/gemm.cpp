@@ -42,6 +42,33 @@ void dispatch(Isa isa, bool accumulate, double alpha, int m, int n, int k,
   count_gemm_flops(isa, m, n, k, accumulate);
 }
 
+void dispatch(Isa isa, bool accumulate, float alpha, int m, int n, int k,
+              const float* a, int lda, const float* b, int ldb, float* c,
+              int ldc) {
+  EXASTP_CHECK(m >= 0 && n >= 0 && k >= 0);
+  EXASTP_CHECK(lda >= k && ldb >= n && ldc >= n);
+  switch (isa) {
+    case Isa::kScalar:
+      detail::gemm_kernel_baseline_f32(accumulate, alpha, m, n, k, a, lda, b,
+                                       ldb, c, ldc);
+      break;
+    case Isa::kAvx2:
+      EXASTP_CHECK_MSG(host_supports(Isa::kAvx2), "host lacks AVX2");
+      detail::gemm_kernel_avx2_f32(accumulate, alpha, m, n, k, a, lda, b, ldb,
+                                   c, ldc);
+      break;
+    case Isa::kAvx512:
+      EXASTP_CHECK_MSG(host_supports(Isa::kAvx512), "host lacks AVX-512");
+      detail::gemm_kernel_avx512_f32(accumulate, alpha, m, n, k, a, lda, b,
+                                     ldb, c, ldc);
+      break;
+  }
+  // Same counting as the double path: FLOPs are precision-independent and
+  // the width classification deliberately stays at the double lane count so
+  // fp32/fp64 twins of one kernel report identical instruction mixes.
+  count_gemm_flops(isa, m, n, k, accumulate);
+}
+
 }  // namespace
 
 WidthClass gemm_width_class(Isa isa) { return packed_width_class(isa); }
@@ -65,6 +92,28 @@ void gemm_acc_scaled(Isa isa, double alpha, int m, int n, int k,
 void gemm_set_scaled(Isa isa, double alpha, int m, int n, int k,
                      const double* a, int lda, const double* b, int ldb,
                      double* c, int ldc) {
+  dispatch(isa, /*accumulate=*/false, alpha, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_set(Isa isa, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc) {
+  dispatch(isa, /*accumulate=*/false, 1.0f, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_acc(Isa isa, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc) {
+  dispatch(isa, /*accumulate=*/true, 1.0f, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_acc_scaled(Isa isa, float alpha, int m, int n, int k,
+                     const float* a, int lda, const float* b, int ldb,
+                     float* c, int ldc) {
+  dispatch(isa, /*accumulate=*/true, alpha, m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_set_scaled(Isa isa, float alpha, int m, int n, int k,
+                     const float* a, int lda, const float* b, int ldb,
+                     float* c, int ldc) {
   dispatch(isa, /*accumulate=*/false, alpha, m, n, k, a, lda, b, ldb, c, ldc);
 }
 

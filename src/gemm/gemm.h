@@ -45,6 +45,22 @@ void gemm_set_scaled(Isa isa, double alpha, int m, int n, int k,
                      const double* a, int lda, const double* b, int ldb,
                      double* c, int ldc);
 
+/// Float overloads of the four entry points: same schedule, same per-call
+/// FLOP reporting. FLOPs are classified at the double packing width of the
+/// ISA (conservative: an AVX-512 register holds 16 floats, reported as 8
+/// lanes), so fp32/fp64 runs of one kernel report identical counts and the
+/// trace-model twins stay precision-agnostic.
+void gemm_set(Isa isa, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc);
+void gemm_acc(Isa isa, int m, int n, int k, const float* a, int lda,
+              const float* b, int ldb, float* c, int ldc);
+void gemm_acc_scaled(Isa isa, float alpha, int m, int n, int k,
+                     const float* a, int lda, const float* b, int ldb,
+                     float* c, int ldc);
+void gemm_set_scaled(Isa isa, float alpha, int m, int n, int k,
+                     const float* a, int lda, const float* b, int ldb,
+                     float* c, int ldc);
+
 /// Reference triple loop without any vectorization pragmas; ground truth for
 /// the unit tests and the "naive" side of the bench_gemm comparison. Does
 /// not touch the FLOP counter.

@@ -7,11 +7,15 @@
 // ISA from one schedule.
 //
 // Schedule: register-blocked over the unit-stride C columns. A block of
-// compile-time width (32/16/8/4 doubles) of accumulators stays live across
+// compile-time width (32/16/8/4 elements) of accumulators stays live across
 // the whole k-loop (GCC maps the fixed-size array onto vector registers),
 // so each C element is loaded/stored once per GEMM instead of once per k
 // iteration — the property that makes LIBXSMM-style small GEMMs
 // compute-bound.
+//
+// The schedule is templated on the scalar type: the fp32 kernel path runs
+// the same register-blocked loop over float tensors (twice the lanes per
+// register, half the bytes per column block).
 //
 // Everything here has internal linkage (anonymous namespace) ON PURPOSE:
 // each ISA TU must get its own copy compiled with its own -m flags; an
@@ -22,20 +26,20 @@
 namespace exastp::detail {
 namespace {
 
-template <int JB>
-inline void gemm_block(bool accumulate, double alpha, int k, const double* ai,
-                       const double* b, int ldb, double* cj) {
-  double acc[JB];
+template <int JB, class T>
+inline void gemm_block(bool accumulate, T alpha, int k, const T* ai,
+                       const T* b, int ldb, T* cj) {
+  T acc[JB];
   if (accumulate) {
 #pragma omp simd
     for (int jj = 0; jj < JB; ++jj) acc[jj] = cj[jj];
   } else {
 #pragma omp simd
-    for (int jj = 0; jj < JB; ++jj) acc[jj] = 0.0;
+    for (int jj = 0; jj < JB; ++jj) acc[jj] = T(0);
   }
   for (int l = 0; l < k; ++l) {
-    const double ail = alpha * ai[l];
-    const double* bl = b + static_cast<long>(l) * ldb;
+    const T ail = alpha * ai[l];
+    const T* bl = b + static_cast<long>(l) * ldb;
 #pragma omp simd
     for (int jj = 0; jj < JB; ++jj) acc[jj] += ail * bl[jj];
   }
@@ -43,23 +47,24 @@ inline void gemm_block(bool accumulate, double alpha, int k, const double* ai,
   for (int jj = 0; jj < JB; ++jj) cj[jj] = acc[jj];
 }
 
-inline void gemm_tail(bool accumulate, double alpha, int tail, int k,
-                      const double* ai, const double* b, int ldb,
-                      double* cj) {
+template <class T>
+inline void gemm_tail(bool accumulate, T alpha, int tail, int k,
+                      const T* ai, const T* b, int ldb, T* cj) {
   for (int jj = 0; jj < tail; ++jj) {
-    double acc = accumulate ? cj[jj] : 0.0;
+    T acc = accumulate ? cj[jj] : T(0);
     for (int l = 0; l < k; ++l)
       acc += alpha * ai[l] * b[static_cast<long>(l) * ldb + jj];
     cj[jj] = acc;
   }
 }
 
-inline void gemm_kernel_body(bool accumulate, double alpha, int m, int n,
-                             int k, const double* a, int lda, const double* b,
-                             int ldb, double* c, int ldc) {
+template <class T>
+inline void gemm_kernel_body(bool accumulate, T alpha, int m, int n,
+                             int k, const T* a, int lda, const T* b,
+                             int ldb, T* c, int ldc) {
   for (int i = 0; i < m; ++i) {
-    double* ci = c + static_cast<long>(i) * ldc;
-    const double* ai = a + static_cast<long>(i) * lda;
+    T* ci = c + static_cast<long>(i) * ldc;
+    const T* ai = a + static_cast<long>(i) * lda;
     int jb = 0;
     for (; jb + 32 <= n; jb += 32)
       gemm_block<32>(accumulate, alpha, k, ai, b + jb, ldb, ci + jb);
@@ -84,9 +89,14 @@ inline void gemm_kernel_body(bool accumulate, double alpha, int m, int n,
 }  // namespace exastp::detail
 
 #define EXASTP_DEFINE_GEMM_KERNEL(NAME)                                      \
-  void NAME(bool accumulate, double alpha, int m, int n, int k,             \
+  void NAME(bool accumulate, double alpha, int m, int n, int k,              \
             const double* a, int lda, const double* b, int ldb, double* c,   \
             int ldc) {                                                       \
+    gemm_kernel_body(accumulate, alpha, m, n, k, a, lda, b, ldb, c, ldc);    \
+  }                                                                          \
+  void NAME##_f32(bool accumulate, float alpha, int m, int n, int k,         \
+                  const float* a, int lda, const float* b, int ldb,          \
+                  float* c, int ldc) {                                       \
     gemm_kernel_body(accumulate, alpha, m, n, k, a, lda, b, ldb, c, ldc);    \
   }
 
@@ -101,5 +111,15 @@ void gemm_kernel_avx2(bool accumulate, double alpha, int m, int n, int k,
 void gemm_kernel_avx512(bool accumulate, double alpha, int m, int n, int k,
                         const double* a, int lda, const double* b, int ldb,
                         double* c, int ldc);
+
+void gemm_kernel_baseline_f32(bool accumulate, float alpha, int m, int n,
+                              int k, const float* a, int lda, const float* b,
+                              int ldb, float* c, int ldc);
+void gemm_kernel_avx2_f32(bool accumulate, float alpha, int m, int n, int k,
+                          const float* a, int lda, const float* b, int ldb,
+                          float* c, int ldc);
+void gemm_kernel_avx512_f32(bool accumulate, float alpha, int m, int n, int k,
+                            const float* a, int lda, const float* b, int ldb,
+                            float* c, int ldc);
 
 }  // namespace exastp::detail

@@ -54,4 +54,52 @@ void vec_copy(long n, const double* x, double* y) {
   std::memcpy(y, x, static_cast<std::size_t>(n) * sizeof(double));
 }
 
+void vec_axpy(Isa isa, long n, float a, const float* x, float* y) {
+  EXASTP_CHECK(n >= 0);
+  switch (isa) {
+    case Isa::kScalar: detail::vec_axpy_baseline_f32(n, a, x, y); break;
+    case Isa::kAvx2: detail::vec_axpy_avx2_f32(n, a, x, y); break;
+    case Isa::kAvx512: detail::vec_axpy_avx512_f32(n, a, x, y); break;
+  }
+  count_vec_flops(isa, n, 2);
+}
+
+void vec_scale(Isa isa, long n, float a, const float* x, float* y) {
+  EXASTP_CHECK(n >= 0);
+  switch (isa) {
+    case Isa::kScalar: detail::vec_scale_baseline_f32(n, a, x, y); break;
+    case Isa::kAvx2: detail::vec_scale_avx2_f32(n, a, x, y); break;
+    case Isa::kAvx512: detail::vec_scale_avx512_f32(n, a, x, y); break;
+  }
+  count_vec_flops(isa, n, 1);
+}
+
+void vec_add(Isa isa, long n, const float* x, float* y) {
+  EXASTP_CHECK(n >= 0);
+  switch (isa) {
+    case Isa::kScalar: detail::vec_add_baseline_f32(n, x, y); break;
+    case Isa::kAvx2: detail::vec_add_avx2_f32(n, x, y); break;
+    case Isa::kAvx512: detail::vec_add_avx512_f32(n, x, y); break;
+  }
+  count_vec_flops(isa, n, 1);
+}
+
+void vec_zero(long n, float* y) {
+  std::memset(y, 0, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+void vec_copy(long n, const float* x, float* y) {
+  std::memcpy(y, x, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+void vec_widen(long n, const float* x, double* y) {
+#pragma omp simd
+  for (long i = 0; i < n; ++i) y[i] = static_cast<double>(x[i]);
+}
+
+void vec_narrow(long n, const double* x, float* y) {
+#pragma omp simd
+  for (long i = 0; i < n; ++i) y[i] = static_cast<float>(x[i]);
+}
+
 }  // namespace exastp

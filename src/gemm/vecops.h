@@ -29,4 +29,19 @@ void vec_zero(long n, double* y);
 /// y[i] = x[i] (no FLOPs counted)
 void vec_copy(long n, const double* x, double* y);
 
+/// Float overloads for the fp32 kernel path. FLOP reporting matches the
+/// double overloads (classified at the double lane width — see gemm.h).
+void vec_axpy(Isa isa, long n, float a, const float* x, float* y);
+void vec_scale(Isa isa, long n, float a, const float* x, float* y);
+void vec_add(Isa isa, long n, const float* x, float* y);
+void vec_zero(long n, float* y);
+void vec_copy(long n, const float* x, float* y);
+
+/// Precision boundary conversions of the fp32 path: widen at kernel exit
+/// (qavg/favg back to the engine's double buffers), narrow at kernel entry
+/// (q into float scratch). Conversions are data movement, not FLOPs, and
+/// are not counted — mirroring how the trace model treats copies.
+void vec_widen(long n, const float* x, double* y);
+void vec_narrow(long n, const double* x, float* y);
+
 }  // namespace exastp

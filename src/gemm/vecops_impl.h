@@ -1,5 +1,7 @@
 // Shared element-wise loop bodies, instantiated once per ISA TU, same
-// pattern as gemm_impl.h.
+// pattern as gemm_impl.h. Each macro expansion emits a double and a float
+// (_f32) kernel; the float loops vectorize at twice the lane count under
+// the TU's -m flags.
 #pragma once
 
 #define EXASTP_DEFINE_VECOPS_KERNELS(SUFFIX)                         \
@@ -16,6 +18,20 @@
   void vec_add_##SUFFIX(long n, const double* x, double* y) {       \
     _Pragma("omp simd")                                             \
     for (long i = 0; i < n; ++i) y[i] += x[i];                      \
+  }                                                                 \
+  void vec_axpy_##SUFFIX##_f32(long n, float a, const float* x,     \
+                               float* y) {                          \
+    _Pragma("omp simd")                                             \
+    for (long i = 0; i < n; ++i) y[i] += a * x[i];                  \
+  }                                                                 \
+  void vec_scale_##SUFFIX##_f32(long n, float a, const float* x,    \
+                                float* y) {                         \
+    _Pragma("omp simd")                                             \
+    for (long i = 0; i < n; ++i) y[i] = a * x[i];                   \
+  }                                                                 \
+  void vec_add_##SUFFIX##_f32(long n, const float* x, float* y) {   \
+    _Pragma("omp simd")                                             \
+    for (long i = 0; i < n; ++i) y[i] += x[i];                      \
   }
 
 namespace exastp::detail {
@@ -29,5 +45,15 @@ void vec_add_avx2(long n, const double* x, double* y);
 void vec_axpy_avx512(long n, double a, const double* x, double* y);
 void vec_scale_avx512(long n, double a, const double* x, double* y);
 void vec_add_avx512(long n, const double* x, double* y);
+
+void vec_axpy_baseline_f32(long n, float a, const float* x, float* y);
+void vec_scale_baseline_f32(long n, float a, const float* x, float* y);
+void vec_add_baseline_f32(long n, const float* x, float* y);
+void vec_axpy_avx2_f32(long n, float a, const float* x, float* y);
+void vec_scale_avx2_f32(long n, float a, const float* x, float* y);
+void vec_add_avx2_f32(long n, const float* x, float* y);
+void vec_axpy_avx512_f32(long n, float a, const float* x, float* y);
+void vec_scale_avx512_f32(long n, float a, const float* x, float* y);
+void vec_add_avx512_f32(long n, const float* x, float* y);
 
 }  // namespace exastp::detail

@@ -14,84 +14,205 @@
 //
 // The 1/h mesh scaling rides along as the GEMM alpha so no separate scaling
 // pass over the output is needed.
+//
+// Two orthogonal extensions serve the fused SplitCK kernels:
+//
+//  * Zero-block masking (`cover`): the PDE declares the past-the-end index
+//    of its possibly-nonzero flux rows per direction (pde_base.h traits).
+//    Quantity rows >= cover of the flux tensor are exactly zero, so their
+//    derivative columns are skipped. Skipping is bitwise-exact for
+//    accumulate mode (adding signed zeros to a zeroed target yields +0
+//    either way) but changes reported FLOPs — the trace-model twins mirror
+//    the masking rules below EXACTLY (same conditions, same GEMM shapes).
+//  * Slab ranges (`lo`, `hi`): the fused kernels interleave pointwise flux
+//    evaluation with the derivative GEMMs block by block so the flux slab
+//    is still cache-resident when the GEMM consumes it. dirs 0 and 1
+//    contract within a k3 plane, so the range selects k3 planes; dir 2
+//    contracts OVER k3, so the range selects k2 pencils (all k3 present).
+//    Slab boundaries split GEMM columns at multiples of the padded leading
+//    dimension (a multiple of the vector width), so blocking never changes
+//    FLOP counts or their width classification — the twins need only
+//    mirror masking, not block sizes.
+//
+// Masking rules (definitive; trace_model.cpp copies these literally). AoS
+// masked widths are rounded UP to the ISA vector width — the masked
+// columns stay full SIMD lanes (no scalar remainder loop) and the extra
+// columns within the last vector multiply zeros, which accumulate-mode
+// absorbs bitwise-exactly:
+//
+//   ncols = min(pad_to(cover, vector_width(isa)), mPad)
+//   AoS  dir 0: skip when cover == 0; per-slice GEMM of N = ncols.
+//   AoS  dir 1: skip when cover == 0; when ncols < mPad: per (k3,k1) GEMM
+//               of N = ncols; else the full fused call per k3.
+//   AoS  dir 2: skip when cover == 0; when ncols < mPad: per (k2,k1) GEMM
+//               of N = ncols; else one call over the slab's fused columns.
+//
+// AoSoA columns fuse (s, k1) with s outer, so a row mask keeps whole
+// padded x-lines — already vector-width multiples, no rounding needed:
+//
+//   AoSoA dir 0: nrows = min(cover, m); skip when 0 (M shrinks, N stays
+//               the padded line — classification unchanged, total shrinks).
+//   AoSoA dir 1: when cover < m: N = cover*nPad (contiguous prefix).
+//   AoSoA dir 2: when cover < m: per-k2 GEMM of N = cover*nPad; else one
+//               call over the slab's fused columns.
 #pragma once
 
+#include "exastp/common/aligned.h"
 #include "exastp/common/check.h"
+#include "exastp/common/simd.h"
 #include "exastp/gemm/gemm.h"
 #include "exastp/tensor/layout.h"
 
 namespace exastp {
 
-/// dst (+)= inv_h * d(src)/dxi_dir for AoS tensors. `diff` is the n x n
-/// derivative operator, row-major, lda = n.
-inline void aos_derivative(Isa isa, const AosLayout& aos, const double* diff,
-                           double inv_h, int dir, const double* src,
-                           double* dst, bool accumulate) {
+/// Masked AoS column count: cover rounded up to full vectors, capped at
+/// the padded row width. Shared with the trace-model twins.
+inline int aos_masked_cols(const AosLayout& aos, Isa isa, int cover) {
+  const int padded = pad_to(cover, vector_width(isa));
+  return padded < aos.m_pad ? padded : aos.m_pad;
+}
+
+/// dst (+)= inv_h * d(src)/dxi_dir restricted to a slab (see header
+/// comment) with zero-block masking for quantity rows >= cover. `diff` is
+/// the n x n derivative operator, row-major, lda = n.
+template <class Real>
+inline void aos_derivative_slab(Isa isa, const AosLayout& aos,
+                                const Real* diff, Real inv_h, int dir,
+                                int lo, int hi, int cover, const Real* src,
+                                Real* dst, bool accumulate) {
   const int n = aos.n;
   const int ld = aos.m_pad;
-  auto run = accumulate ? gemm_acc_scaled : gemm_set_scaled;
+  if (cover <= 0) return;
+  const int ncols = aos_masked_cols(aos, isa, cover);
+  const bool masked = ncols < ld;
+  const auto run = [&](int M, int N, int K, const Real* b, Real* c, int ldx) {
+    if (accumulate)
+      gemm_acc_scaled(isa, inv_h, M, N, K, diff, n, b, ldx, c, ldx);
+    else
+      gemm_set_scaled(isa, inv_h, M, N, K, diff, n, b, ldx, c, ldx);
+  };
   switch (dir) {
     case 0:
-      for (int k3 = 0; k3 < n; ++k3)
+      for (int k3 = lo; k3 < hi; ++k3)
         for (int k2 = 0; k2 < n; ++k2) {
           const std::size_t off = aos.node_offset(k3, k2, 0);
-          run(isa, inv_h, n, ld, n, diff, n, src + off, ld, dst + off, ld);
+          run(n, ncols, n, src + off, dst + off, ld);
         }
       break;
     case 1:
-      for (int k3 = 0; k3 < n; ++k3) {
-        const std::size_t off = aos.node_offset(k3, 0, 0);
-        run(isa, inv_h, n, n * ld, n, diff, n, src + off, n * ld, dst + off,
-            n * ld);
+      if (masked) {
+        for (int k3 = lo; k3 < hi; ++k3)
+          for (int k1 = 0; k1 < n; ++k1) {
+            const std::size_t off = aos.node_offset(k3, 0, k1);
+            run(n, ncols, n, src + off, dst + off, n * ld);
+          }
+      } else {
+        for (int k3 = lo; k3 < hi; ++k3) {
+          const std::size_t off = aos.node_offset(k3, 0, 0);
+          run(n, n * ld, n, src + off, dst + off, n * ld);
+        }
       }
       break;
     case 2:
-      run(isa, inv_h, n, n * n * ld, n, diff, n, src, n * n * ld, dst,
-          n * n * ld);
+      if (masked) {
+        for (int k2 = lo; k2 < hi; ++k2)
+          for (int k1 = 0; k1 < n; ++k1) {
+            const std::size_t off = aos.node_offset(0, k2, k1);
+            run(n, ncols, n, src + off, dst + off, n * n * ld);
+          }
+      } else {
+        const std::size_t off = aos.node_offset(0, lo, 0);
+        run(n, (hi - lo) * n * ld, n, src + off, dst + off, n * n * ld);
+      }
       break;
     default:
       EXASTP_CHECK_MSG(false, "dir must be 0, 1 or 2");
   }
 }
 
-/// dst (+)= inv_h * d(src)/dxi_dir for AoSoA tensors. `diff` as above;
+/// dst (+)= inv_h * d(src)/dxi_dir for AoS tensors, full cell, no masking.
+/// `diff` is the n x n derivative operator, row-major, lda = n.
+template <class Real>
+inline void aos_derivative(Isa isa, const AosLayout& aos, const Real* diff,
+                           Real inv_h, int dir, const Real* src, Real* dst,
+                           bool accumulate) {
+  aos_derivative_slab(isa, aos, diff, inv_h, dir, 0, aos.n, aos.m_pad, src,
+                      dst, accumulate);
+}
+
+/// AoSoA counterpart of aos_derivative_slab. `diff` as above;
 /// `diff_t_padded` is D^T with rows padded to aosoa.n_pad (basis_tables'
 /// padded_diff_t), required for dir == 0.
-inline void aosoa_derivative(Isa isa, const AosoaLayout& aosoa,
-                             const double* diff, const double* diff_t_padded,
-                             double inv_h, int dir, const double* src,
-                             double* dst, bool accumulate) {
+template <class Real>
+inline void aosoa_derivative_slab(Isa isa, const AosoaLayout& aosoa,
+                                  const Real* diff, const Real* diff_t_padded,
+                                  Real inv_h, int dir, int lo, int hi,
+                                  int cover, const Real* src, Real* dst,
+                                  bool accumulate) {
   const int n = aosoa.n;
   const int m = aosoa.m;
   const int np = aosoa.n_pad;
-  auto run = accumulate ? gemm_acc_scaled : gemm_set_scaled;
+  if (cover <= 0) return;
+  const auto run = [&](int M, int N, int K, const Real* a, int lda,
+                       const Real* b, int ldb, Real* c, int ldc) {
+    if (accumulate)
+      gemm_acc_scaled(isa, inv_h, M, N, K, a, lda, b, ldb, c, ldc);
+    else
+      gemm_set_scaled(isa, inv_h, M, N, K, a, lda, b, ldb, c, ldc);
+  };
+  const bool masked = cover < m;
   switch (dir) {
-    case 0:
+    case 0: {
       // out[s][i] = sum_l src[s][l] * Dt[l][i]; unit stride over the padded
-      // x-line in both B and C.
-      for (int k3 = 0; k3 < n; ++k3)
+      // x-line in both B and C. Masking shrinks the row count.
+      const int nrows = masked ? cover : m;
+      for (int k3 = lo; k3 < hi; ++k3)
         for (int k2 = 0; k2 < n; ++k2) {
           const std::size_t off = aosoa.line_offset(k3, k2);
-          run(isa, inv_h, m, np, n, src + off, np, diff_t_padded, np,
-              dst + off, np);
+          run(nrows, np, n, src + off, np, diff_t_padded, np, dst + off, np);
         }
       break;
+    }
     case 1:
-      // Fuse (s, i): out[j][si] = sum_l D[j][l] src[l][si] (Fig. 7).
-      for (int k3 = 0; k3 < n; ++k3) {
+      // Fuse (s, i): out[j][si] = sum_l D[j][l] src[l][si] (Fig. 7). The s
+      // index is outermost in the fused columns, so masking keeps the
+      // contiguous prefix of cover*np columns.
+      for (int k3 = lo; k3 < hi; ++k3) {
         const std::size_t off = aosoa.idx(k3, 0, 0, 0);
-        run(isa, inv_h, n, m * np, n, diff, n, src + off, m * np, dst + off,
-            m * np);
+        run(n, (masked ? cover : m) * np, n, diff, n, src + off, m * np,
+            dst + off, m * np);
       }
       break;
     case 2:
-      // Fuse (k2, s, i): one big GEMM over the whole tensor.
-      run(isa, inv_h, n, n * m * np, n, diff, n, src, n * m * np, dst,
-          n * m * np);
+      // Fuse (k2, s, i). Unmasked: one call over the slab's k2 range.
+      // Masked: k2 is outermost in the fused columns, so each k2 keeps its
+      // own cover*np prefix — one call per k2.
+      if (masked) {
+        for (int k2 = lo; k2 < hi; ++k2) {
+          const std::size_t off = aosoa.idx(0, k2, 0, 0);
+          run(n, cover * np, n, diff, n, src + off, n * m * np, dst + off,
+              n * m * np);
+        }
+      } else {
+        const std::size_t off = aosoa.idx(0, lo, 0, 0);
+        run(n, (hi - lo) * m * np, n, diff, n, src + off, n * m * np,
+            dst + off, n * m * np);
+      }
       break;
     default:
       EXASTP_CHECK_MSG(false, "dir must be 0, 1 or 2");
   }
+}
+
+/// dst (+)= inv_h * d(src)/dxi_dir for AoSoA tensors, full cell, no
+/// masking.
+template <class Real>
+inline void aosoa_derivative(Isa isa, const AosoaLayout& aosoa,
+                             const Real* diff, const Real* diff_t_padded,
+                             Real inv_h, int dir, const Real* src, Real* dst,
+                             bool accumulate) {
+  aosoa_derivative_slab(isa, aosoa, diff, diff_t_padded, inv_h, dir, 0,
+                        aosoa.n, aosoa.m, src, dst, accumulate);
 }
 
 }  // namespace exastp

@@ -12,6 +12,18 @@ StpKernel StpKernel::fork() const {
   return fork_();
 }
 
+std::string precision_name(Precision p) {
+  return p == Precision::kF32 ? "fp32" : "fp64";
+}
+
+Precision parse_precision(const std::string& name) {
+  if (name == "fp64" || name == "double") return Precision::kF64;
+  if (name == "fp32" || name == "float" || name == "single")
+    return Precision::kF32;
+  EXASTP_FAIL("unknown precision name: " + name +
+              " (expected fp64 or fp32)");
+}
+
 StpVariant parse_variant(const std::string& name) {
   if (name == "generic") return StpVariant::kGeneric;
   if (name == "log") return StpVariant::kLog;

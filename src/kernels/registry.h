@@ -34,10 +34,54 @@ inline constexpr StpVariant kAllVariants[] = {
 
 namespace detail {
 
+/// fp32 instantiations of the two SplitCK-family kernels. Only these two
+/// variants carry an fp32 path: they are the memory-bound production
+/// kernels where halved DOF bytes pay off; the generic/LoG/SoA-UF variants
+/// exist as measured ablations of the paper's fp64 progression and stay
+/// double-only.
+template <class Pde>
+StpKernel make_f32_kernel(Pde pde, StpVariant variant, int order, Isa isa,
+                          NodeFamily family) {
+  switch (variant) {
+    case StpVariant::kSplitCk: {
+      auto impl = std::make_shared<SplitCkStpT<Pde, float>>(std::move(pde),
+                                                            order, isa,
+                                                            family);
+      return StpKernel(variant, impl->layout(), impl->workspace_bytes(),
+                       [impl](const double* q, double dt,
+                              const std::array<double, 3>& inv_dx,
+                              const SourceTerm* source,
+                              const StpOutputs& out) {
+                         impl->compute(q, dt, inv_dx, source, out);
+                       },
+                       Precision::kF32);
+    }
+    case StpVariant::kAosoaSplitCk: {
+      auto impl = std::make_shared<AosoaStpT<Pde, float>>(std::move(pde),
+                                                          order, isa, family);
+      return StpKernel(variant, impl->layout(), impl->workspace_bytes(),
+                       [impl](const double* q, double dt,
+                              const std::array<double, 3>& inv_dx,
+                              const SourceTerm* source,
+                              const StpOutputs& out) {
+                         impl->compute(q, dt, inv_dx, source, out);
+                       },
+                       Precision::kF32);
+    }
+    default:
+      EXASTP_FAIL("precision=fp32 supports variants splitck and "
+                  "aosoa_splitck; variant " +
+                  variant_name(variant) + " is fp64-only");
+  }
+}
+
 /// Builds the kernel without a fork factory; make_stp_kernel adds it.
 template <class Pde>
 StpKernel make_stp_kernel_impl(Pde pde, StpVariant variant, int order,
-                               Isa isa, NodeFamily family) {
+                               Isa isa, NodeFamily family,
+                               Precision precision) {
+  if (precision == Precision::kF32)
+    return make_f32_kernel(std::move(pde), variant, order, isa, family);
   switch (variant) {
     case StpVariant::kGeneric: {
       // The generic kernel is runtime-dimensioned and calls the PDE through
@@ -98,14 +142,16 @@ StpKernel make_stp_kernel_impl(Pde pde, StpVariant variant, int order,
 
 template <class Pde>
 StpKernel make_stp_kernel(Pde pde, StpVariant variant, int order, Isa isa,
-                          NodeFamily family = NodeFamily::kGaussLegendre) {
-  StpKernel kernel =
-      detail::make_stp_kernel_impl(pde, variant, order, isa, family);
+                          NodeFamily family = NodeFamily::kGaussLegendre,
+                          Precision precision = Precision::kF64) {
+  StpKernel kernel = detail::make_stp_kernel_impl(pde, variant, order, isa,
+                                                  family, precision);
   // The fork factory re-runs this very function, so clones can fork again
   // (each carries its own workspace; the Pde value is copied per clone).
-  kernel.set_fork([pde = std::move(pde), variant, order, isa, family] {
-    return make_stp_kernel(pde, variant, order, isa, family);
-  });
+  kernel.set_fork(
+      [pde = std::move(pde), variant, order, isa, family, precision] {
+        return make_stp_kernel(pde, variant, order, isa, family, precision);
+      });
   return kernel;
 }
 

@@ -43,6 +43,26 @@ enum class StpVariant {
 
 std::string variant_name(StpVariant v);
 
+/// Storage precision of a kernel's internal DOF/flux/update tensors. The
+/// engine-facing buffers (q/qavg/favg) are always double; an fp32 kernel
+/// converts once at entry and once at exit, and everything the *solver*
+/// reduces over those outputs (stable_dt, norms, energy) accumulates in
+/// fp64 regardless — the "fp32 storage / fp64 accumulation" scheme the
+/// memory-bound sweeps want (halved DOF bytes, near-2x bandwidth win).
+/// Only the SplitCK-family variants (splitck, aosoa_splitck) implement
+/// kF32; requesting it for the others throws in make_stp_kernel.
+enum class Precision {
+  kF64,  ///< double storage everywhere (the paper's baseline)
+  kF32,  ///< float kernel-internal storage, double kernel boundary
+};
+
+/// "fp64" / "fp32" — the tokens of the precision= config key.
+std::string precision_name(Precision p);
+
+/// Parses "fp64" (alias "double") / "fp32" (alias "float" / "single");
+/// throws on unknown names.
+Precision parse_precision(const std::string& name);
+
 /// Copies the parameter rows (s in [vars, m)) of the original state into a
 /// derivative tensor. The time derivatives of the constant material/geometry
 /// parameters are zero, but the PDE user functions read parameters from the
@@ -51,8 +71,9 @@ std::string variant_name(StpVariant v);
 /// variants maintain this invariant; qavg's parameter rows are restored the
 /// same way after the Taylor accumulation so that flux(qavg) is well defined
 /// (see DESIGN.md on the SplitCK favg recomputation).
+template <class Real>
 inline void refresh_aos_param_rows(const AosLayout& aos, int vars,
-                                   const double* q, double* dst) {
+                                   const Real* q, Real* dst) {
   if (vars == aos.m) return;
   const std::size_t nodes =
       static_cast<std::size_t>(aos.n) * aos.n * aos.n;
@@ -62,8 +83,9 @@ inline void refresh_aos_param_rows(const AosLayout& aos, int vars,
 }
 
 /// Same invariant for AoSoA tensors.
+template <class Real>
 inline void refresh_aosoa_param_rows(const AosoaLayout& aosoa, int vars,
-                                     const double* q, double* dst) {
+                                     const Real* q, Real* dst) {
   if (vars == aosoa.m) return;
   for (int k3 = 0; k3 < aosoa.n; ++k3)
     for (int k2 = 0; k2 < aosoa.n; ++k2)
@@ -95,11 +117,14 @@ class StpKernel {
 
   StpKernel() = default;
   StpKernel(StpVariant variant, AosLayout layout, std::size_t footprint,
-            RunFn run)
-      : variant_(variant), layout_(layout),
+            RunFn run, Precision precision = Precision::kF64)
+      : variant_(variant), precision_(precision), layout_(layout),
         workspace_bytes_(footprint), run_(std::move(run)) {}
 
   StpVariant variant() const { return variant_; }
+  /// Storage precision of the kernel's internal tensors; the run()
+  /// boundary is always double.
+  Precision precision() const { return precision_; }
   /// Engine-facing AoS layout of q/qavg/favg buffers. The generic variant
   /// uses the unpadded layout (m_pad == m), the optimized ones pad to the
   /// ISA width.
@@ -125,6 +150,7 @@ class StpKernel {
 
  private:
   StpVariant variant_ = StpVariant::kGeneric;
+  Precision precision_ = Precision::kF64;
   AosLayout layout_;
   std::size_t workspace_bytes_ = 0;
   RunFn run_;

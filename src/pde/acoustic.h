@@ -27,23 +27,33 @@ struct AcousticPde {
   // p-row: rho*c*c*v_d (3 mults), v-row: p/rho (1 div counted as 1 flop).
   static constexpr std::uint64_t kFluxFlops = 4;
   static constexpr std::uint64_t kNcpFlops = 0;
+  /// ncp() below writes zeros unconditionally — kernels skip the stage.
+  static constexpr bool kNcpIsZero = true;
+  /// Direction d moves only p (row 0) and v_d (row 1+d); every flux row
+  /// past 1+d is structurally zero, so derivative GEMMs stop at 2+d.
+  static constexpr int flux_rows_end(int dir) { return 2 + dir; }
 
   static constexpr int kP = 0, kVx = 1, kRho = 4, kC = 5;
 
-  void flux(const double* q, int dir, double* f) const {
-    const double rho = q[kRho], c = q[kC];
+  /// Pointwise user functions are templated on the scalar type (fp32
+  /// kernels call them on float rows directly); literals are cast to Real
+  /// so fp32 arithmetic does not promote to double.
+  template <class Real>
+  void flux(const Real* q, int dir, Real* f) const {
+    const Real rho = q[kRho], c = q[kC];
     f[kP] = -rho * c * c * q[kVx + dir];
-    f[kVx + 0] = 0.0;
-    f[kVx + 1] = 0.0;
-    f[kVx + 2] = 0.0;
+    f[kVx + 0] = Real(0);
+    f[kVx + 1] = Real(0);
+    f[kVx + 2] = Real(0);
     f[kVx + dir] = -q[kP] / rho;
-    f[kRho] = 0.0;
-    f[kC] = 0.0;
+    f[kRho] = Real(0);
+    f[kC] = Real(0);
   }
 
-  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
-           double* out) const {
-    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  template <class Real>
+  void ncp(const Real* /*q*/, const Real* /*grad*/, int /*dir*/,
+           Real* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = Real(0);
   }
 
   double max_wave_speed(const double* q, int /*dir*/) const {
@@ -57,35 +67,37 @@ struct AcousticPde {
     out[kVx + dir] = -q[kVx + dir];
   }
 
-  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+  template <class Real>
+  void flux_line(Isa /*isa*/, const Real* q, int dir, Real* f, int len,
                  int stride) const {
-    const double* p = q + kP * stride;
-    const double* vd = q + (kVx + dir) * stride;
-    const double* rho = q + kRho * stride;
-    const double* c = q + kC * stride;
-    double* fp = f + kP * stride;
+    const Real* p = q + kP * stride;
+    const Real* vd = q + (kVx + dir) * stride;
+    const Real* rho = q + kRho * stride;
+    const Real* c = q + kC * stride;
+    Real* fp = f + kP * stride;
     for (int s = kVx; s < kQuants; ++s) {
-      double* fs = f + s * stride;
+      Real* fs = f + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+      for (int i = 0; i < len; ++i) fs[i] = Real(0);
     }
-    double* fvd = f + (kVx + dir) * stride;
+    Real* fvd = f + (kVx + dir) * stride;
 #pragma omp simd
     for (int i = 0; i < len; ++i) {
       fp[i] = -rho[i] * c[i] * c[i] * vd[i];
       // Padded lanes carry rho = 0; guard the division so zero-padding stays
       // a valid input (the numerical hazard Sec. V-C warns about).
-      fvd[i] = rho[i] != 0.0 ? -p[i] / rho[i] : 0.0;
+      fvd[i] = rho[i] != Real(0) ? -p[i] / rho[i] : Real(0);
     }
     count_packed_flops(Isa::kScalar, len, kFluxFlops);
   }
 
-  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
-                int /*dir*/, double* out, int len, int stride) const {
+  template <class Real>
+  void ncp_line(Isa /*isa*/, const Real* /*q*/, const Real* /*grad*/,
+                int /*dir*/, Real* out, int len, int stride) const {
     for (int s = 0; s < kQuants; ++s) {
-      double* os = out + s * stride;
+      Real* os = out + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) os[i] = 0.0;
+      for (int i = 0; i < len; ++i) os[i] = Real(0);
     }
   }
 };

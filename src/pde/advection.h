@@ -22,17 +22,24 @@ struct AdvectionPde {
   static constexpr const char* kName = "advection";
   static constexpr std::uint64_t kFluxFlops = kVars;  // one mult per quantity
   static constexpr std::uint64_t kNcpFlops = 0;
+  /// ncp() writes zeros unconditionally — kernels skip the stage.
+  static constexpr bool kNcpIsZero = true;
 
   std::array<double, 3> velocity{1.0, 0.5, 0.25};
 
-  void flux(const double* q, int dir, double* f) const {
-    const double a = -velocity[dir];
+  /// Pointwise user functions are templated on the scalar type (fp32
+  /// kernels call them on float rows directly); the velocity coefficient is
+  /// narrowed once outside the loop.
+  template <class Real>
+  void flux(const Real* q, int dir, Real* f) const {
+    const Real a = static_cast<Real>(-velocity[dir]);
     for (int s = 0; s < kQuants; ++s) f[s] = a * q[s];
   }
 
-  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
-           double* out) const {
-    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  template <class Real>
+  void ncp(const Real* /*q*/, const Real* /*grad*/, int /*dir*/,
+           Real* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = Real(0);
   }
 
   double max_wave_speed(const double* /*q*/, int dir) const {
@@ -42,24 +49,26 @@ struct AdvectionPde {
   /// Vectorized user function on an SoA chunk: quantity s occupies
   /// q[s*stride + i] for lanes i in [0, len). Mirrors Fig. 8 of the paper.
   /// Header implementation compiles at baseline ISA; counted as such.
-  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+  template <class Real>
+  void flux_line(Isa /*isa*/, const Real* q, int dir, Real* f, int len,
                  int stride) const {
-    const double a = -velocity[dir];
+    const Real a = static_cast<Real>(-velocity[dir]);
     for (int s = 0; s < kQuants; ++s) {
-      const double* qs = q + s * stride;
-      double* fs = f + s * stride;
+      const Real* qs = q + s * stride;
+      Real* fs = f + s * stride;
 #pragma omp simd
       for (int i = 0; i < len; ++i) fs[i] = a * qs[i];
     }
     count_packed_flops(Isa::kScalar, len, kFluxFlops);
   }
 
-  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
-                int /*dir*/, double* out, int len, int stride) const {
+  template <class Real>
+  void ncp_line(Isa /*isa*/, const Real* /*q*/, const Real* /*grad*/,
+                int /*dir*/, Real* out, int len, int stride) const {
     for (int s = 0; s < kQuants; ++s) {
-      double* os = out + s * stride;
+      Real* os = out + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) os[i] = 0.0;
+      for (int i = 0; i < len; ++i) os[i] = Real(0);
     }
   }
 };
@@ -75,16 +84,21 @@ struct AdvectionNcpPde {
   static constexpr const char* kName = "advection_ncp";
   static constexpr std::uint64_t kFluxFlops = 0;
   static constexpr std::uint64_t kNcpFlops = kVars;
+  /// F is identically zero: the flux derivative GEMMs are skipped outright
+  /// (the physics lives entirely in the non-conservative product).
+  static constexpr int flux_rows_end(int /*dir*/) { return 0; }
 
   std::array<double, 3> velocity{1.0, 0.5, 0.25};
 
-  void flux(const double* /*q*/, int /*dir*/, double* f) const {
-    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+  template <class Real>
+  void flux(const Real* /*q*/, int /*dir*/, Real* f) const {
+    for (int s = 0; s < kQuants; ++s) f[s] = Real(0);
   }
 
-  void ncp(const double* /*q*/, const double* grad, int dir,
-           double* out) const {
-    const double a = -velocity[dir];
+  template <class Real>
+  void ncp(const Real* /*q*/, const Real* grad, int dir,
+           Real* out) const {
+    const Real a = static_cast<Real>(-velocity[dir]);
     for (int s = 0; s < kQuants; ++s) out[s] = a * grad[s];
   }
 
@@ -92,21 +106,23 @@ struct AdvectionNcpPde {
     return std::abs(velocity[dir]);
   }
 
-  void flux_line(Isa /*isa*/, const double* /*q*/, int /*dir*/, double* f,
+  template <class Real>
+  void flux_line(Isa /*isa*/, const Real* /*q*/, int /*dir*/, Real* f,
                  int len, int stride) const {
     for (int s = 0; s < kQuants; ++s) {
-      double* fs = f + s * stride;
+      Real* fs = f + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+      for (int i = 0; i < len; ++i) fs[i] = Real(0);
     }
   }
 
-  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* grad,
-                int dir, double* out, int len, int stride) const {
-    const double a = -velocity[dir];
+  template <class Real>
+  void ncp_line(Isa /*isa*/, const Real* /*q*/, const Real* grad,
+                int dir, Real* out, int len, int stride) const {
+    const Real a = static_cast<Real>(-velocity[dir]);
     for (int s = 0; s < kQuants; ++s) {
-      const double* gs = grad + s * stride;
-      double* os = out + s * stride;
+      const Real* gs = grad + s * stride;
+      Real* os = out + s * stride;
 #pragma omp simd
       for (int i = 0; i < len; ++i) os[i] = a * gs[i];
     }

@@ -48,28 +48,33 @@ struct CurvilinearElasticPde {
   static constexpr int kRho = 9, kCp = 10, kCs = 11;
   static constexpr int kMetric = 12;  // + 3*r + c
 
-  void flux(const double* q, int dir, double* f) const {
-    const double g0 = q[kMetric + 3 * dir + 0];
-    const double g1 = q[kMetric + 3 * dir + 1];
-    const double g2 = q[kMetric + 3 * dir + 2];
-    const double inv_rho = 1.0 / q[kRho];
-    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+  /// Pointwise user functions are templated on the scalar type so the fp32
+  /// kernels call them on float rows with zero conversion staging; literals
+  /// are cast to Real to keep fp32 arithmetic from promoting to double.
+  template <class Real>
+  void flux(const Real* q, int dir, Real* f) const {
+    const Real g0 = q[kMetric + 3 * dir + 0];
+    const Real g1 = q[kMetric + 3 * dir + 1];
+    const Real g2 = q[kMetric + 3 * dir + 2];
+    const Real inv_rho = Real(1) / q[kRho];
+    for (int s = 0; s < kQuants; ++s) f[s] = Real(0);
     f[kVx] = (g0 * q[kSxx] + g1 * q[kSxy] + g2 * q[kSxz]) * inv_rho;
     f[kVy] = (g0 * q[kSxy] + g1 * q[kSyy] + g2 * q[kSyz]) * inv_rho;
     f[kVz] = (g0 * q[kSxz] + g1 * q[kSyz] + g2 * q[kSzz]) * inv_rho;
   }
 
-  void ncp(const double* q, const double* grad, int dir, double* out) const {
-    const double g0 = q[kMetric + 3 * dir + 0];
-    const double g1 = q[kMetric + 3 * dir + 1];
-    const double g2 = q[kMetric + 3 * dir + 2];
-    const double mu = q[kRho] * q[kCs] * q[kCs];
-    const double lam = q[kRho] * q[kCp] * q[kCp] - 2.0 * mu;
-    const double l2m = lam + 2.0 * mu;
-    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
-    const double dvx = g0 * grad[kVx];
-    const double dvy = g1 * grad[kVy];
-    const double dvz = g2 * grad[kVz];
+  template <class Real>
+  void ncp(const Real* q, const Real* grad, int dir, Real* out) const {
+    const Real g0 = q[kMetric + 3 * dir + 0];
+    const Real g1 = q[kMetric + 3 * dir + 1];
+    const Real g2 = q[kMetric + 3 * dir + 2];
+    const Real mu = q[kRho] * q[kCs] * q[kCs];
+    const Real lam = q[kRho] * q[kCp] * q[kCp] - Real(2) * mu;
+    const Real l2m = lam + Real(2) * mu;
+    for (int s = 0; s < kQuants; ++s) out[s] = Real(0);
+    const Real dvx = g0 * grad[kVx];
+    const Real dvy = g1 * grad[kVy];
+    const Real dvz = g2 * grad[kVz];
     out[kSxx] = l2m * dvx + lam * (dvy + dvz);
     out[kSyy] = lam * dvx + l2m * dvy + lam * dvz;
     out[kSzz] = lam * (dvx + dvy) + l2m * dvz;
@@ -87,7 +92,10 @@ struct CurvilinearElasticPde {
 
   /// Vectorized user functions: dispatched to the ISA-specific translation
   /// units, so an AVX-512 run genuinely executes 512-bit packed user
-  /// functions (paper Sec. V-C / Fig. 9 "AoSoA SplitCK").
+  /// functions (paper Sec. V-C / Fig. 9 "AoSoA SplitCK"). The float
+  /// overloads hit the _f32 entry points of the same TUs (same schedule,
+  /// twice the lanes); the FLOP accounting is identical by convention —
+  /// fp32 lanes are counted at the double packing width (see gemm.h).
   void flux_line(Isa isa, const double* q, int dir, double* f, int len,
                  int stride) const {
     switch (isa) {
@@ -104,6 +112,22 @@ struct CurvilinearElasticPde {
     count_packed_flops(isa, len, kFluxFlops);
   }
 
+  void flux_line(Isa isa, const float* q, int dir, float* f, int len,
+                 int stride) const {
+    switch (isa) {
+      case Isa::kScalar:
+        detail::curvi_flux_line_baseline_f32(q, dir, f, len, stride);
+        break;
+      case Isa::kAvx2:
+        detail::curvi_flux_line_avx2_f32(q, dir, f, len, stride);
+        break;
+      case Isa::kAvx512:
+        detail::curvi_flux_line_avx512_f32(q, dir, f, len, stride);
+        break;
+    }
+    count_packed_flops(isa, len, kFluxFlops);
+  }
+
   void ncp_line(Isa isa, const double* q, const double* grad, int dir,
                 double* out, int len, int stride) const {
     switch (isa) {
@@ -115,6 +139,22 @@ struct CurvilinearElasticPde {
         break;
       case Isa::kAvx512:
         detail::curvi_ncp_line_avx512(q, grad, dir, out, len, stride);
+        break;
+    }
+    count_packed_flops(isa, len, kNcpFlops);
+  }
+
+  void ncp_line(Isa isa, const float* q, const float* grad, int dir,
+                float* out, int len, int stride) const {
+    switch (isa) {
+      case Isa::kScalar:
+        detail::curvi_ncp_line_baseline_f32(q, grad, dir, out, len, stride);
+        break;
+      case Isa::kAvx2:
+        detail::curvi_ncp_line_avx2_f32(q, grad, dir, out, len, stride);
+        break;
+      case Isa::kAvx512:
+        detail::curvi_ncp_line_avx512_f32(q, grad, dir, out, len, stride);
         break;
     }
     count_packed_flops(isa, len, kNcpFlops);

@@ -6,77 +6,110 @@
 // TU's -m flags decide the packing width. Zero-padded lanes carry rho = 0
 // and are guarded so padding stays a valid input (Sec. V-C).
 //
+// The loop bodies are templated on the scalar type and every literal is
+// cast to T: a stray double constant inside the simd loop would promote the
+// whole expression to double and halve the fp32 lane count. Each ISA TU
+// emits a double and a float entry point from the same schedule; the
+// anonymous namespace keeps the bodies internal per TU ON PURPOSE (an
+// inline symbol would be merged across TUs and silently pick one ISA).
+//
 // Quantity indices match CurvilinearElasticPde in curvilinear_elastic.h:
 // v=0..2, sigma Voigt=3..8, rho/cp/cs=9..11, metric row-major G=12..20.
 #pragma once
 
+namespace exastp::detail {
+namespace {
+
+template <class T>
+inline void curvi_flux_line_body(const T* q, int dir, T* f, int len,
+                                 int stride) {
+  const T* g0 = q + (12 + 3 * dir + 0) * stride;
+  const T* g1 = q + (12 + 3 * dir + 1) * stride;
+  const T* g2 = q + (12 + 3 * dir + 2) * stride;
+  const T* rho = q + 9 * stride;
+  const T* sxx = q + 3 * stride;
+  const T* syy = q + 4 * stride;
+  const T* szz = q + 5 * stride;
+  const T* syz = q + 6 * stride;
+  const T* sxz = q + 7 * stride;
+  const T* sxy = q + 8 * stride;
+  for (int s = 0; s < 21; ++s) {
+    T* fs = f + s * stride;
+#pragma omp simd
+    for (int i = 0; i < len; ++i) fs[i] = T(0);
+  }
+  T* fvx = f + 0 * stride;
+  T* fvy = f + 1 * stride;
+  T* fvz = f + 2 * stride;
+#pragma omp simd
+  for (int i = 0; i < len; ++i) {
+    const T inv_rho = rho[i] != T(0) ? T(1) / rho[i] : T(0);
+    fvx[i] = (g0[i] * sxx[i] + g1[i] * sxy[i] + g2[i] * sxz[i]) * inv_rho;
+    fvy[i] = (g0[i] * sxy[i] + g1[i] * syy[i] + g2[i] * syz[i]) * inv_rho;
+    fvz[i] = (g0[i] * sxz[i] + g1[i] * syz[i] + g2[i] * szz[i]) * inv_rho;
+  }
+}
+
+template <class T>
+inline void curvi_ncp_line_body(const T* q, const T* grad, int dir, T* out,
+                                int len, int stride) {
+  const T* g0 = q + (12 + 3 * dir + 0) * stride;
+  const T* g1 = q + (12 + 3 * dir + 1) * stride;
+  const T* g2 = q + (12 + 3 * dir + 2) * stride;
+  const T* rho = q + 9 * stride;
+  const T* cp = q + 10 * stride;
+  const T* cs = q + 11 * stride;
+  const T* gvx = grad + 0 * stride;
+  const T* gvy = grad + 1 * stride;
+  const T* gvz = grad + 2 * stride;
+  for (int s = 0; s < 21; ++s) {
+    T* os = out + s * stride;
+#pragma omp simd
+    for (int i = 0; i < len; ++i) os[i] = T(0);
+  }
+  T* oxx = out + 3 * stride;
+  T* oyy = out + 4 * stride;
+  T* ozz = out + 5 * stride;
+  T* oyz = out + 6 * stride;
+  T* oxz = out + 7 * stride;
+  T* oxy = out + 8 * stride;
+#pragma omp simd
+  for (int i = 0; i < len; ++i) {
+    const T mu = rho[i] * cs[i] * cs[i];
+    const T lam = rho[i] * cp[i] * cp[i] - T(2) * mu;
+    const T l2m = lam + T(2) * mu;
+    const T dvx = g0[i] * gvx[i];
+    const T dvy = g1[i] * gvy[i];
+    const T dvz = g2[i] * gvz[i];
+    oxx[i] = l2m * dvx + lam * (dvy + dvz);
+    oyy[i] = lam * dvx + l2m * dvy + lam * dvz;
+    ozz[i] = lam * (dvx + dvy) + l2m * dvz;
+    oyz[i] = mu * (g2[i] * gvy[i] + g1[i] * gvz[i]);
+    oxz[i] = mu * (g2[i] * gvx[i] + g0[i] * gvz[i]);
+    oxy[i] = mu * (g1[i] * gvx[i] + g0[i] * gvy[i]);
+  }
+}
+
+}  // namespace
+}  // namespace exastp::detail
+
 #define EXASTP_DEFINE_CURVI_KERNELS(SUFFIX)                                   \
   void curvi_flux_line_##SUFFIX(const double* q, int dir, double* f,         \
                                 int len, int stride) {                       \
-    const double* g0 = q + (12 + 3 * dir + 0) * stride;                      \
-    const double* g1 = q + (12 + 3 * dir + 1) * stride;                      \
-    const double* g2 = q + (12 + 3 * dir + 2) * stride;                      \
-    const double* rho = q + 9 * stride;                                      \
-    const double* sxx = q + 3 * stride;                                      \
-    const double* syy = q + 4 * stride;                                      \
-    const double* szz = q + 5 * stride;                                      \
-    const double* syz = q + 6 * stride;                                      \
-    const double* sxz = q + 7 * stride;                                      \
-    const double* sxy = q + 8 * stride;                                      \
-    for (int s = 0; s < 21; ++s) {                                           \
-      double* fs = f + s * stride;                                           \
-      _Pragma("omp simd")                                                    \
-      for (int i = 0; i < len; ++i) fs[i] = 0.0;                             \
-    }                                                                        \
-    double* fvx = f + 0 * stride;                                            \
-    double* fvy = f + 1 * stride;                                            \
-    double* fvz = f + 2 * stride;                                            \
-    _Pragma("omp simd")                                                      \
-    for (int i = 0; i < len; ++i) {                                          \
-      const double inv_rho = rho[i] != 0.0 ? 1.0 / rho[i] : 0.0;             \
-      fvx[i] = (g0[i] * sxx[i] + g1[i] * sxy[i] + g2[i] * sxz[i]) * inv_rho; \
-      fvy[i] = (g0[i] * sxy[i] + g1[i] * syy[i] + g2[i] * syz[i]) * inv_rho; \
-      fvz[i] = (g0[i] * sxz[i] + g1[i] * syz[i] + g2[i] * szz[i]) * inv_rho; \
-    }                                                                        \
+    curvi_flux_line_body(q, dir, f, len, stride);                            \
   }                                                                          \
-                                                                             \
   void curvi_ncp_line_##SUFFIX(const double* q, const double* grad,          \
                                int dir, double* out, int len, int stride) {  \
-    const double* g0 = q + (12 + 3 * dir + 0) * stride;                      \
-    const double* g1 = q + (12 + 3 * dir + 1) * stride;                      \
-    const double* g2 = q + (12 + 3 * dir + 2) * stride;                      \
-    const double* rho = q + 9 * stride;                                      \
-    const double* cp = q + 10 * stride;                                      \
-    const double* cs = q + 11 * stride;                                      \
-    const double* gvx = grad + 0 * stride;                                   \
-    const double* gvy = grad + 1 * stride;                                   \
-    const double* gvz = grad + 2 * stride;                                   \
-    for (int s = 0; s < 21; ++s) {                                           \
-      double* os = out + s * stride;                                         \
-      _Pragma("omp simd")                                                    \
-      for (int i = 0; i < len; ++i) os[i] = 0.0;                             \
-    }                                                                        \
-    double* oxx = out + 3 * stride;                                          \
-    double* oyy = out + 4 * stride;                                          \
-    double* ozz = out + 5 * stride;                                          \
-    double* oyz = out + 6 * stride;                                          \
-    double* oxz = out + 7 * stride;                                          \
-    double* oxy = out + 8 * stride;                                          \
-    _Pragma("omp simd")                                                      \
-    for (int i = 0; i < len; ++i) {                                          \
-      const double mu = rho[i] * cs[i] * cs[i];                              \
-      const double lam = rho[i] * cp[i] * cp[i] - 2.0 * mu;                  \
-      const double l2m = lam + 2.0 * mu;                                     \
-      const double dvx = g0[i] * gvx[i];                                     \
-      const double dvy = g1[i] * gvy[i];                                     \
-      const double dvz = g2[i] * gvz[i];                                     \
-      oxx[i] = l2m * dvx + lam * (dvy + dvz);                                \
-      oyy[i] = lam * dvx + l2m * dvy + lam * dvz;                            \
-      ozz[i] = lam * (dvx + dvy) + l2m * dvz;                                \
-      oyz[i] = mu * (g2[i] * gvy[i] + g1[i] * gvz[i]);                       \
-      oxz[i] = mu * (g2[i] * gvx[i] + g0[i] * gvz[i]);                       \
-      oxy[i] = mu * (g1[i] * gvx[i] + g0[i] * gvy[i]);                       \
-    }                                                                        \
+    curvi_ncp_line_body(q, grad, dir, out, len, stride);                     \
+  }                                                                          \
+  void curvi_flux_line_##SUFFIX##_f32(const float* q, int dir, float* f,     \
+                                      int len, int stride) {                 \
+    curvi_flux_line_body(q, dir, f, len, stride);                            \
+  }                                                                          \
+  void curvi_ncp_line_##SUFFIX##_f32(const float* q, const float* grad,      \
+                                     int dir, float* out, int len,           \
+                                     int stride) {                           \
+    curvi_ncp_line_body(q, grad, dir, out, len, stride);                     \
   }
 
 namespace exastp::detail {
@@ -93,5 +126,18 @@ void curvi_flux_line_avx512(const double* q, int dir, double* f, int len,
                             int stride);
 void curvi_ncp_line_avx512(const double* q, const double* grad, int dir,
                            double* out, int len, int stride);
+
+void curvi_flux_line_baseline_f32(const float* q, int dir, float* f, int len,
+                                  int stride);
+void curvi_ncp_line_baseline_f32(const float* q, const float* grad, int dir,
+                                 float* out, int len, int stride);
+void curvi_flux_line_avx2_f32(const float* q, int dir, float* f, int len,
+                              int stride);
+void curvi_ncp_line_avx2_f32(const float* q, const float* grad, int dir,
+                             float* out, int len, int stride);
+void curvi_flux_line_avx512_f32(const float* q, int dir, float* f, int len,
+                                int stride);
+void curvi_ncp_line_avx512_f32(const float* q, const float* grad, int dir,
+                               float* out, int len, int stride);
 
 }  // namespace exastp::detail

@@ -26,6 +26,8 @@ struct ElasticPde {
   // lambda/mu: 5, velocity rows: 3 divides, stress rows: 8 mult/add.
   static constexpr std::uint64_t kFluxFlops = 16;
   static constexpr std::uint64_t kNcpFlops = 0;
+  /// Cartesian-mesh form is purely conservative: ncp() writes zeros.
+  static constexpr bool kNcpIsZero = true;
 
   // Quantity indices.
   static constexpr int kVx = 0, kVy = 1, kVz = 2;
@@ -38,26 +40,32 @@ struct ElasticPde {
   static constexpr int kStressCol[3][3] = {
       {kSxx, kSxy, kSxz}, {kSxy, kSyy, kSyz}, {kSxz, kSyz, kSzz}};
 
-  static double lame_lambda(const double* q) {
-    return q[kRho] * (q[kCp] * q[kCp] - 2.0 * q[kCs] * q[kCs]);
+  template <class Real>
+  static Real lame_lambda(const Real* q) {
+    return q[kRho] * (q[kCp] * q[kCp] - Real(2) * q[kCs] * q[kCs]);
   }
-  static double lame_mu(const double* q) {
+  template <class Real>
+  static Real lame_mu(const Real* q) {
     return q[kRho] * q[kCs] * q[kCs];
   }
 
-  void flux(const double* q, int dir, double* f) const {
-    const double rho = q[kRho];
-    const double lam = lame_lambda(q);
-    const double mu = lame_mu(q);
-    const double lam2mu = lam + 2.0 * mu;
-    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+  /// Pointwise user functions are templated on the scalar type (fp32
+  /// kernels call them on float rows directly); literals are cast to Real
+  /// so fp32 arithmetic does not promote to double.
+  template <class Real>
+  void flux(const Real* q, int dir, Real* f) const {
+    const Real rho = q[kRho];
+    const Real lam = lame_lambda(q);
+    const Real mu = lame_mu(q);
+    const Real lam2mu = lam + Real(2) * mu;
+    for (int s = 0; s < kQuants; ++s) f[s] = Real(0);
     // Velocity rows: F_d(v_i) = sigma_{i d} / rho.
     f[kVx] = q[kStressCol[dir][0]] / rho;
     f[kVy] = q[kStressCol[dir][1]] / rho;
     f[kVz] = q[kStressCol[dir][2]] / rho;
     // Stress rows: F_d(sigma_ij) = lambda delta_ij v_d
     //                              + mu (delta_id v_j + delta_jd v_i).
-    const double vd = q[kVx + dir];
+    const Real vd = q[kVx + dir];
     f[kSxx] = (dir == 0 ? lam2mu : lam) * vd;
     f[kSyy] = (dir == 1 ? lam2mu : lam) * vd;
     f[kSzz] = (dir == 2 ? lam2mu : lam) * vd;
@@ -77,9 +85,10 @@ struct ElasticPde {
     }
   }
 
-  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
-           double* out) const {
-    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  template <class Real>
+  void ncp(const Real* /*q*/, const Real* /*grad*/, int /*dir*/,
+           Real* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = Real(0);
   }
 
   double max_wave_speed(const double* q, int /*dir*/) const {
@@ -92,66 +101,68 @@ struct ElasticPde {
     out[kVx + dir] = -q[kVx + dir];
   }
 
-  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+  template <class Real>
+  void flux_line(Isa /*isa*/, const Real* q, int dir, Real* f, int len,
                  int stride) const {
     auto row = [&](int s) { return q + s * stride; };
     auto out = [&](int s) { return f + s * stride; };
     for (int s = 0; s < kQuants; ++s) {
-      double* fs = out(s);
+      Real* fs = out(s);
 #pragma omp simd
-      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+      for (int i = 0; i < len; ++i) fs[i] = Real(0);
     }
-    const double* rho = row(kRho);
-    const double* cp = row(kCp);
-    const double* cs = row(kCs);
-    const double* vd = row(kVx + dir);
+    const Real* rho = row(kRho);
+    const Real* cp = row(kCp);
+    const Real* cs = row(kCs);
+    const Real* vd = row(kVx + dir);
     const int c0 = kStressCol[dir][0], c1 = kStressCol[dir][1],
               c2 = kStressCol[dir][2];
-    double* fvx = out(kVx);
-    double* fvy = out(kVy);
-    double* fvz = out(kVz);
-    double* fsxx = out(kSxx);
-    double* fsyy = out(kSyy);
-    double* fszz = out(kSzz);
+    Real* fvx = out(kVx);
+    Real* fvy = out(kVy);
+    Real* fvz = out(kVz);
+    Real* fsxx = out(kSxx);
+    Real* fsyy = out(kSyy);
+    Real* fszz = out(kSzz);
 #pragma omp simd
     for (int i = 0; i < len; ++i) {
       // Guard against zero-padded lanes (rho = 0): Sec. V-C.
-      const double inv_rho = rho[i] != 0.0 ? 1.0 / rho[i] : 0.0;
-      const double mu = rho[i] * cs[i] * cs[i];
-      const double lam = rho[i] * cp[i] * cp[i] - 2.0 * mu;
+      const Real inv_rho = rho[i] != Real(0) ? Real(1) / rho[i] : Real(0);
+      const Real mu = rho[i] * cs[i] * cs[i];
+      const Real lam = rho[i] * cp[i] * cp[i] - Real(2) * mu;
       fvx[i] = row(c0)[i] * inv_rho;
       fvy[i] = row(c1)[i] * inv_rho;
       fvz[i] = row(c2)[i] * inv_rho;
-      fsxx[i] = (dir == 0 ? lam + 2.0 * mu : lam) * vd[i];
-      fsyy[i] = (dir == 1 ? lam + 2.0 * mu : lam) * vd[i];
-      fszz[i] = (dir == 2 ? lam + 2.0 * mu : lam) * vd[i];
+      fsxx[i] = (dir == 0 ? lam + Real(2) * mu : lam) * vd[i];
+      fsyy[i] = (dir == 1 ? lam + Real(2) * mu : lam) * vd[i];
+      fszz[i] = (dir == 2 ? lam + Real(2) * mu : lam) * vd[i];
     }
-    double* fa = nullptr;
-    double* fb = nullptr;
-    const double* va = nullptr;
-    const double* vb = nullptr;
+    Real* fa = nullptr;
+    Real* fb = nullptr;
+    const Real* va = nullptr;
+    const Real* vb = nullptr;
     switch (dir) {
       case 0: fa = out(kSxz); va = row(kVz); fb = out(kSxy); vb = row(kVy); break;
       case 1: fa = out(kSyz); va = row(kVz); fb = out(kSxy); vb = row(kVx); break;
       case 2: fa = out(kSyz); va = row(kVy); fb = out(kSxz); vb = row(kVx); break;
     }
-    const double* rho2 = row(kRho);
-    const double* cs2 = row(kCs);
+    const Real* rho2 = row(kRho);
+    const Real* cs2 = row(kCs);
 #pragma omp simd
     for (int i = 0; i < len; ++i) {
-      const double mu = rho2[i] * cs2[i] * cs2[i];
+      const Real mu = rho2[i] * cs2[i] * cs2[i];
       fa[i] = mu * va[i];
       fb[i] = mu * vb[i];
     }
     count_packed_flops(Isa::kScalar, len, kFluxFlops);
   }
 
-  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
-                int /*dir*/, double* out, int len, int stride) const {
+  template <class Real>
+  void ncp_line(Isa /*isa*/, const Real* /*q*/, const Real* /*grad*/,
+                int /*dir*/, Real* out, int len, int stride) const {
     for (int s = 0; s < kQuants; ++s) {
-      double* os = out + s * stride;
+      Real* os = out + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) os[i] = 0.0;
+      for (int i = 0; i < len; ++i) os[i] = Real(0);
     }
   }
 };

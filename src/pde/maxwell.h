@@ -27,6 +27,8 @@ struct MaxwellPde {
   // Per pointwise call: 2 divides + 4 signed copies ~ 6.
   static constexpr std::uint64_t kFluxFlops = 6;
   static constexpr std::uint64_t kNcpFlops = 0;
+  /// Pure conservation form: ncp() writes zeros unconditionally.
+  static constexpr bool kNcpIsZero = true;
 
   static constexpr int kEx = 0, kEy = 1, kEz = 2;
   static constexpr int kHx = 3, kHy = 4, kHz = 5;
@@ -38,22 +40,27 @@ struct MaxwellPde {
     return ((j - i + 3) % 3 == 1) ? 1.0 : -1.0;
   }
 
-  void flux(const double* q, int dir, double* f) const {
-    const double inv_eps = 1.0 / q[kEps];
-    const double inv_mu = 1.0 / q[kMu];
-    for (int s = 0; s < kQuants; ++s) f[s] = 0.0;
+  /// Pointwise user functions are templated on the scalar type (fp32
+  /// kernels call them on float rows directly); the Levi-Civita factor is
+  /// cast to Real so fp32 arithmetic does not promote to double.
+  template <class Real>
+  void flux(const Real* q, int dir, Real* f) const {
+    const Real inv_eps = Real(1) / q[kEps];
+    const Real inv_mu = Real(1) / q[kMu];
+    for (int s = 0; s < kQuants; ++s) f[s] = Real(0);
     for (int i = 0; i < 3; ++i)
       for (int k = 0; k < 3; ++k) {
-        const double e = levi(i, dir, k);
-        if (e == 0.0) continue;
+        const Real e = static_cast<Real>(levi(i, dir, k));
+        if (e == Real(0)) continue;
         f[kEx + i] += e * q[kHx + k] * inv_eps;
         f[kHx + i] -= e * q[kEx + k] * inv_mu;
       }
   }
 
-  void ncp(const double* /*q*/, const double* /*grad*/, int /*dir*/,
-           double* out) const {
-    for (int s = 0; s < kQuants; ++s) out[s] = 0.0;
+  template <class Real>
+  void ncp(const Real* /*q*/, const Real* /*grad*/, int /*dir*/,
+           Real* out) const {
+    for (int s = 0; s < kQuants; ++s) out[s] = Real(0);
   }
 
   double max_wave_speed(const double* q, int /*dir*/) const {
@@ -68,39 +75,41 @@ struct MaxwellPde {
     out[kHx + dir] = -q[kHx + dir];
   }
 
-  void flux_line(Isa /*isa*/, const double* q, int dir, double* f, int len,
+  template <class Real>
+  void flux_line(Isa /*isa*/, const Real* q, int dir, Real* f, int len,
                  int stride) const {
     for (int s = 0; s < kQuants; ++s) {
-      double* fs = f + s * stride;
+      Real* fs = f + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) fs[i] = 0.0;
+      for (int i = 0; i < len; ++i) fs[i] = Real(0);
     }
-    const double* eps = q + kEps * stride;
-    const double* mu = q + kMu * stride;
+    const Real* eps = q + kEps * stride;
+    const Real* mu = q + kMu * stride;
     for (int i = 0; i < 3; ++i)
       for (int k = 0; k < 3; ++k) {
-        const double e = levi(i, dir, k);
-        if (e == 0.0) continue;
-        double* fe = f + (kEx + i) * stride;
-        double* fh = f + (kHx + i) * stride;
-        const double* hk = q + (kHx + k) * stride;
-        const double* ek = q + (kEx + k) * stride;
+        const Real e = static_cast<Real>(levi(i, dir, k));
+        if (e == Real(0)) continue;
+        Real* fe = f + (kEx + i) * stride;
+        Real* fh = f + (kHx + i) * stride;
+        const Real* hk = q + (kHx + k) * stride;
+        const Real* ek = q + (kEx + k) * stride;
 #pragma omp simd
         for (int l = 0; l < len; ++l) {
           // Zero-padded lanes carry eps = mu = 0; guard the divisions.
-          fe[l] += eps[l] != 0.0 ? e * hk[l] / eps[l] : 0.0;
-          fh[l] -= mu[l] != 0.0 ? e * ek[l] / mu[l] : 0.0;
+          fe[l] += eps[l] != Real(0) ? e * hk[l] / eps[l] : Real(0);
+          fh[l] -= mu[l] != Real(0) ? e * ek[l] / mu[l] : Real(0);
         }
       }
     count_packed_flops(Isa::kScalar, len, kFluxFlops);
   }
 
-  void ncp_line(Isa /*isa*/, const double* /*q*/, const double* /*grad*/,
-                int /*dir*/, double* out, int len, int stride) const {
+  template <class Real>
+  void ncp_line(Isa /*isa*/, const Real* /*q*/, const Real* /*grad*/,
+                int /*dir*/, Real* out, int len, int stride) const {
     for (int s = 0; s < kQuants; ++s) {
-      double* os = out + s * stride;
+      Real* os = out + s * stride;
 #pragma omp simd
-      for (int i = 0; i < len; ++i) os[i] = 0.0;
+      for (int i = 0; i < len; ++i) os[i] = Real(0);
     }
   }
 };

@@ -49,6 +49,36 @@ struct PdeInfo {
   std::string name;
 };
 
+/// Past-the-end index of the quantity rows flux_dir(q) can possibly make
+/// nonzero. Defaults to kVars (parameter rows are zero by the flux
+/// contract above); a PDE with extra structural zeros declares
+/// `static constexpr int flux_rows_end(int dir)` to tighten it (acoustic:
+/// only p and v_dir move → 2+dir; pure-NCP PDEs: 0, flux is identically
+/// zero). The SplitCK kernels skip the derivative GEMM columns of rows
+/// beyond this bound — bitwise-exact, but the trace-model twins must use
+/// the same bound for the FLOP ledgers to agree.
+template <class Pde>
+constexpr int pde_flux_rows_end(int dir) {
+  if constexpr (requires { Pde::flux_rows_end(dir); }) {
+    return Pde::flux_rows_end(dir);
+  } else {
+    return Pde::kVars;
+  }
+}
+
+/// True when ncp() is identically zero for every state (declared via
+/// `static constexpr bool kNcpIsZero = true`). The SplitCK kernels then
+/// skip the whole gradient + ncp stage of each dimension sweep; defaults
+/// to false (stage runs) when the PDE does not say.
+template <class Pde>
+constexpr bool pde_ncp_is_zero() {
+  if constexpr (requires { Pde::kNcpIsZero; }) {
+    return Pde::kNcpIsZero;
+  } else {
+    return false;
+  }
+}
+
 /// Type-erased pointwise interface (generic kernels, glue code).
 class PdeRuntime {
  public:

@@ -44,58 +44,108 @@ void trace_gemm(CacheSim& sim, Isa isa, int m, int n, int k, std::uint64_t a,
   count_packed_flops(isa, n, 2ull * m * k);
 }
 
-/// Mirrors aos_derivative's batching (derivative_ops.h).
-void trace_aos_derivative(CacheSim& sim, Isa isa, int n, int mp,
+/// Mirrors aos_derivative_slab's batching and masking (derivative_ops.h):
+/// `cover` is the past-the-end possibly-nonzero source row; the masked GEMM
+/// width is the cover padded up to the vector width (so lanes stay packed),
+/// clamped to the full padded row. cover == mp reproduces the unmasked
+/// full-cell wrapper; cover <= 0 is a no-op, exactly like the kernels.
+/// Fusion blocking is NOT modeled: blocked slabs split the fused calls at
+/// multiples of the padded leading dimension, which changes neither the
+/// per-width-class FLOP totals nor the set of touched lines.
+void trace_aos_derivative(CacheSim& sim, Isa isa, int n, int mp, int cover,
                           std::uint64_t diff, std::uint64_t src,
                           std::uint64_t dst, int dir) {
-  const std::uint64_t slab = static_cast<std::uint64_t>(n) * mp * kWord;
+  if (cover <= 0) return;
+  const int padded = pad_to(cover, vector_width(isa));
+  const int ncols = padded < mp ? padded : mp;
+  const bool masked = ncols < mp;
+  const std::uint64_t row = static_cast<std::uint64_t>(mp) * kWord;
+  const std::uint64_t slab = static_cast<std::uint64_t>(n) * row;
   switch (dir) {
     case 0:
       for (int k3 = 0; k3 < n; ++k3)
         for (int k2 = 0; k2 < n; ++k2) {
           const std::uint64_t off = (static_cast<std::uint64_t>(k3) * n + k2) * slab;
-          trace_gemm(sim, isa, n, mp, n, diff, n, src + off, mp, dst + off,
+          trace_gemm(sim, isa, n, ncols, n, diff, n, src + off, mp, dst + off,
                      mp);
         }
       break;
     case 1:
-      for (int k3 = 0; k3 < n; ++k3) {
-        const std::uint64_t off = static_cast<std::uint64_t>(k3) * n * slab;
-        trace_gemm(sim, isa, n, n * mp, n, diff, n, src + off, n * mp,
-                   dst + off, n * mp);
+      if (masked) {
+        for (int k3 = 0; k3 < n; ++k3)
+          for (int k1 = 0; k1 < n; ++k1) {
+            const std::uint64_t off =
+                static_cast<std::uint64_t>(k3) * n * slab + k1 * row;
+            trace_gemm(sim, isa, n, ncols, n, diff, n, src + off, n * mp,
+                       dst + off, n * mp);
+          }
+      } else {
+        for (int k3 = 0; k3 < n; ++k3) {
+          const std::uint64_t off = static_cast<std::uint64_t>(k3) * n * slab;
+          trace_gemm(sim, isa, n, n * mp, n, diff, n, src + off, n * mp,
+                     dst + off, n * mp);
+        }
       }
       break;
     default:
-      trace_gemm(sim, isa, n, n * n * mp, n, diff, n, src, n * n * mp, dst,
-                 n * n * mp);
+      if (masked) {
+        for (int k2 = 0; k2 < n; ++k2)
+          for (int k1 = 0; k1 < n; ++k1) {
+            const std::uint64_t off =
+                (static_cast<std::uint64_t>(k2) * n + k1) * row;
+            trace_gemm(sim, isa, n, ncols, n, diff, n, src + off, n * n * mp,
+                       dst + off, n * n * mp);
+          }
+      } else {
+        trace_gemm(sim, isa, n, n * n * mp, n, diff, n, src, n * n * mp, dst,
+                   n * n * mp);
+      }
   }
 }
 
-/// Mirrors aosoa_derivative's batching.
+/// Mirrors aosoa_derivative_slab's batching and masking. In the AoSoA
+/// layout the quantity index is the slow (row) dimension, so the cover maps
+/// to a row prefix (dir 0) or a contiguous column prefix of whole lanes
+/// (dirs 1/2) — no padding needed. cover == m is the unmasked wrapper.
 void trace_aosoa_derivative(CacheSim& sim, Isa isa, int n, int m, int np,
-                            std::uint64_t diff, std::uint64_t diff_t,
-                            std::uint64_t src, std::uint64_t dst, int dir) {
+                            int cover, std::uint64_t diff,
+                            std::uint64_t diff_t, std::uint64_t src,
+                            std::uint64_t dst, int dir) {
+  if (cover <= 0) return;
+  const bool masked = cover < m;
   const std::uint64_t line = static_cast<std::uint64_t>(m) * np * kWord;
   switch (dir) {
-    case 0:
+    case 0: {
+      const int nrows = masked ? cover : m;
       for (int k3 = 0; k3 < n; ++k3)
         for (int k2 = 0; k2 < n; ++k2) {
           const std::uint64_t off =
               (static_cast<std::uint64_t>(k3) * n + k2) * line;
-          trace_gemm(sim, isa, m, np, n, src + off, np, diff_t, np, dst + off,
-                     np);
+          trace_gemm(sim, isa, nrows, np, n, src + off, np, diff_t, np,
+                     dst + off, np);
         }
       break;
-    case 1:
+    }
+    case 1: {
+      const int ncols = (masked ? cover : m) * np;
       for (int k3 = 0; k3 < n; ++k3) {
         const std::uint64_t off = static_cast<std::uint64_t>(k3) * n * line;
-        trace_gemm(sim, isa, n, m * np, n, diff, n, src + off, m * np,
+        trace_gemm(sim, isa, n, ncols, n, diff, n, src + off, m * np,
                    dst + off, m * np);
       }
       break;
+    }
     default:
-      trace_gemm(sim, isa, n, n * m * np, n, diff, n, src, n * m * np, dst,
-                 n * m * np);
+      if (masked) {
+        for (int k2 = 0; k2 < n; ++k2) {
+          const std::uint64_t off = static_cast<std::uint64_t>(k2) * line;
+          trace_gemm(sim, isa, n, cover * np, n, diff, n, src + off,
+                     n * m * np, dst + off, n * m * np);
+        }
+      } else {
+        trace_gemm(sim, isa, n, n * m * np, n, diff, n, src, n * m * np, dst,
+                   n * m * np);
+      }
   }
 }
 
@@ -313,9 +363,9 @@ TwinResult trace_log(int order, const TwinPde& pde, Isa isa, CacheSim& sim,
         trace_pointwise(sim, p_at(o), od_at(flux, o, d), cell_bytes, nodes,
                         pde.flux_flops);
       for (int d = 0; d < 3; ++d) {
-        trace_aos_derivative(sim, isa, n, mp, diff, od_at(flux, o, d),
+        trace_aos_derivative(sim, isa, n, mp, mp, diff, od_at(flux, o, d),
                              od_at(df, o, d), d);
-        trace_aos_derivative(sim, isa, n, mp, diff, p_at(o),
+        trace_aos_derivative(sim, isa, n, mp, mp, diff, p_at(o),
                              od_at(gradq, o, d), d);
       }
       for (int d = 0; d < 3; ++d) {
@@ -367,13 +417,21 @@ TwinResult trace_splitck(int order, const TwinPde& pde, Isa isa,
   std::vector<std::uint64_t> favg = {arena.alloc(cell), arena.alloc(cell),
                                      arena.alloc(cell)};
 
+  // Mirrors SplitCkStpT::apply_volume_dimension: the flux stage runs only
+  // over declared-nonzero flux rows (skipped entirely at cover 0) and the
+  // gradient/NCP stage vanishes for conservative PDEs.
   auto volume_dim = [&](int d, std::uint64_t src, std::uint64_t dst) {
-    trace_pointwise(sim, src, flux, cell_bytes, nodes, pde.flux_flops);
-    trace_aos_derivative(sim, isa, n, mp, diff, flux, dst, d);
-    trace_aos_derivative(sim, isa, n, mp, diff, src, gradq, d);
-    trace_pointwise(sim, src, dst, cell_bytes, nodes,
-                    pde.ncp_flops + pde.quants);
-    sim.access(gradq, cell_bytes);
+    const int cover = pde.flux_cover[d];
+    if (cover > 0) {
+      trace_pointwise(sim, src, flux, cell_bytes, nodes, pde.flux_flops);
+      trace_aos_derivative(sim, isa, n, mp, cover, diff, flux, dst, d);
+    }
+    if (!pde.ncp_zero) {
+      trace_aos_derivative(sim, isa, n, mp, mp, diff, src, gradq, d);
+      trace_pointwise(sim, src, dst, cell_bytes, nodes,
+                      pde.ncp_flops + pde.quants);
+      sim.access(gradq, cell_bytes);
+    }
   };
 
   TwinResult result;
@@ -441,22 +499,31 @@ TwinResult trace_aosoa(int order, const TwinPde& pde, Isa isa, CacheSim& sim,
   std::vector<std::uint64_t> favg_out = {
       arena.alloc(aos_cell), arena.alloc(aos_cell), arena.alloc(aos_cell)};
 
+  // Mirrors AosoaStpT::apply_volume_dimension (same gating as the SplitCK
+  // twin: flux stage under cover > 0, gradient/NCP stage under !ncp_zero).
   auto volume_dim = [&](int d, std::uint64_t src, std::uint64_t dst) {
-    for (int l = 0; l < n * n; ++l) {
-      const std::uint64_t off = static_cast<std::uint64_t>(l) * line_bytes;
-      sim.access(src + off, line_bytes);
-      sim.access(flux + off, line_bytes);
-      count_packed_flops(isa, np, pde.flux_flops);
+    const int cover = pde.flux_cover[d];
+    if (cover > 0) {
+      for (int l = 0; l < n * n; ++l) {
+        const std::uint64_t off = static_cast<std::uint64_t>(l) * line_bytes;
+        sim.access(src + off, line_bytes);
+        sim.access(flux + off, line_bytes);
+        count_packed_flops(isa, np, pde.flux_flops);
+      }
+      trace_aosoa_derivative(sim, isa, n, m, np, cover, diff, diff_t, flux,
+                             dst, d);
     }
-    trace_aosoa_derivative(sim, isa, n, m, np, diff, diff_t, flux, dst, d);
-    trace_aosoa_derivative(sim, isa, n, m, np, diff, diff_t, src, gradq, d);
-    for (int l = 0; l < n * n; ++l) {
-      const std::uint64_t off = static_cast<std::uint64_t>(l) * line_bytes;
-      sim.access(src + off, line_bytes);
-      sim.access(gradq + off, line_bytes);
-      sim.access(line_buf, line_bytes);
-      count_packed_flops(isa, np, pde.ncp_flops);
-      trace_vecop(sim, isa, line_buf, dst + off, line, 1);
+    if (!pde.ncp_zero) {
+      trace_aosoa_derivative(sim, isa, n, m, np, m, diff, diff_t, src, gradq,
+                             d);
+      for (int l = 0; l < n * n; ++l) {
+        const std::uint64_t off = static_cast<std::uint64_t>(l) * line_bytes;
+        sim.access(src + off, line_bytes);
+        sim.access(gradq + off, line_bytes);
+        sim.access(line_buf, line_bytes);
+        count_packed_flops(isa, np, pde.ncp_flops);
+        trace_vecop(sim, isa, line_buf, dst + off, line, 1);
+      }
     }
   };
 

@@ -15,25 +15,39 @@
 // L2-capacity behaviour that drives Figs. 4, 6 and 10.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "exastp/kernels/stp_common.h"
+#include "exastp/pde/pde_base.h"
 #include "exastp/perf/cachesim.h"
 #include "exastp/perf/flop_count.h"
 
 namespace exastp {
 
 /// Runtime description of the PDE for the twin (no user code is executed).
+/// flux_cover/ncp_zero carry the PDE's declared sparsity (pde_base.h
+/// traits): the SplitCK twins must mask/skip exactly like the real fused
+/// kernels or the FLOP ledgers drift apart.
 struct TwinPde {
   int quants = 0;
   int vars = 0;
   std::uint64_t flux_flops = 0;
   std::uint64_t ncp_flops = 0;
+  /// Per direction: past-the-end possibly-nonzero flux row
+  /// (pde_flux_rows_end). Defaults to vars via twin_pde().
+  std::array<int, 3> flux_cover{};
+  /// True when the NCP stage is skipped entirely (kNcpIsZero).
+  bool ncp_zero = false;
 };
 
 template <class Pde>
 TwinPde twin_pde() {
-  return {Pde::kQuants, Pde::kVars, Pde::kFluxFlops, Pde::kNcpFlops};
+  TwinPde t{Pde::kQuants, Pde::kVars, Pde::kFluxFlops, Pde::kNcpFlops,
+            {pde_flux_rows_end<Pde>(0), pde_flux_rows_end<Pde>(1),
+             pde_flux_rows_end<Pde>(2)},
+            pde_ncp_is_zero<Pde>()};
+  return t;
 }
 
 struct TwinResult {
