@@ -131,6 +131,7 @@ int run_batch(const BatchCli& batch, std::vector<std::string> base_args) {
 
 void report_outputs(const Simulation& sim) {
   const OutputConfig& output = sim.config().output;
+  const TelemetryConfig& telemetry = sim.config().telemetry;
   if (!output.csv.empty()) std::printf("wrote %s\n", output.csv.c_str());
   if (!output.vtk.empty()) std::printf("wrote %s\n", output.vtk.c_str());
   if (!output.receivers_csv.empty())
@@ -144,6 +145,11 @@ void report_outputs(const Simulation& sim) {
     std::printf("sampled %zu receivers x %zu samples\n",
                 sim.receivers()->num_receivers(),
                 sim.receivers()->num_samples());
+  if (!telemetry.trace.empty())
+    std::printf("wrote trace %s (load in ui.perfetto.dev)\n",
+                telemetry.trace.c_str());
+  if (!telemetry.metrics.empty())
+    std::printf("streamed metrics %s\n", telemetry.metrics.c_str());
 }
 
 }  // namespace
@@ -213,7 +219,13 @@ int main(int argc, char** argv) {
         std::printf("L2 error (quantity %d) = %.6e\n", sim.error_quantity(),
                     error);
     }
-    if (root) report_outputs(sim);
+    if (root) {
+      // Non-empty only when a telemetry output enabled spans: the phase
+      // breakdown, overlap efficiency, shard imbalance and FLOP rate table.
+      const std::string telemetry = sim.telemetry_summary();
+      if (!telemetry.empty()) std::printf("%s", telemetry.c_str());
+      report_outputs(sim);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

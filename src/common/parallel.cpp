@@ -11,6 +11,7 @@
 #endif
 
 #include "exastp/common/check.h"
+#include "exastp/telemetry/telemetry.h"
 
 namespace exastp {
 
@@ -126,10 +127,16 @@ void ParallelFor::run(long n, long granularity,
 
   const int nt = threads_;
   std::vector<std::exception_ptr> errors(nt);
+  // Workers (OpenMP team members or pooled std::threads) carry no telemetry
+  // installation of their own — hand them the caller's, so their spans and
+  // FLOPs land in the run that spawned this region.
+  const TelemetryEnv telemetry_env = TelemetryEnv::capture();
   auto body = [&](int tid) {
     long begin = 0, end = 0;
     chunk_bounds(n, granularity, nt, tid, &begin, &end);
     if (begin >= end) return;
+    TelemetryEnv::Install install(telemetry_env);
+    ScopedSpan region(SpanId::kParallelRegion, /*arg=*/n);
     try {
       fn(tid, begin, end);
     } catch (...) {

@@ -17,6 +17,8 @@
 #include "exastp/solver/output.h"
 #include "exastp/solver/rk_dg_solver.h"
 #include "exastp/solver/sharded_solver.h"
+#include "exastp/telemetry/step_metrics.h"
+#include "exastp/telemetry/trace_export.h"
 
 namespace exastp {
 
@@ -31,6 +33,18 @@ Simulation::Simulation(SimulationConfig config, Isa isa,
       solver_(std::move(solver)) {}
 
 Simulation Simulation::from_config(SimulationConfig config) {
+  // The run's registry exists from the first setup step: spans turn on when
+  // any telemetry output asked for them, and the scope below routes
+  // FlopCounter::instance() to this run for the whole build — so autotune
+  // and kernel-construction FLOPs land in the job that caused them, not in
+  // a process-wide counter shared with concurrent pool jobs.
+  const TelemetryConfig& tc = config.telemetry;
+  const bool spans_on =
+      !tc.trace.empty() || !tc.metrics.empty() || !tc.progress.empty();
+  auto telemetry = std::make_shared<TelemetryRegistry>(spans_on);
+  TelemetryScope telemetry_scope(telemetry.get());
+  const KernelCacheStats cache_before = kernel_cache_stats();
+
   std::shared_ptr<const Scenario> scenario = find_scenario(config.scenario);
   if (config.pde.empty()) config.pde = scenario->default_pde();
   EXASTP_CHECK_MSG(scenario->compatible_with(config.pde),
@@ -80,6 +94,7 @@ Simulation Simulation::from_config(SimulationConfig config) {
   if (!config.autotune.empty() && config.stepper == "ader" &&
       (config.variant == StpVariant::kSplitCk ||
        config.variant == StpVariant::kAosoaSplitCk)) {
+    ScopedSpan span(SpanId::kSetupTune);
     FusionTuneTable& table = FusionTuneTable::instance();
     table.load_file(config.autotune);
     if (!table.has(pde->name(), config.order, isa, config.precision)) {
@@ -131,25 +146,39 @@ Simulation Simulation::from_config(SimulationConfig config) {
 
   const std::array<int, 3> shard_grid = resolve_shard_grid(config);
   std::unique_ptr<SolverBase> solver;
-  if (!distributed && shard_grid[0] * shard_grid[1] * shard_grid[2] == 1) {
-    solver = make_shard(Grid(config.grid));
-  } else {
-    // backend=mpi always goes through the sharded composite (even for one
-    // shard), so the rank/shard match is validated and every rank drives
-    // the same split-phase schedule.
-    solver = std::make_unique<ShardedSolver>(Partition(config.grid, shard_grid),
-                                             make_shard, config.backend);
+  {
+    ScopedSpan span(SpanId::kSetupSolver);
+    if (!distributed && shard_grid[0] * shard_grid[1] * shard_grid[2] == 1) {
+      solver = make_shard(Grid(config.grid));
+    } else {
+      // backend=mpi always goes through the sharded composite (even for one
+      // shard), so the rank/shard match is validated and every rank drives
+      // the same split-phase schedule.
+      solver = std::make_unique<ShardedSolver>(
+          Partition(config.grid, shard_grid), make_shard, config.backend);
+    }
   }
 
-  solver->set_num_threads(config.threads);
-  solver->set_initial_condition(scenario->initial_condition(pde, config));
-  for (const MeshPointSource& source : scenario->sources(config))
-    solver->add_point_source(source);
+  {
+    ScopedSpan span(SpanId::kSetupInit);
+    solver->set_num_threads(config.threads);
+    solver->set_initial_condition(scenario->initial_condition(pde, config));
+    for (const MeshPointSource& source : scenario->sources(config))
+      solver->add_point_source(source);
+  }
 
   Simulation simulation(std::move(config), isa, std::move(pde),
                         std::move(scenario), std::move(solver));
   simulation.shard_grid_ = shard_grid;
   simulation.distributed_ = distributed;
+  simulation.telemetry_ = telemetry;
+  const KernelCacheStats cache_after = kernel_cache_stats();
+  telemetry->add_counter("setup_kernel_cache_hits",
+                         static_cast<double>(cache_after.hits -
+                                             cache_before.hits));
+  telemetry->add_counter("setup_kernel_cache_misses",
+                         static_cast<double>(cache_after.misses -
+                                             cache_before.misses));
   // Attach the config-declared streaming observers (receivers, VTK series,
   // any registered plugin) in registry name order. Distributed runs build
   // them from a rank-local view of the config: each rank's network holds
@@ -189,6 +218,23 @@ Simulation Simulation::from_config(SimulationConfig config) {
   for (std::shared_ptr<Observer>& observer :
        make_observers(observer_config, *simulation.pde_))
     simulation.add_observer(std::move(observer));
+
+  // Telemetry observers attach last, so their rows see the step the other
+  // observers already processed. Rank 0 streams to the configured path;
+  // other ranks of a distributed run stream beside it (their phase times
+  // are their own — unlike receiver records, the rows do not merge).
+  // Read the simulation's own config copy: `config` was moved from above.
+  const TelemetryConfig& tcs = simulation.config_.telemetry;
+  if (!tcs.metrics.empty()) {
+    const int rank = simulation.solver_->rank();
+    const std::string path =
+        rank == 0 ? tcs.metrics
+                  : tcs.metrics + ".r" + std::to_string(rank) + ".part";
+    simulation.add_observer(std::make_shared<StepMetricsObserver>(
+        telemetry.get(), path, tcs.metrics_interval));
+  }
+  if (tcs.progress == "stderr" && simulation.solver_->rank() == 0)
+    simulation.add_observer(std::make_shared<ProgressObserver>());
   return simulation;
 }
 
@@ -206,6 +252,10 @@ Simulation Simulation::from_args(const std::vector<std::string>& args) {
 }
 
 int Simulation::run() {
+  // Install this run's registry on the driving thread for the whole loop;
+  // ParallelFor re-installs it on every worker, and the scope also routes
+  // the kernels' FLOP adds to this run's counter.
+  TelemetryScope telemetry_scope(telemetry_.get());
   const int steps = solver_->run_until(config_.t_end, config_.cfl);
   if (distributed_) {
     MpiRuntime::barrier();  // every rank's streams and pieces are on disk
@@ -215,6 +265,21 @@ int Simulation::run() {
                              receiver_merge_->bin_path,
                              receiver_merge_->csv_path);
     MpiRuntime::barrier();  // merged artifacts visible to every rank
+  }
+  if (!config_.telemetry.trace.empty()) {
+    if (distributed_) {
+      // Trace parts mirror the receiver streams: every rank writes its
+      // own, rank 0 merges once all parts are on disk.
+      write_chrome_trace_part(*telemetry_, config_.telemetry.trace,
+                              solver_->rank());
+      MpiRuntime::barrier();
+      if (solver_->rank() == 0)
+        merge_chrome_trace_parts(config_.telemetry.trace,
+                                 solver_->num_ranks());
+      MpiRuntime::barrier();
+    } else {
+      write_chrome_trace(*telemetry_, config_.telemetry.trace);
+    }
   }
   if (!config_.output.csv.empty()) write_csv(*solver_, config_.output.csv);
   if (!config_.output.vtk.empty()) {
@@ -249,6 +314,10 @@ double Simulation::l2_error() const {
     return std::sqrt(MpiRuntime::ordered_sum_across_ranks(local));
   }
   return exastp::l2_error(*solver_, quantity, exact);
+}
+
+std::string Simulation::telemetry_summary() const {
+  return telemetry_summary_table(*telemetry_);
 }
 
 std::string Simulation::summary() const {

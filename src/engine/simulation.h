@@ -21,6 +21,7 @@
 #include "exastp/engine/simulation_config.h"
 #include "exastp/io/receiver_network.h"
 #include "exastp/solver/solver_base.h"
+#include "exastp/telemetry/telemetry.h"
 
 namespace exastp {
 
@@ -82,6 +83,18 @@ class Simulation {
   /// One-line human-readable description for logs and CLI banners.
   std::string summary() const;
 
+  /// This run's telemetry registry. Always present: even with every
+  /// telemetry key unset it scopes the FLOP accounting, so concurrent pool
+  /// jobs never double-count each other (spans stay off unless trace=,
+  /// metrics= or progress= asked for them). run() installs it on the
+  /// driving thread; ParallelFor propagates it to workers.
+  TelemetryRegistry& telemetry() { return *telemetry_; }
+  const TelemetryRegistry& telemetry() const { return *telemetry_; }
+
+  /// End-of-run summary table (telemetry_summary_table); empty when spans
+  /// were off or nothing ran. Meaningful on rank 0 after run().
+  std::string telemetry_summary() const;
+
  private:
   Simulation(SimulationConfig config, Isa isa,
              std::shared_ptr<const KernelFactory> pde,
@@ -103,6 +116,9 @@ class Simulation {
   Isa isa_ = Isa::kScalar;
   std::array<int, 3> shard_grid_{1, 1, 1};
   bool distributed_ = false;
+  /// Declared before observers_: the metrics observer reads the registry,
+  /// so the registry must outlive it (members destroy in reverse order).
+  std::shared_ptr<TelemetryRegistry> telemetry_;
   std::optional<ReceiverMergePlan> receiver_merge_;
   std::shared_ptr<const KernelFactory> pde_;
   std::shared_ptr<const Scenario> scenario_;

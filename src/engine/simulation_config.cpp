@@ -200,6 +200,20 @@ void apply_pair(SimulationConfig& config, const std::string& key,
     config.output.quantities = parse_quantities(value);
   } else if (key == "receivers") {
     config.receivers = parse_receivers(value);
+  } else if (key == "trace") {
+    EXASTP_CHECK_MSG(!value.empty(), "trace= needs a path");
+    config.telemetry.trace = value;
+  } else if (key == "metrics") {
+    EXASTP_CHECK_MSG(!value.empty(), "metrics= needs a path");
+    config.telemetry.metrics = value;
+  } else if (key == "metrics_interval") {
+    config.telemetry.metrics_interval = parse_int(key, value);
+    EXASTP_CHECK_MSG(config.telemetry.metrics_interval >= 1,
+                     "metrics_interval=" + value + " must be >= 1");
+  } else if (key == "progress") {
+    EXASTP_CHECK_MSG(value == "stderr",
+                     "progress=" + value + " (only stderr is supported)");
+    config.telemetry.progress = value;
   } else if (key.rfind("scenario.", 0) == 0) {
     const std::string param = key.substr(std::string("scenario.").size());
     EXASTP_CHECK_MSG(!param.empty(), "empty scenario parameter key");
@@ -282,6 +296,13 @@ std::string canonical_config_string(const SimulationConfig& config) {
   for (std::size_t i = 0; i < config.receivers.size(); ++i)
     os << (i ? ";" : "") << exact(config.receivers[i][0]) << ","
        << exact(config.receivers[i][1]) << "," << exact(config.receivers[i][2]);
+  // Telemetry file outputs are artifacts like csv=/vtk=, so they split the
+  // memoization key (a cached replay writes no files). progress= is absent
+  // for the threads/autotune reason: a heartbeat leaves no artifact and
+  // must not split the key.
+  os << "|trace=" << config.telemetry.trace
+     << "|metrics=" << config.telemetry.metrics
+     << "|metrics_interval=" << config.telemetry.metrics_interval;
   // std::map iterates in key order, so the passthrough block is canonical.
   for (const auto& [key, value] : config.scenario_params)
     os << "|scenario." << key << "=" << value;
@@ -377,6 +398,10 @@ std::vector<std::string> accepted_config_keys() {
           "output.receivers_bin",
           "output.quantities",
           "receivers",
+          "trace",
+          "metrics",
+          "metrics_interval",
+          "progress",
           "scenario.*"};
 }
 
@@ -432,6 +457,13 @@ std::string simulation_usage() {
       " (BASE_NNNN.vtk + BASE.pvd)\n"
       "  output.interval=T           series snapshot spacing (default:"
       " every step)\n"
+      "  trace=PATH      write a Chrome trace-event JSON span timeline after"
+      " the run\n"
+      "                  (Perfetto-loadable; see docs/observability.md)\n"
+      "  metrics=PATH    stream per-step metrics (CSV, or JSONL for .jsonl"
+      " paths)\n"
+      "  metrics_interval=N          steps between metrics rows (default 1)\n"
+      "  progress=stderr rank-0 progress heartbeat (~1 Hz) on stderr\n"
       "  scenario.KEY=VALUE          scenario parameter passthrough (e.g."
       " scenario.layer_rho for loh1,\n"
       "                              scenario.kx for planewave; see the"

@@ -35,6 +35,24 @@ struct OutputConfig {
   std::vector<int> quantities;
 };
 
+/// Runtime observability (src/telemetry/, docs/observability.md). All of it
+/// is read-only instrumentation: enabling any key changes no simulation
+/// bytes, only what gets measured and written beside the run.
+struct TelemetryConfig {
+  /// Chrome trace-event JSON (Perfetto-loadable) span timeline written
+  /// after the run; empty = spans off. Distributed runs write per-rank
+  /// `<trace>.r<K>.part` streams merged by rank 0.
+  std::string trace;
+  /// Per-step metrics stream (CSV, or JSONL when the path ends ".jsonl"),
+  /// appended every `metrics_interval` steps; empty = none. Rank 0 writes
+  /// `metrics`; other ranks write `<metrics>.r<K>.part`.
+  std::string metrics;
+  /// Steps between metrics rows; >= 1.
+  int metrics_interval = 1;
+  /// "stderr" enables the rank-0 progress heartbeat; empty = off.
+  std::string progress;
+};
+
 struct SimulationConfig {
   std::string scenario = "gaussian";
   /// PDE registry key; empty picks the scenario's default PDE.
@@ -81,6 +99,7 @@ struct SimulationConfig {
   double t_end = 0.5;
   double cfl = 0.4;
   OutputConfig output;
+  TelemetryConfig telemetry;
 
   /// Receiver probe positions sampled after every step when non-empty
   /// (the façade builds a ReceiverNetwork observer from them).

@@ -12,7 +12,8 @@ namespace exastp {
 namespace {
 
 /// The sweep's historical summary format, as a gallery: one
-/// "<value>,steps,t,l2_error,seconds" row per completed run, header first,
+/// "<value>,steps,t,l2_error,seconds,flops" row per completed run, header
+/// first,
 /// flushed per row (long sweeps can be tailed). Failed/skipped jobs stream
 /// no row — run_sweep turns the failure into the throw it has always been.
 class SweepSummaryGallery final : public ResultGallery {
@@ -21,7 +22,7 @@ class SweepSummaryGallery final : public ResultGallery {
       : key_(std::move(key)), out_(out) {}
 
   void open() override {
-    out_ << key_ << ",steps,t,l2_error,seconds\n" << std::flush;
+    out_ << key_ << ",steps,t,l2_error,seconds,flops\n" << std::flush;
   }
 
   void add(const JobResult& r) override {
@@ -34,7 +35,7 @@ class SweepSummaryGallery final : public ResultGallery {
     } else {
       out_ << r.l2_error;
     }
-    out_ << "," << r.seconds << "\n" << std::flush;
+    out_ << "," << r.seconds << "," << r.flops << "\n" << std::flush;
   }
 
   void finish() override {}

@@ -14,12 +14,18 @@
 //   k512    — AVX-512 code paths (8 doubles).
 //
 // Counts include the zero-padding work, exactly as a hardware counter would.
-// The counter is process-global and reset per section. Worker threads of
-// the parallel steppers report concurrently: add() uses relaxed atomic
-// increments (integer adds commute, so totals stay exact and deterministic
-// for any thread count), while reset()/total() are meant for the quiescent
-// phases between parallel regions — the benches measure single-core kernel
-// runs exactly as before.
+// Worker threads of the parallel steppers report concurrently: add() uses
+// relaxed atomic increments (integer adds commute, so totals stay exact and
+// deterministic for any thread count), while reset()/total() are meant for
+// the quiescent phases between parallel regions — the benches measure
+// single-core kernel runs exactly as before.
+//
+// Scoping: instance() returns the process-global counter unless the calling
+// thread has a per-run counter installed (thread_instance(), set by
+// telemetry/telemetry.h TelemetryScope). Kernels and benches keep calling
+// instance() as always; inside a scoped Simulation the FLOPs land in that
+// run's own TelemetryRegistry, so concurrent ensemble jobs no longer
+// double-count each other's work in one shared accumulator.
 #pragma once
 
 #include <array>
@@ -61,8 +67,22 @@ struct FlopCounter {
   }
 
   static FlopCounter& instance() {
+    FlopCounter* scoped = thread_instance();
+    return scoped != nullptr ? *scoped : process_instance();
+  }
+
+  /// The process-global counter, bypassing any per-thread routing.
+  static FlopCounter& process_instance() {
     static FlopCounter counter;
     return counter;
+  }
+
+  /// The calling thread's routing slot: null (the default) sends
+  /// instance() to process_instance(); a telemetry scope points it at a
+  /// per-run counter for the scope's lifetime.
+  static FlopCounter*& thread_instance() {
+    static thread_local FlopCounter* scoped = nullptr;
+    return scoped;
   }
 };
 

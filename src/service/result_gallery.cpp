@@ -63,8 +63,8 @@ std::string csv_row(const JobResult& r) {
   std::ostringstream os;
   os << r.id << "," << csv_quote(r.label) << "," << job_status_name(r.status)
      << "," << r.steps << "," << number(r.t) << "," << number(r.l2_error)
-     << "," << number(r.seconds) << "," << (r.from_cache ? 1 : 0) << ","
-     << csv_quote(r.error);
+     << "," << number(r.seconds) << "," << r.flops << ","
+     << (r.from_cache ? 1 : 0) << "," << csv_quote(r.error);
   return os.str();
 }
 
@@ -75,7 +75,7 @@ std::string json_row(const JobResult& r) {
      << ",\"steps\":" << r.steps << ",\"t\":" << number(r.t)
      << ",\"l2_error\":"
      << (std::isnan(r.l2_error) ? "null" : number(r.l2_error))
-     << ",\"seconds\":" << number(r.seconds)
+     << ",\"seconds\":" << number(r.seconds) << ",\"flops\":" << r.flops
      << ",\"cached\":" << (r.from_cache ? "true" : "false")
      << ",\"summary\":" << json_quote(r.summary)
      << ",\"error\":" << json_quote(r.error) << "}";
@@ -83,7 +83,7 @@ std::string json_row(const JobResult& r) {
 }
 
 constexpr char kCsvHeader[] =
-    "job,label,status,steps,t,l2_error,seconds,cached,error";
+    "job,label,status,steps,t,l2_error,seconds,flops,cached,error";
 
 /// Shared base for the two line-oriented galleries: writes to an owned
 /// file when a path was given, to the fallback stream otherwise.
@@ -139,15 +139,18 @@ class JsonlGallery final : public StreamGallery {
   }
 };
 
-// Binary record stream (native endianness):
-//   8 bytes  magic "EXSTPJB1"
+// Binary record stream (native endianness). The "2" revision appended the
+// uint64 flops field after seconds; readers reject the old magic rather
+// than misparse it.
+//   8 bytes  magic "EXSTPJB2"
 //   records, until EOF:
 //     int32  id, uint8 status, uint8 cached, int32 steps
 //     double t, l2_error, seconds
+//     uint64 flops
 //     uint32 label bytes, label
 //     uint32 error bytes, error
 //     uint32 summary bytes, summary
-constexpr char kBinMagic[8] = {'E', 'X', 'S', 'T', 'P', 'J', 'B', '1'};
+constexpr char kBinMagic[8] = {'E', 'X', 'S', 'T', 'P', 'J', 'B', '2'};
 
 template <class T>
 void put(std::ostream& out, const T& v) {
@@ -193,6 +196,7 @@ class BinGallery final : public ResultGallery {
     put(out_, r.t);
     put(out_, r.l2_error);
     put(out_, r.seconds);
+    put(out_, static_cast<std::uint64_t>(r.flops));
     put_string(out_, r.label);
     put_string(out_, r.error);
     put_string(out_, r.summary);
@@ -312,14 +316,16 @@ std::vector<JobResult> read_gallery_records(const std::string& path) {
     std::int32_t id, steps;
     std::uint8_t status, cached;
     if (!get(in, &id)) break;  // clean EOF between records
+    std::uint64_t flops = 0;
     if (!get(in, &status) || !get(in, &cached) || !get(in, &steps) ||
         !get(in, &r.t) || !get(in, &r.l2_error) || !get(in, &r.seconds) ||
-        !get_string(in, &r.label) || !get_string(in, &r.error) ||
-        !get_string(in, &r.summary))
+        !get(in, &flops) || !get_string(in, &r.label) ||
+        !get_string(in, &r.error) || !get_string(in, &r.summary))
       break;  // trailing partial record (killed run) — ignore
     r.id = id;
     r.steps = steps;
     r.status = static_cast<JobStatus>(status);
+    r.flops = flops;
     r.from_cache = cached != 0;
     results.push_back(std::move(r));
   }

@@ -16,6 +16,7 @@
 // the ObserverRegistry — no engine or pool changes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <limits>
 #include <memory>
@@ -46,6 +47,10 @@ struct JobResult {
   /// NaN when the scenario has no exact solution (and for failed jobs).
   double l2_error = std::numeric_limits<double>::quiet_NaN();
   double seconds = 0.0;  ///< wall seconds of the run that produced this
+  /// FLOPs the run executed, from its own telemetry registry — the
+  /// per-job scope means concurrent jobs never pollute each other's count
+  /// (0 for failed jobs; the original run's count for cache hits).
+  std::uint64_t flops = 0;
   bool from_cache = false;  ///< memoization hit: reused an earlier job's run
   std::string summary;   ///< Simulation::summary() one-liner
 };

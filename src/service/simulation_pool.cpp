@@ -44,13 +44,27 @@ JobResult execute_job(SimulationConfig config, const JobSpec& spec) {
     config.output.receivers_bin =
         with_path_suffix(config.output.receivers_bin, spec.suffix);
 
+    config.telemetry.trace = with_path_suffix(config.telemetry.trace,
+                                              spec.suffix);
+    config.telemetry.metrics = with_path_suffix(config.telemetry.metrics,
+                                                spec.suffix);
+
     const auto start = std::chrono::steady_clock::now();
     Simulation sim = Simulation::from_config(std::move(config));
     r.summary = sim.summary();
-    r.steps = sim.run();
+    {
+      // The job span lands in the job's own registry (run() installs it),
+      // so a trace of a pool job shows one enclosing "job" span.
+      TelemetryScope scope(&sim.telemetry());
+      ScopedSpan span(SpanId::kJob, /*arg=*/spec.id);
+      r.steps = sim.run();
+    }
     r.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+    // Per-job FLOPs: the run-scoped counter, not the process-wide one, so
+    // concurrent batch siblings never double-count (the satellite fix).
+    r.flops = sim.telemetry().flops().total();
     r.t = sim.solver().time();
     r.l2_error = sim.has_exact_solution()
                      ? sim.l2_error()

@@ -8,6 +8,7 @@
 #include "exastp/common/taylor.h"
 #include "exastp/gemm/vecops.h"
 #include "exastp/mesh/partition.h"
+#include "exastp/telemetry/telemetry.h"
 
 namespace exastp {
 
@@ -193,6 +194,7 @@ void AderDgSolver::step_phase_interior(int phase, double dt) {
   EXASTP_CHECK_MSG(dt > 0.0, "dt must be positive");
   EXASTP_CHECK(phase == 0 || phase == 1);
   if (phase == 0) {
+    ScopedSpan span(SpanId::kPredict);
     const auto inv_dx = grid_.inv_dx();
     const auto integral_coeff = taylor_coefficients(dt, layout_.n);
     // Predictor + volume update: embarrassingly cell-parallel — qavg_c and
@@ -209,6 +211,7 @@ void AderDgSolver::step_phase_interior(int phase, double dt) {
 
   // Corrector over the interior set: these cells read only owned qavg
   // tensors, so the sweep runs while the halo exchange is in flight.
+  ScopedSpan span(SpanId::kCorrectInterior);
   apply_corrector(dt, interior_cells_);
 }
 
@@ -218,6 +221,7 @@ void AderDgSolver::step_phase_boundary(int phase, double dt) {
 
   // Runs after qavg halos are valid (the monolithic grid has none, and its
   // boundary set is empty): boundary corrector, buffer swap, time advance.
+  ScopedSpan span(SpanId::kCorrectBoundary);
   apply_corrector(dt, boundary_cells_);
   q_.swap(qnew_);
   time_ += dt;

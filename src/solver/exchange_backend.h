@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exastp/mesh/partition.h"
+#include "exastp/telemetry/telemetry.h"
 
 namespace exastp {
 
@@ -47,11 +48,22 @@ class ExchangeBackend {
   /// process, nullptr for the others — the in-process backend needs all
   /// entries, the MPI backend exactly this rank's. No exchange may
   /// already be in flight.
-  virtual void post(const std::vector<double*>& shard_fields) = 0;
+  ///
+  /// Non-virtual wrappers time every backend uniformly (the exchange_post /
+  /// exchange_wait telemetry spans); backends implement do_post/do_wait.
+  void post(const std::vector<double*>& shard_fields) {
+    ScopedSpan span(SpanId::kExchangePost);
+    do_post(shard_fields);
+  }
 
   /// Completes the posted exchange; afterwards every halo slot of the
-  /// posted fields holds its neighbour's tensor.
-  virtual void wait() = 0;
+  /// posted fields holds its neighbour's tensor. The span it records is
+  /// the *unhidden* halo latency — whatever the interior sweep did not
+  /// cover.
+  void wait() {
+    ScopedSpan span(SpanId::kExchangeWait);
+    do_wait();
+  }
 
   /// post() + wait(): the serialized exchange for drivers that do not
   /// overlap (benches measuring the unhidden halo cost).
@@ -71,6 +83,9 @@ class ExchangeBackend {
   std::size_t copied_bytes_per_exchange() const { return copied_bytes_; }
 
  protected:
+  virtual void do_post(const std::vector<double*>& shard_fields) = 0;
+  virtual void do_wait() = 0;
+
   std::size_t payload_bytes_ = 0;
   std::size_t copied_bytes_ = 0;
 };

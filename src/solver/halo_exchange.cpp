@@ -24,7 +24,7 @@ InProcessExchange::InProcessExchange(const Partition& partition,
   }
 }
 
-void InProcessExchange::post(const std::vector<double*>& shard_fields) {
+void InProcessExchange::do_post(const std::vector<double*>& shard_fields) {
   EXASTP_CHECK_MSG(!in_flight_, "an exchange is already in flight");
   in_flight_ = true;
   for (const Link& link : links_) {
@@ -48,7 +48,7 @@ void InProcessExchange::post(const std::vector<double*>& shard_fields) {
   }
 }
 
-void InProcessExchange::wait() {
+void InProcessExchange::do_wait() {
   EXASTP_CHECK_MSG(in_flight_, "wait() without a posted exchange");
   in_flight_ = false;
 }

@@ -34,13 +34,14 @@ class InProcessExchange final : public ExchangeBackend {
 
   std::string name() const override { return "inprocess"; }
 
+ protected:
   /// Delivers every shard's halo ring synchronously. All entries of
   /// `shard_fields` must be non-null. Reads owned cells, writes only halo
   /// slots. The post/wait pairing is enforced even though delivery is
   /// synchronous, so a driver that would deadlock or corrupt halos under
   /// the MPI backend fails the local test suite too.
-  void post(const std::vector<double*>& shard_fields) override;
-  void wait() override;
+  void do_post(const std::vector<double*>& shard_fields) override;
+  void do_wait() override;
 
  private:
   struct Link {

@@ -70,7 +70,8 @@ class MpiExchangeBackend final : public ExchangeBackend {
 
   std::string name() const override { return "mpi"; }
 
-  void post(const std::vector<double*>& shard_fields) override {
+ protected:
+  void do_post(const std::vector<double*>& shard_fields) override {
     EXASTP_CHECK_MSG(!in_flight_, "an exchange is already in flight");
     EXASTP_CHECK(rank_ < static_cast<int>(shard_fields.size()));
     double* mine = shard_fields[static_cast<std::size_t>(rank_)];
@@ -99,7 +100,7 @@ class MpiExchangeBackend final : public ExchangeBackend {
     in_flight_ = true;
   }
 
-  void wait() override {
+  void do_wait() override {
     EXASTP_CHECK_MSG(in_flight_, "wait() without a posted exchange");
     MPI_Waitall(static_cast<int>(requests_.size()), requests_.data(),
                 MPI_STATUSES_IGNORE);

@@ -7,6 +7,7 @@
 #include "exastp/gemm/vecops.h"
 #include "exastp/kernels/derivative_ops.h"
 #include "exastp/mesh/partition.h"
+#include "exastp/telemetry/telemetry.h"
 
 namespace exastp {
 namespace {
@@ -205,6 +206,7 @@ void RkDgSolver::step_phase_interior(int phase, double dt) {
   // tensors of the stage's input state, so the sweep runs while the
   // exchange is in flight. The input state itself is only read, never
   // written, until step_phase_boundary's element-wise sweeps.
+  ScopedSpan span(SpanId::kRkStageInterior, /*arg=*/phase);
   ++operator_evals_;
   evaluate_operator(stage_state(phase), stage_time(phase, dt), rhs_,
                     interior_cells_);
@@ -212,6 +214,7 @@ void RkDgSolver::step_phase_interior(int phase, double dt) {
 
 void RkDgSolver::step_phase_boundary(int phase, double dt) {
   EXASTP_CHECK(phase >= 0 && phase < 4);
+  ScopedSpan span(SpanId::kRkStageBoundary, /*arg=*/phase);
   // Boundary remainder of the stage operator, after the halo completed.
   evaluate_operator(stage_state(phase), stage_time(phase, dt), rhs_,
                     boundary_cells_);

@@ -2,6 +2,7 @@
 
 #include "exastp/basis/lagrange.h"
 #include "exastp/common/check.h"
+#include "exastp/telemetry/telemetry.h"
 
 namespace exastp {
 
@@ -46,11 +47,19 @@ int SolverBase::run_until(double t_end, double cfl) {
   }
   int steps = 0;
   while (time() < t_end - 1e-14) {
-    double dt = stable_dt(cfl);
+    double dt;
+    {
+      ScopedSpan span(SpanId::kStableDt);
+      dt = stable_dt(cfl);
+    }
     if (time() + dt > t_end) dt = t_end - time();
-    step(dt);
+    {
+      ScopedSpan span(SpanId::kStep, /*arg=*/steps_taken_ + 1);
+      step(dt);
+    }
     ++steps;
     ++steps_taken_;
+    ScopedSpan span(SpanId::kObservers);
     for (AttachedObserver& attached : observers_)
       attached.observer->on_step(*this, steps_taken_);
   }

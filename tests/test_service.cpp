@@ -122,7 +122,7 @@ TEST(Gallery, CsvQuotesFreeTextFields) {
   std::istringstream in(out.str());
   std::string header, row;
   ASSERT_TRUE(std::getline(in, header));
-  EXPECT_EQ(header, "job,label,status,steps,t,l2_error,seconds,cached,error");
+  EXPECT_EQ(header, "job,label,status,steps,t,l2_error,seconds,flops,cached,error");
   ASSERT_TRUE(std::getline(in, row));
   EXPECT_EQ(row.rfind("7,\"order=3, \"\"quoted\"\"\",failed,12,", 0), 0u)
       << row;

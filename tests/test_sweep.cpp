@@ -64,7 +64,7 @@ TEST(RunSweep, StreamsOneSummaryRowPerRun) {
   std::istringstream in(out.str());
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
-  EXPECT_EQ(line, "order,steps,t,l2_error,seconds");
+  EXPECT_EQ(line, "order,steps,t,l2_error,seconds,flops");
   std::vector<double> errors;
   for (const std::string expected_value : {"2", "3", "4"}) {
     ASSERT_TRUE(std::getline(in, line)) << "missing row for " << expected_value;
