@@ -11,15 +11,27 @@
 // count (CI's bench-smoke job archives this output per commit).
 //
 //   bench/bench_shards [max_shards] [order] [cells_per_dim] [threads]
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "exastp/common/parallel.h"
+#include "exastp/common/simd.h"
+#include "exastp/engine/kernel_cache.h"
+#include "exastp/engine/lts_clusters.h"
+#include "exastp/engine/pde_registry.h"
+#include "exastp/engine/scenario_registry.h"
 #include "exastp/engine/simulation.h"
+#include "exastp/mesh/balance_table.h"
+#include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/sharded_solver.h"
+#include "exastp/telemetry/telemetry.h"
 
 using namespace exastp;
 using exastp::bench::time_fixed_steps;
@@ -32,6 +44,97 @@ Simulation make_sim(int shards, int threads, int order, int cells) {
        "order=" + std::to_string(order), "cells=" + std::to_string(cells),
        "threads=" + std::to_string(threads),
        "shards=" + std::to_string(shards)});
+}
+
+// Per-shard sweep nanoseconds of `steps` LTS macro steps, measured from
+// the shard-track spans (shard_interior/shard_boundary carry the shard id
+// as their telemetry track). One untimed warmup step precedes the scope
+// so cold caches don't land on shard 0.
+std::vector<double> measure_shard_ns(ShardedSolver& solver, int steps) {
+  const double dt = solver.plan_step(solver.stable_dt());
+  solver.step(dt);
+  TelemetryRegistry registry(/*spans_enabled=*/true);
+  std::vector<double> ns(static_cast<std::size_t>(solver.num_shards()), 0.0);
+  {
+    TelemetryScope scope(&registry);
+    for (int i = 0; i < steps; ++i) solver.step(dt);
+  }
+  for (int s = 0; s < solver.num_shards(); ++s)
+    ns[static_cast<std::size_t>(s)] = static_cast<double>(registry.shard_ns(s));
+  return ns;
+}
+
+// Measured-cost load balancing (docs/lts.md): on a clustered-LTS run,
+// equal-cell shards are no longer equal-work shards — a cluster-k cell
+// runs 2^(K-1-k) substeps per macro step. This section builds the same
+// stiff-layer LOH1 workload twice, split equal-cell vs weighted by the
+// substep counts (the engine's lts=on default), and reports the measured
+// per-shard time imbalance (max/mean) for each split.
+void lts_balance_section(int order, int threads) {
+  const auto scenario = find_scenario("loh1");
+  SimulationConfig config = parse_simulation_args(
+      {"scenario=loh1", "order=" + std::to_string(order), "cells=8x8x8",
+       "lts=on", "scenario.layer_cp=26", "scenario.layer_cs=15"});
+  config.pde = scenario->default_pde();
+  const auto pde = find_pde(config.pde);
+  const InitialCondition init = scenario->initial_condition(pde, config);
+  const LtsClustering clustering = compute_lts_clusters(
+      config.grid, *pde->runtime(), init, order, config.family, 0);
+  const std::vector<double> weights = BalanceTable().cell_weights(
+      pde->name(), order, clustering.cluster, clustering.num_clusters);
+
+  const Isa isa = host_best_isa();
+  const auto make_shard =
+      [&](const Grid& grid) -> std::unique_ptr<SolverBase> {
+    return std::make_unique<AderDgSolver>(
+        pde->runtime(),
+        cached_stp_kernel(*pde, config.variant, order, isa, config.family),
+        grid, config.family);
+  };
+
+  // Split along z: the stiff (fast, 4x-substep) layer sits in the low-z
+  // planes, so the equal-cell split hands one shard nearly all the work.
+  const std::array<int, 3> shard_block{1, 1, 4};
+  std::printf("# LTS measured-cost balancing — loh1 stiff layer "
+              "(layer_cp=26), order=%d cells=8x8x8, %d clusters, "
+              "shards=1x1x4, threads=%d\n",
+              order, clustering.num_clusters, threads);
+  std::printf("%10s %22s %22s %10s\n", "split", "cells/shard",
+              "shard ms", "max/mean");
+
+  for (const bool weighted : {false, true}) {
+    Partition partition =
+        weighted ? Partition(config.grid, shard_block, weights)
+                 : Partition(config.grid, shard_block);
+    std::vector<int> cells_of(static_cast<std::size_t>(partition.num_shards()));
+    for (int s = 0; s < partition.num_shards(); ++s)
+      cells_of[static_cast<std::size_t>(s)] =
+          partition.subdomain(s).grid.num_cells();
+
+    ShardedSolver solver(std::move(partition), make_shard);
+    solver.set_num_threads(threads);
+    solver.set_initial_condition(init);
+    solver.enable_lts(clustering.cluster, clustering.num_clusters);
+    const std::vector<double> ns = measure_shard_ns(solver, 8);
+
+    double sum = 0.0, peak = 0.0;
+    std::string cells_col, ms_col;
+    for (std::size_t s = 0; s < ns.size(); ++s) {
+      sum += ns[s];
+      peak = std::max(peak, ns[s]);
+      char item[32];
+      std::snprintf(item, sizeof(item), "%s%d", s ? "/" : "", cells_of[s]);
+      cells_col += item;
+      std::snprintf(item, sizeof(item), "%s%.0f", s ? "/" : "", ns[s] / 1e6);
+      ms_col += item;
+    }
+    const double imbalance = peak / (sum / static_cast<double>(ns.size()));
+    std::printf("%10s %22s %22s %9.2fx\n",
+                weighted ? "weighted" : "equal-cell", cells_col.c_str(),
+                ms_col.c_str(), imbalance);
+  }
+  std::printf("# max/mean 1.00x is perfect balance; the weighted split is "
+              "what lts=on uses (balance= refines it with measured costs)\n");
 }
 
 }  // namespace
@@ -95,5 +198,8 @@ int main(int argc, char** argv) {
   }
   std::printf("# vs 1shard < 1 is the decomposition + halo overhead; "
               "fields stay bitwise-identical at every shard count\n");
+
+  std::printf("\n");
+  lts_balance_section(order, threads);
   return 0;
 }

@@ -1,0 +1,104 @@
+#include "exastp/engine/lts_clusters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exastp/common/check.h"
+
+namespace exastp {
+
+LtsClustering compute_lts_clusters(const GridSpec& spec, const PdeRuntime& pde,
+                                   const InitialCondition& init, int order,
+                                   NodeFamily family, int max_clusters) {
+  EXASTP_CHECK_MSG(order >= 1, "compute_lts_clusters needs order >= 1");
+  const Grid grid(spec);
+  const int cells = grid.num_cells();
+  const int m = pde.info().quants;
+  const QuadratureRule rule = make_quadrature(order, family);
+
+  LtsClustering out;
+  out.cell_speed.assign(cells, 0.0);
+  std::vector<double> q(static_cast<std::size_t>(m));
+  for (int c = 0; c < cells; ++c) {
+    const std::array<double, 3> origin = grid.cell_origin(c);
+    double speed = 0.0;
+    for (int kz = 0; kz < order; ++kz)
+      for (int ky = 0; ky < order; ++ky)
+        for (int kx = 0; kx < order; ++kx) {
+          const std::array<double, 3> x{origin[0] + rule.nodes[kx] * grid.dx(0),
+                                        origin[1] + rule.nodes[ky] * grid.dx(1),
+                                        origin[2] + rule.nodes[kz] * grid.dx(2)};
+          init(x, q.data());
+          for (int dir = 0; dir < 3; ++dir)
+            speed = std::max(speed, pde.max_wave_speed(q.data(), dir));
+        }
+    out.cell_speed[c] = speed;
+  }
+
+  const double global_max =
+      *std::max_element(out.cell_speed.begin(), out.cell_speed.end());
+  // A degenerate scenario (all speeds zero) cannot define rate ratios;
+  // one cluster — plain global stepping — is the only sound answer.
+  if (!(global_max > 0.0)) {
+    out.cluster.assign(cells, 0);
+    out.num_clusters = 1;
+    return out;
+  }
+
+  // floor(log2(global_max / speed)), capped. Cells with zero local speed
+  // (e.g. vacuum pockets) take the slowest admissible level; the cap keeps
+  // the level finite even then. "auto" caps at 31 only to bound the
+  // arithmetic — the face smoothing and compaction below decide the real K.
+  const int cap = max_clusters > 0 ? max_clusters : 32;
+  out.cluster.assign(cells, 0);
+  for (int c = 0; c < cells; ++c) {
+    const double speed = out.cell_speed[c];
+    int level = cap - 1;
+    if (speed > 0.0) {
+      const double ratio = global_max / speed;
+      level = std::min(level,
+                       std::max(0, static_cast<int>(std::floor(
+                                       std::log2(ratio)))));
+      // Guard the edge where floating log2 rounds up across a power of
+      // two: level k requires speed <= global_max / 2^k exactly.
+      while (level > 0 && speed * static_cast<double>(1 << level) > global_max)
+        --level;
+    }
+    out.cluster[c] = level;
+  }
+
+  // Lower clusters until every face-neighbour pair differs by at most one
+  // level. Lowering means more substeps — always stable — and the sweep
+  // monotonically decreases levels, so the fixpoint exists and is reached
+  // in at most (max level) passes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int c = 0; c < cells; ++c)
+      for (int dir = 0; dir < 3; ++dir)
+        for (int side = 0; side < 2; ++side) {
+          const NeighborRef nb = grid.neighbor(c, dir, side);
+          if (nb.cell < 0) continue;
+          if (out.cluster[c] > out.cluster[nb.cell] + 1) {
+            out.cluster[c] = out.cluster[nb.cell] + 1;
+            changed = true;
+          }
+        }
+  }
+
+  // Compact the used levels to 0..K-1. A gap means some level has no
+  // cells; mapping the levels above it down shrinks their dt (stable) and
+  // cannot widen any face gap, so the +-1 invariant survives.
+  const int max_level =
+      *std::max_element(out.cluster.begin(), out.cluster.end());
+  std::vector<int> remap(static_cast<std::size_t>(max_level) + 1, -1);
+  for (int c = 0; c < cells; ++c) remap[out.cluster[c]] = 0;
+  int next = 0;
+  for (int& slot : remap)
+    if (slot == 0) slot = next++;
+  for (int c = 0; c < cells; ++c) out.cluster[c] = remap[out.cluster[c]];
+  out.num_clusters = next;
+  return out;
+}
+
+}  // namespace exastp

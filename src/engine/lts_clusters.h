@@ -1,0 +1,53 @@
+// Rate-cluster assignment for clustered local time stepping (docs/lts.md).
+//
+// Binning follows the clustered LTS scheme of the source paper's ExaHyPE
+// lineage: each cell's admissible time step is proportional to 1 / (its
+// local maximum wave speed), so cells are binned into powers-of-two rate
+// clusters relative to the globally stiffest cell. Cluster 0 steps at the
+// global stable dt; cluster k steps at 2^k times that dt, which is stable
+// exactly when the cell's own wave speed is at most (global max) / 2^k —
+// the floor(log2) rule below. A face-neighbour smoothing pass then lowers
+// clusters until adjacent cells differ by at most one level, the invariant
+// the solver's Taylor-recombination corrector assumes
+// (AderDgSolver::enable_lts re-validates it).
+//
+// The assignment is computed once, from the scenario's initial condition
+// evaluated at every cell's basis nodes on the *global* grid — materials
+// are parameter quantities that never evolve, so the initial snapshot
+// decides the clustering for the whole run, and every shard of a
+// decomposed run derives the identical assignment from the identical
+// global inputs.
+#pragma once
+
+#include <vector>
+
+#include "exastp/mesh/grid.h"
+#include "exastp/pde/pde_base.h"
+#include "exastp/quadrature/quadrature.h"
+#include "exastp/solver/solver_base.h"
+
+namespace exastp {
+
+struct LtsClustering {
+  /// Rate cluster per global cell (x-fastest order); 0 = finest dt.
+  std::vector<int> cluster;
+  /// Number of clusters K actually used (1 = uniform, global stepping).
+  int num_clusters = 1;
+  /// Per-global-cell maximum wave speed over the cell's basis nodes and
+  /// the three directions — the binning input, kept for reports/tests.
+  std::vector<double> cell_speed;
+};
+
+/// Computes the cluster assignment for the global grid `spec`: evaluates
+/// `init` at the order^3 basis nodes of every cell, takes the PDE's
+/// maximum wave speed over nodes and directions, bins cells by
+/// floor(log2(global_max / cell_speed)) capped at `max_clusters` - 1
+/// (max_clusters <= 0 means "auto": the wave-speed spread decides), lowers
+/// clusters to the +-1 face-neighbour invariant, and compacts the used
+/// levels to a contiguous 0..K-1 range (compaction only ever shrinks a
+/// cell's dt, so it preserves stability and the +-1 invariant).
+LtsClustering compute_lts_clusters(const GridSpec& spec, const PdeRuntime& pde,
+                                   const InitialCondition& init, int order,
+                                   NodeFamily family, int max_clusters);
+
+}  // namespace exastp

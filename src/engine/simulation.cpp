@@ -9,8 +9,10 @@
 #include "exastp/common/check.h"
 #include "exastp/common/mpi_runtime.h"
 #include "exastp/engine/kernel_cache.h"
+#include "exastp/engine/lts_clusters.h"
 #include "exastp/io/receiver_sinks.h"
 #include "exastp/kernels/fusion_autotune.h"
+#include "exastp/mesh/balance_table.h"
 #include "exastp/mesh/partition.h"
 #include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/norms.h"
@@ -85,6 +87,12 @@ Simulation Simulation::from_config(SimulationConfig config) {
       config.precision == Precision::kF64 || config.stepper == "ader",
       "precision=fp32 requires stepper=ader (rk4 has no fp32 kernel path)");
 
+  // Clustered LTS needs the ADER predictor's Taylor expansion to evaluate
+  // neighbours at intermediate times; the RK4 baseline has no equivalent.
+  EXASTP_CHECK_MSG(!config.lts || config.stepper == "ader",
+                   "lts=on requires stepper=ader (rk4 has no local time "
+                   "stepping schedule)");
+
   // Fused-block autotune table: load whatever the file already knows, then
   // measure this run's (pde, order, isa, precision) entry if it is missing
   // and persist the grown table. Block sizes are bitwise-neutral, so this
@@ -144,6 +152,29 @@ Simulation Simulation::from_config(SimulationConfig config) {
                      "backend=mpi — use output.series");
   }
 
+  // Rate clusters come from the scenario's materials on the *global* grid,
+  // so every rank (and the monolithic path) derives the same assignment
+  // from the same inputs — no communication needed. The assignment also
+  // feeds the weighted partition below: a cluster-k cell runs 2^(K-1-k)
+  // substeps per macro step, so equal-cell shards would no longer be
+  // equal-work shards. balance= refines the substep-count weights with
+  // per-cluster costs measured by a previous run.
+  LtsClustering clustering;
+  if (config.lts) {
+    clustering = compute_lts_clusters(
+        config.grid, *pde->runtime(),
+        scenario->initial_condition(pde, config), config.order, config.family,
+        config.lts_clusters);
+  }
+  std::vector<double> cell_weights;
+  if (config.lts && clustering.num_clusters > 1) {
+    BalanceTable balance;
+    if (!config.balance.empty()) balance.load_file(config.balance);
+    cell_weights = balance.cell_weights(pde->name(), config.order,
+                                        clustering.cluster,
+                                        clustering.num_clusters);
+  }
+
   const std::array<int, 3> shard_grid = resolve_shard_grid(config);
   std::unique_ptr<SolverBase> solver;
   {
@@ -155,7 +186,8 @@ Simulation Simulation::from_config(SimulationConfig config) {
       // shard), so the rank/shard match is validated and every rank drives
       // the same split-phase schedule.
       solver = std::make_unique<ShardedSolver>(
-          Partition(config.grid, shard_grid), make_shard, config.backend);
+          Partition(config.grid, shard_grid, cell_weights), make_shard,
+          config.backend);
     }
   }
 
@@ -165,6 +197,8 @@ Simulation Simulation::from_config(SimulationConfig config) {
     solver->set_initial_condition(scenario->initial_condition(pde, config));
     for (const MeshPointSource& source : scenario->sources(config))
       solver->add_point_source(source);
+    if (config.lts)
+      solver->enable_lts(clustering.cluster, clustering.num_clusters);
   }
 
   Simulation simulation(std::move(config), isa, std::move(pde),
@@ -257,6 +291,33 @@ int Simulation::run() {
   // the kernels' FLOP adds to this run's counter.
   TelemetryScope telemetry_scope(telemetry_.get());
   const int steps = solver_->run_until(config_.t_end, config_.cfl);
+  // Clustered LTS post-run accounting: the measured per-cluster sweep
+  // times become summary gauges, and — when balance= names a table — the
+  // per-cell-substep costs they imply are persisted so the *next* run's
+  // shard split weights cells by measured work (rank 0 writes; every rank
+  // measured only its own shards, but the per-substep cost is a per-cell
+  // property that any rank's sample estimates).
+  if (config_.lts) {
+    const std::vector<SolverBase::LtsClusterStats> stats =
+        solver_->lts_cluster_stats();
+    telemetry_->set_gauge("lts_clusters", static_cast<double>(stats.size()));
+    for (std::size_t k = 0; k < stats.size(); ++k) {
+      telemetry_->set_gauge("lts_cluster" + std::to_string(k) + "_cells",
+                            static_cast<double>(stats[k].cells));
+      telemetry_->set_gauge("lts_cluster" + std::to_string(k) + "_substeps",
+                            static_cast<double>(stats[k].cell_substeps));
+    }
+    if (!config_.balance.empty() && solver_->rank() == 0) {
+      BalanceTable balance;
+      balance.load_file(config_.balance);
+      for (std::size_t k = 0; k < stats.size(); ++k)
+        if (stats[k].cell_substeps > 0 && stats[k].ns > 0)
+          balance.set(pde_->name(), config_.order, static_cast<int>(k),
+                      static_cast<double>(stats[k].ns) /
+                          static_cast<double>(stats[k].cell_substeps));
+      balance.save_file(config_.balance);
+    }
+  }
   if (distributed_) {
     MpiRuntime::barrier();  // every rank's streams and pieces are on disk
     if (solver_->rank() == 0 && receiver_merge_.has_value())
@@ -352,6 +413,7 @@ std::string Simulation::summary() const {
   if (distributed_)
     os << " backend=mpi rank=" << solver_->rank() << "/"
        << solver_->num_ranks();
+  if (config_.lts) os << " lts_clusters=" << solver_->lts_num_clusters();
   os << " t_end=" << config_.t_end;
   return os.str();
 }

@@ -172,6 +172,27 @@ void apply_pair(SimulationConfig& config, const std::string& key,
   } else if (key == "autotune") {
     EXASTP_CHECK_MSG(!value.empty(), "autotune= needs a table path");
     config.autotune = value;
+  } else if (key == "lts") {
+    EXASTP_CHECK_MSG(value == "on" || value == "off",
+                     "lts=" + value + " (on|off)");
+    config.lts = value == "on";
+  } else if (key == "lts_clusters") {
+    if (value == "auto") {
+      config.lts_clusters = 0;
+    } else {
+      config.lts_clusters = parse_int(key, value);
+      EXASTP_CHECK_MSG(config.lts_clusters >= 1,
+                       "lts_clusters=" + value + " must be auto or >= 1");
+    }
+  } else if (key == "lts_rate") {
+    config.lts_rate = parse_int(key, value);
+    EXASTP_CHECK_MSG(config.lts_rate == 2,
+                     "lts_rate=" + value +
+                         " (only the power-of-two schedule, rate 2, is "
+                         "supported)");
+  } else if (key == "balance") {
+    EXASTP_CHECK_MSG(!value.empty(), "balance= needs a table path");
+    config.balance = value;
   } else if (key == "cells") {
     config.grid.cells = parse_cells(value);
   } else if (key == "extent") {
@@ -268,12 +289,19 @@ std::string canonical_config_string(const SimulationConfig& config) {
      << "|order=" << config.order << "|family="
      << (config.family == NodeFamily::kGaussLegendre ? "gl" : "lobatto")
      << "|shards=" << config.shards << "|backend=" << config.backend
-     << "|precision=" << precision_name(config.precision);
+     << "|precision=" << precision_name(config.precision)
+     << "|lts=" << (config.lts ? "on" : "off")
+     << "|lts_clusters=" << config.lts_clusters
+     << "|lts_rate=" << config.lts_rate;
   // threads is intentionally absent: results are bitwise-identical for
   // every thread count, so it must not split the memoization key. The
   // autotune table path is absent for the same reason: fused block sizes
   // are bitwise-neutral, so tuned and untuned runs of one config must
-  // share a memoization entry.
+  // share a memoization entry. The balance table path is absent for the
+  // autotune reason too: cost-weighted shard splits are bitwise-identical
+  // to unweighted ones, so balanced and unbalanced runs of one config
+  // must share an entry. The lts keys ARE present: a multi-cluster
+  // schedule changes the computed bytes.
   os << "|cells=" << config.grid.cells[0] << "x" << config.grid.cells[1]
      << "x" << config.grid.cells[2];
   os << "|extent=" << exact(config.grid.extent[0]) << ","
@@ -382,6 +410,10 @@ std::vector<std::string> accepted_config_keys() {
           "shards",
           "backend",
           "autotune",
+          "lts",
+          "lts_clusters",
+          "lts_rate",
+          "balance",
           "cells",
           "extent",
           "origin",
@@ -437,6 +469,19 @@ std::string simulation_usage() {
       "  autotune=PATH   fused-block autotune table: load, measure missing"
       " entries,\n"
       "                  save back (bitwise-neutral; see docs/precision.md)\n"
+      "  lts=on|off      clustered local time stepping (default off); bins"
+      " cells into\n"
+      "                  powers-of-two rate clusters by local wave speed;"
+      " needs\n"
+      "                  stepper=ader (see docs/lts.md)\n"
+      "  lts_clusters=N  cluster cap: auto (default, wave-speed spread"
+      " decides) or N >= 1\n"
+      "  lts_rate=2      rate ratio between adjacent clusters (only 2 is"
+      " supported)\n"
+      "  balance=PATH    measured-cost balance table: weight shard splits by"
+      " measured\n"
+      "                  per-cluster cost, update with this run, save back"
+      " (bitwise-neutral)\n"
       "  cells=AxBxC     mesh cells per dimension (or one int for a cube)\n"
       "  extent=X,Y,Z    domain size (or one number for a cube)\n"
       "  origin=X,Y,Z    domain lower corner\n"

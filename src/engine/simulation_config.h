@@ -95,6 +95,27 @@ struct SimulationConfig {
   /// and excluded from the canonical config string.
   std::string autotune;
 
+  /// Clustered local time stepping (docs/lts.md): "on" bins cells into
+  /// powers-of-two rate clusters from their local wave speeds and steps
+  /// each cluster at its own dt; "off" (default) is global stepping.
+  /// Requires stepper=ader. lts=on with one resulting cluster is
+  /// bitwise-identical to lts=off, so these keys join the canonical
+  /// string only through the schedule they actually select.
+  bool lts = false;
+  /// Cap on the number of rate clusters: "auto" (0) lets the wave-speed
+  /// spread decide, an integer N >= 1 caps the binning at N clusters.
+  int lts_clusters = 0;
+  /// Rate ratio between adjacent clusters; only 2 is supported (the
+  /// power-of-two schedule the cluster algebra assumes).
+  int lts_rate = 2;
+  /// Path of a measured-cost balance table (mesh/balance_table.h): loaded
+  /// before partitioning so shard splits weight cells by measured per-
+  /// cluster cost, updated with this run's measurements and saved back.
+  /// Empty = substep-count weighting only. Like autotune, pure
+  /// performance state — every decomposition is bitwise-identical — so
+  /// it is excluded from the canonical config string.
+  std::string balance;
+
   GridSpec grid;
   double t_end = 0.5;
   double cfl = 0.4;

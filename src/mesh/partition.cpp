@@ -1,6 +1,7 @@
 #include "exastp/mesh/partition.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace exastp {
 
@@ -27,6 +28,97 @@ std::vector<int> Partition::split_sizes(int n, int k) {
                    "each shard needs at least one cell per dimension");
   std::vector<int> sizes(static_cast<std::size_t>(k), n / k);
   for (int i = 0; i < n % k; ++i) ++sizes[static_cast<std::size_t>(i)];
+  return sizes;
+}
+
+std::vector<int> Partition::weighted_split_sizes(
+    const std::vector<double>& plane_weights, int k) {
+  const int n = static_cast<int>(plane_weights.size());
+  EXASTP_CHECK_MSG(k >= 1 && k <= n,
+                   "each shard needs at least one cell per dimension");
+  for (double w : plane_weights)
+    EXASTP_CHECK_MSG(w > 0.0, "plane weights must be positive");
+  auto at = [&](int i) { return plane_weights[static_cast<std::size_t>(i)]; };
+
+  // Prefix sums: weight of the contiguous plane range [a, b).
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i)
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + at(i);
+  auto range = [&](int a, int b) {
+    return prefix[static_cast<std::size_t>(b)] -
+           prefix[static_cast<std::size_t>(a)];
+  };
+
+  // Pass 1: the minimal achievable heaviest block M, by the classic
+  // linear-partition DP (f[j][i] = min max over the first i planes in j
+  // groups). Sizes here are grid dimensions, so O(k n^2) is nothing.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t cols = static_cast<std::size_t>(n) + 1;
+  std::vector<double> f(cols, kInf);
+  for (int i = 1; i <= n; ++i) f[static_cast<std::size_t>(i)] = range(0, i);
+  for (int j = 2; j <= k; ++j) {
+    std::vector<double> g(cols, kInf);
+    for (int i = j; i <= n; ++i) {
+      double best = kInf;
+      for (int c = j - 1; c < i; ++c)
+        best = std::min(best,
+                        std::max(f[static_cast<std::size_t>(c)], range(c, i)));
+      g[static_cast<std::size_t>(i)] = best;
+    }
+    f.swap(g);
+  }
+  const double cap = f[static_cast<std::size_t>(n)];
+
+  // Pass 2: among partitions whose every block stays within cap, minimize
+  // the sum of squared block weights (the most even split); h[j][i] is
+  // that minimum for planes [i, n) in j groups.
+  std::vector<std::vector<double>> h(
+      static_cast<std::size_t>(k) + 1, std::vector<double>(cols, kInf));
+  for (int i = 0; i < n; ++i) {
+    const double w = range(i, n);
+    // Floating-point slack: cap came out of the same sums, but max/min
+    // reassociation can differ by one ulp.
+    if (w <= cap * (1.0 + 1e-12))
+      h[1][static_cast<std::size_t>(i)] = w * w;
+  }
+  for (int j = 2; j <= k; ++j)
+    for (int i = n - j; i >= 0; --i) {
+      double best = kInf;
+      for (int len = 1; i + len <= n - (j - 1); ++len) {
+        const double w = range(i, i + len);
+        if (w > cap * (1.0 + 1e-12)) break;
+        best = std::min(best, w * w +
+                                  h[static_cast<std::size_t>(j - 1)]
+                                   [static_cast<std::size_t>(i + len)]);
+      }
+      h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = best;
+    }
+
+  // Reconstruct left to right, taking the longest block that still reaches
+  // the optimum — so uniform weights reproduce split_sizes exactly (first
+  // remainder blocks one plane larger).
+  std::vector<int> sizes;
+  sizes.reserve(static_cast<std::size_t>(k));
+  int i = 0;
+  for (int j = k; j >= 1; --j) {
+    if (j == 1) {
+      sizes.push_back(n - i);
+      break;
+    }
+    const double target =
+        h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    int pick = 1;
+    for (int len = 1; i + len <= n - (j - 1); ++len) {
+      const double w = range(i, i + len);
+      if (w > cap * (1.0 + 1e-12)) break;
+      const double rest = h[static_cast<std::size_t>(j - 1)]
+                           [static_cast<std::size_t>(i + len)];
+      if (w * w + rest <= target * (1.0 + 1e-12)) pick = len;
+    }
+    sizes.push_back(pick);
+    i += pick;
+  }
   return sizes;
 }
 
@@ -59,10 +151,36 @@ std::array<int, 3> Partition::factor(int total,
 }
 
 Partition::Partition(const GridSpec& global, const std::array<int, 3>& shards)
+    : Partition(global, shards, {}) {}
+
+Partition::Partition(const GridSpec& global, const std::array<int, 3>& shards,
+                     const std::vector<double>& cell_weights)
     : global_(global), shards_(shards) {
+  const int total_cells = global.cells[0] * global.cells[1] * global.cells[2];
+  EXASTP_CHECK_MSG(
+      cell_weights.empty() ||
+          static_cast<int>(cell_weights.size()) == total_cells,
+      "cell weights must cover every global cell");
   std::array<std::vector<int>, 3> sizes;
   for (int d = 0; d < 3; ++d) {
-    sizes[d] = split_sizes(global.cells[d], shards[d]);
+    if (cell_weights.empty()) {
+      sizes[d] = split_sizes(global.cells[d], shards[d]);
+    } else {
+      // Marginal plane weights: the block grid is tensor-product, so each
+      // dimension splits independently over the summed cost of its cell
+      // planes.
+      std::vector<double> planes(static_cast<std::size_t>(global.cells[d]),
+                                 0.0);
+      for (int g = 0; g < total_cells; ++g) {
+        const int gx = g % global.cells[0];
+        const int gy = (g / global.cells[0]) % global.cells[1];
+        const int gz = g / (global.cells[0] * global.cells[1]);
+        const int coord = d == 0 ? gx : d == 1 ? gy : gz;
+        planes[static_cast<std::size_t>(coord)] +=
+            cell_weights[static_cast<std::size_t>(g)];
+      }
+      sizes[d] = weighted_split_sizes(planes, shards[d]);
+    }
     starts_[d].assign(sizes[d].size(), 0);
     for (std::size_t i = 1; i < sizes[d].size(); ++i)
       starts_[d][i] = starts_[d][i - 1] + sizes[d][i - 1];
@@ -138,13 +256,11 @@ const Subdomain& Partition::subdomain(int s) const {
 }
 
 int Partition::block_of(int d, int g) const {
-  // Ragged splits: the first (n % k) blocks are one cell larger.
-  const int n = global_.cells[d];
-  const int k = shards_[d];
-  const int big = n / k + 1;
-  const int rem = n % k;
-  if (g < rem * big) return g / big;
-  return rem + (g - rem * big) / (n / k);
+  // Weighted splits have arbitrary block sizes, so locate g among the
+  // block start cells: the last start <= g.
+  const std::vector<int>& starts = starts_[d];
+  const auto it = std::upper_bound(starts.begin(), starts.end(), g);
+  return static_cast<int>(it - starts.begin()) - 1;
 }
 
 int Partition::owner_of(int global_cell) const {

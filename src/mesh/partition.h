@@ -72,6 +72,15 @@ class Partition {
   /// Each dimension needs at least one cell per shard.
   Partition(const GridSpec& global, const std::array<int, 3>& shards);
 
+  /// Weighted split: `cell_weights` holds one positive cost per global
+  /// cell (x-fastest order, like global cell indices). Split planes are
+  /// chosen per dimension over the marginal plane-weight sums, minimizing
+  /// the heaviest contiguous block — shards equalize measured work instead
+  /// of cell count. An empty weight vector reproduces the unweighted
+  /// split exactly.
+  Partition(const GridSpec& global, const std::array<int, 3>& shards,
+            const std::vector<double>& cell_weights);
+
   /// Factors `total` shards onto the cell box: repeatedly assigns the
   /// smallest remaining prime factor to the dimension with the most cells
   /// per shard, never exceeding one shard per cell. Used by the
@@ -82,6 +91,14 @@ class Partition {
   /// Block sizes of one dimension: n cells over k blocks, first n % k
   /// blocks one cell larger.
   static std::vector<int> split_sizes(int n, int k);
+
+  /// Weighted block sizes of one dimension: contiguous groups of
+  /// `plane_weights` (one entry per cell plane, every group non-empty)
+  /// minimizing the maximum group weight, by dynamic programming. Ties
+  /// break toward the unweighted split (earlier cuts as late as possible),
+  /// so uniform weights reproduce split_sizes exactly.
+  static std::vector<int> weighted_split_sizes(
+      const std::vector<double>& plane_weights, int k);
 
   int num_shards() const { return static_cast<int>(subdomains_.size()); }
   const std::array<int, 3>& shards() const { return shards_; }

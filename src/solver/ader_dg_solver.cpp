@@ -1,6 +1,8 @@
 #include "exastp/solver/ader_dg_solver.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -68,6 +70,7 @@ void AderDgSolver::rebuild_scratch() {
     ts.favg0.assign(cell_size_, 0.0);
     ts.favg1.assign(cell_size_, 0.0);
     ts.favg2.assign(cell_size_, 0.0);
+    ts.nb_state.assign(cell_size_, 0.0);
     ts.faces.resize(face_layout_);
     scratch_.push_back(std::move(ts));
   }
@@ -89,6 +92,9 @@ void AderDgSolver::set_initial_condition(
         }
   }
   time_ = 0.0;
+  // Material parameters may have changed; the wave-speed cache rebuilds
+  // on the next stable_dt call.
+  wave_speed_cache_.clear();
 }
 
 void AderDgSolver::add_point_source(const MeshPointSource& source) {
@@ -105,24 +111,30 @@ std::array<double, 3> AderDgSolver::node_position(int cell, int k1, int k2,
 
 double AderDgSolver::stable_dt(double cfl) const {
   const int n = layout_.n;
-  const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
-  // Per-chunk maxima: max commutes exactly, so the result stays bitwise-
-  // independent of the thread count even though chunk bounds are not.
-  std::vector<double> partials(static_cast<std::size_t>(par_.num_threads()),
-                               0.0);
-  par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
-    double chunk_max = 0.0;
-    for (long c = begin; c < end; ++c) {
-      const double* cell = cell_dofs(static_cast<int>(c));
-      for (std::size_t k = 0; k < nodes; ++k)
-        for (int d = 0; d < 3; ++d)
-          chunk_max = std::max(
-              chunk_max, pde_->max_wave_speed(cell + k * layout_.m_pad, d));
-    }
-    partials[static_cast<std::size_t>(tid)] = chunk_max;
-  });
+  if (wave_speed_cache_.empty()) {
+    // Per-cell maxima, computed once per initial condition: every PDE's
+    // max_wave_speed reads only material parameter rows, which the zero
+    // flux rows keep constant in time, so the eigenvalue sweep need not
+    // rerun every step. max commutes exactly, so the cached per-cell
+    // values — and the reduction below — stay bitwise-independent of the
+    // thread count.
+    const std::size_t nodes = static_cast<std::size_t>(n) * n * n;
+    wave_speed_cache_.assign(static_cast<std::size_t>(grid_.num_cells()),
+                             0.0);
+    par_.run(grid_.num_cells(), 1, [&](int /*tid*/, long begin, long end) {
+      for (long c = begin; c < end; ++c) {
+        const double* cell = cell_dofs(static_cast<int>(c));
+        double cell_max = 0.0;
+        for (std::size_t k = 0; k < nodes; ++k)
+          for (int d = 0; d < 3; ++d)
+            cell_max = std::max(
+                cell_max, pde_->max_wave_speed(cell + k * layout_.m_pad, d));
+        wave_speed_cache_[static_cast<std::size_t>(c)] = cell_max;
+      }
+    });
+  }
   double smax = 1e-300;
-  for (double s : partials) smax = std::max(smax, s);
+  for (double s : wave_speed_cache_) smax = std::max(smax, s);
   const double hmin =
       std::min({grid_.dx(0), grid_.dx(1), grid_.dx(2)});
   // Standard explicit-DG CFL bound ~ h / (c (2N - 1)) per dimension.
@@ -130,9 +142,9 @@ double AderDgSolver::stable_dt(double cfl) const {
 }
 
 void AderDgSolver::predict_cell(
-    ThreadScratch& ts, int c, double dt,
+    ThreadScratch& ts, int c, double dt, double t,
     const std::array<double, 3>& inv_dx,
-    const std::array<double, kMaxOrder>& integral_coeff) {
+    const std::array<double, kMaxOrder>& integral_coeff, bool sum_reset) {
   const double* qc = cell_dofs(c);
   double* qavg_c = qavg_.data() + static_cast<std::size_t>(c) * cell_size_;
   double* qnew_c = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
@@ -152,8 +164,7 @@ void AderDgSolver::predict_cell(
     src.psi = prepared.psi.data();
     src.quantity = prepared.source.quantity;
     for (int o = 0; o <= layout_.n; ++o)
-      src.dt_derivatives[o] =
-          prepared.source.wavelet->derivative(time_, o);
+      src.dt_derivatives[o] = prepared.source.wavelet->derivative(t, o);
     src_ptr = &src;
     break;  // one source per cell supported; add_point_source validates
   }
@@ -178,6 +189,31 @@ void AderDgSolver::predict_cell(
               src.psi[(static_cast<std::size_t>(k3) * n + k2) * n + k1] *
               integral;
   }
+
+  if (!lts_enabled_) return;
+
+  if (needs_sum_[static_cast<std::size_t>(c)] != 0) {
+    // A coarser face neighbour averages this cell's two sub-averages over
+    // its full interval; fold qavg into the running window sum.
+    double* sum_c =
+        qavg_sum_.data() + static_cast<std::size_t>(c) * cell_size_;
+    if (sum_reset)
+      std::memcpy(sum_c, qavg_c, cell_size_ * sizeof(double));
+    else
+      for (std::size_t i = 0; i < cell_size_; ++i) sum_c[i] += qavg_c[i];
+  }
+
+  if (needs_half_[static_cast<std::size_t>(c)] != 0) {
+    // A finer face neighbour substeps inside this cell's interval: rerun
+    // the predictor over [t, t + dt/2] into qavg_half (the kernel
+    // overwrites its outputs, so the favg scratch is simply discarded;
+    // the same Taylor expansion point means the same source derivatives).
+    double* half_c =
+        qavg_half_.data() + static_cast<std::size_t>(c) * cell_size_;
+    StpOutputs half_out{
+        half_c, {ts.favg0.data(), ts.favg1.data(), ts.favg2.data()}};
+    ts.kernel.run(qc, 0.5 * dt, inv_dx, src_ptr, half_out);
+  }
 }
 
 void AderDgSolver::step(double dt) {
@@ -192,6 +228,32 @@ void AderDgSolver::step_phase(int phase, double dt) {
 
 void AderDgSolver::step_phase_interior(int phase, double dt) {
   EXASTP_CHECK_MSG(dt > 0.0, "dt must be positive");
+  if (lts_enabled_) {
+    EXASTP_CHECK(phase >= 0 && phase < 2 * macro_substeps_);
+    const int s = phase / 2;
+    const double dt_fine = dt / macro_substeps_;
+    if (phase % 2 == 0) {
+      // Predict fine substep s: every cluster whose step starts here
+      // (s aligned to its 2^k stride) expands at t = time_ + s dt_fine.
+      ScopedSpan span(SpanId::kPredict);
+      const auto inv_dx = grid_.inv_dx();
+      for (int k = 0; k < num_clusters_; ++k) {
+        if (s % (1 << k) != 0) continue;
+        predict_cluster(k, s, dt_fine * (1 << k), time_ + s * dt_fine,
+                        inv_dx);
+      }
+      return;
+    }
+    // Correct fine substep s, interior sweep: the clusters completing
+    // their step here read only owned qavg-family tensors.
+    ScopedSpan span(SpanId::kCorrectInterior);
+    for (int k = 0; k < num_clusters_; ++k) {
+      if ((s + 1) % (1 << k) != 0) continue;
+      correct_cluster(k, s, dt_fine * (1 << k), cluster_interior_[k]);
+    }
+    return;
+  }
+
   EXASTP_CHECK(phase == 0 || phase == 1);
   if (phase == 0) {
     ScopedSpan span(SpanId::kPredict);
@@ -204,7 +266,8 @@ void AderDgSolver::step_phase_interior(int phase, double dt) {
     par_.run(grid_.num_cells(), 1, [&](int tid, long begin, long end) {
       ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
       for (long c = begin; c < end; ++c)
-        predict_cell(ts, static_cast<int>(c), dt, inv_dx, integral_coeff);
+        predict_cell(ts, static_cast<int>(c), dt, time_, inv_dx,
+                     integral_coeff, false);
     });
     return;
   }
@@ -216,6 +279,45 @@ void AderDgSolver::step_phase_interior(int phase, double dt) {
 }
 
 void AderDgSolver::step_phase_boundary(int phase, double dt) {
+  if (lts_enabled_) {
+    EXASTP_CHECK(phase >= 0 && phase < 2 * macro_substeps_);
+    if (phase % 2 == 0) return;
+    const int s = phase / 2;
+    const double dt_fine = dt / macro_substeps_;
+    ScopedSpan span(SpanId::kCorrectBoundary);
+    for (int k = 0; k < num_clusters_; ++k) {
+      if ((s + 1) % (1 << k) != 0) continue;
+      correct_cluster(k, s, dt_fine * (1 << k), cluster_boundary_[k]);
+    }
+    if (s == macro_substeps_ - 1) {
+      // Every cluster completes at the last fine substep, so every owned
+      // cell's qnew is fresh — the whole-buffer swap and finite check of
+      // the global path apply verbatim (K == 1 IS the global path).
+      q_.swap(qnew_);
+      time_ += dt;
+      check_finite();
+      return;
+    }
+    // Intermediate advance: only the completing clusters' cells move to
+    // their substepped state; everyone else keeps stepping from q.
+    for (int k = 0; k < num_clusters_; ++k) {
+      if ((s + 1) % (1 << k) != 0) continue;
+      const std::vector<int>& cells = cluster_cells_[k];
+      par_.run(static_cast<long>(cells.size()), 1,
+               [&](int /*tid*/, long begin, long end) {
+                 for (long i = begin; i < end; ++i) {
+                   const std::size_t off =
+                       static_cast<std::size_t>(
+                           cells[static_cast<std::size_t>(i)]) *
+                       cell_size_;
+                   std::memcpy(q_.data() + off, qnew_.data() + off,
+                               cell_size_ * sizeof(double));
+                 }
+               });
+    }
+    return;
+  }
+
   EXASTP_CHECK(phase == 0 || phase == 1);
   if (phase == 0) return;
 
@@ -228,16 +330,51 @@ void AderDgSolver::step_phase_boundary(int phase, double dt) {
   check_finite();
 }
 
-void AderDgSolver::correct_cell(ThreadScratch& ts, int c, double dt) {
+void AderDgSolver::correct_cell(ThreadScratch& ts, int c, double dt, int s) {
   const auto inv_dx = grid_.inv_dx();
-  const auto qavg_of = [this](int cell) -> const double* {
-    return qavg_.data() + static_cast<std::size_t>(cell) * cell_size_;
-  };
   double* qnew_c = qnew_.data() + static_cast<std::size_t>(c) * cell_size_;
+  if (!lts_enabled_ || num_clusters_ == 1) {
+    const auto qavg_of = [this](int cell) -> const double* {
+      return qavg_.data() + static_cast<std::size_t>(cell) * cell_size_;
+    };
+    for (int dir = 0; dir < 3; ++dir)
+      for (int side = 0; side < 2; ++side)
+        apply_own_face(*pde_, grid_, layout_, basis_, vars_, c, dir, side,
+                       dt * inv_dx[dir], qavg_of, ts.faces, qnew_c);
+    return;
+  }
+
+  // Cross-cluster neighbour states, derived on the fly from the CK/Taylor
+  // identity avg[dt/2, dt] = 2 avg[0, dt] - avg[0, dt/2]. The own cell is
+  // always same-cluster (direct pointer), so one scratch tensor per
+  // thread suffices — each face consumes it before the next face derives
+  // a new one. Parameter rows survive every derivation (2p - p = p,
+  // 0.5 (p + p) = p), so face solves see valid materials.
+  const int k = cluster_[static_cast<std::size_t>(c)];
+  double* tmp = ts.nb_state.data();
+  const auto state_of = [this, k, s, tmp](int cell) -> const double* {
+    const std::size_t off = static_cast<std::size_t>(cell) * cell_size_;
+    const double* avg = qavg_.data() + off;
+    const int nk = cluster_[static_cast<std::size_t>(cell)];
+    if (nk == k) return avg;
+    if (nk > k) {
+      // Coarser neighbour: its interval spans two of my steps; my local
+      // substep parity says which half I am in.
+      const double* half = qavg_half_.data() + off;
+      if (((s >> k) & 1) == 0) return half;
+      for (std::size_t i = 0; i < cell_size_; ++i)
+        tmp[i] = 2.0 * avg[i] - half[i];
+      return tmp;
+    }
+    // Finer neighbour: mean of its two sub-averages over my interval.
+    const double* sum = qavg_sum_.data() + off;
+    for (std::size_t i = 0; i < cell_size_; ++i) tmp[i] = 0.5 * sum[i];
+    return tmp;
+  };
   for (int dir = 0; dir < 3; ++dir)
     for (int side = 0; side < 2; ++side)
       apply_own_face(*pde_, grid_, layout_, basis_, vars_, c, dir, side,
-                     dt * inv_dx[dir], qavg_of, ts.faces, qnew_c);
+                     dt * inv_dx[dir], state_of, ts.faces, qnew_c);
 }
 
 void AderDgSolver::apply_corrector(double dt, const std::vector<int>& cells) {
@@ -249,8 +386,149 @@ void AderDgSolver::apply_corrector(double dt, const std::vector<int>& cells) {
            [&](int tid, long begin, long end) {
              ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
              for (long i = begin; i < end; ++i)
-               correct_cell(ts, cells[static_cast<std::size_t>(i)], dt);
+               correct_cell(ts, cells[static_cast<std::size_t>(i)], dt, 0);
            });
+}
+
+void AderDgSolver::predict_cluster(int k, int s, double dt_k, double t,
+                                   const std::array<double, 3>& inv_dx) {
+  ScopedSpan span(SpanId::kLtsCluster, /*arg=*/k);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto integral_coeff = taylor_coefficients(dt_k, layout_.n);
+  // A new sum window opens on every even local substep (the start of the
+  // coarser neighbour's interval).
+  const bool sum_reset = ((s >> k) & 1) == 0;
+  const std::vector<int>& cells = cluster_cells_[static_cast<std::size_t>(k)];
+  par_.run(static_cast<long>(cells.size()), 1,
+           [&](int tid, long begin, long end) {
+             ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+             for (long i = begin; i < end; ++i)
+               predict_cell(ts, cells[static_cast<std::size_t>(i)], dt_k, t,
+                            inv_dx, integral_coeff, sum_reset);
+           });
+  cluster_ns_[static_cast<std::size_t>(k)] +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  cluster_cell_substeps_[static_cast<std::size_t>(k)] +=
+      static_cast<long long>(cells.size());
+}
+
+void AderDgSolver::correct_cluster(int k, int s, double dt_k,
+                                   const std::vector<int>& cells) {
+  ScopedSpan span(SpanId::kLtsCluster, /*arg=*/k);
+  const auto t0 = std::chrono::steady_clock::now();
+  par_.run(static_cast<long>(cells.size()), 1,
+           [&](int tid, long begin, long end) {
+             ThreadScratch& ts = scratch_[static_cast<std::size_t>(tid)];
+             for (long i = begin; i < end; ++i)
+               correct_cell(ts, cells[static_cast<std::size_t>(i)], dt_k, s);
+           });
+  cluster_ns_[static_cast<std::size_t>(k)] +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void AderDgSolver::enable_lts(const std::vector<int>& cluster_of_cell,
+                              int num_clusters) {
+  const int total = grid_.num_cells() + grid_.num_halo_cells();
+  EXASTP_CHECK_MSG(num_clusters >= 1, "lts needs at least one cluster");
+  EXASTP_CHECK_MSG(
+      static_cast<int>(cluster_of_cell.size()) == total,
+      "lts cluster assignment must cover owned + halo cells");
+  for (const int k : cluster_of_cell)
+    EXASTP_CHECK_MSG(k >= 0 && k < num_clusters,
+                     "lts cluster assignment out of range");
+  // The CK/Taylor coupling covers exactly one rate level per face; the
+  // engine's binning normalizes to this invariant, re-checked here so a
+  // hand-built assignment cannot silently desynchronize.
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    for (int dir = 0; dir < 3; ++dir) {
+      for (int side = 0; side < 2; ++side) {
+        const NeighborRef nb = grid_.neighbor(c, dir, side);
+        if (nb.boundary) continue;
+        const int diff = cluster_of_cell[static_cast<std::size_t>(c)] -
+                         cluster_of_cell[static_cast<std::size_t>(nb.cell)];
+        EXASTP_CHECK_MSG(diff >= -1 && diff <= 1,
+                         "lts face neighbours must be at most one rate "
+                         "cluster apart");
+      }
+    }
+  }
+
+  cluster_ = cluster_of_cell;
+  num_clusters_ = num_clusters;
+  macro_substeps_ = 1 << (num_clusters - 1);
+  lts_enabled_ = true;
+
+  // Per-cluster sweep lists, filtered from the global orders so the
+  // K == 1 degenerate case walks exactly the global sweeps.
+  cluster_cells_.assign(static_cast<std::size_t>(num_clusters), {});
+  for (int c = 0; c < grid_.num_cells(); ++c)
+    cluster_cells_[static_cast<std::size_t>(cluster_[c])].push_back(c);
+  cluster_interior_.assign(static_cast<std::size_t>(num_clusters), {});
+  for (const int c : interior_cells_)
+    cluster_interior_[static_cast<std::size_t>(cluster_[c])].push_back(c);
+  cluster_boundary_.assign(static_cast<std::size_t>(num_clusters), {});
+  for (const int c : boundary_cells_)
+    cluster_boundary_[static_cast<std::size_t>(cluster_[c])].push_back(c);
+
+  // Production flags: which owned cells must publish the extra
+  // time-averages. Halo neighbours count — the reader may live on
+  // another shard, and the exchange moves whatever this shard produced.
+  needs_half_.assign(static_cast<std::size_t>(total), 0);
+  needs_sum_.assign(static_cast<std::size_t>(total), 0);
+  for (int c = 0; c < grid_.num_cells(); ++c) {
+    for (int dir = 0; dir < 3; ++dir) {
+      for (int side = 0; side < 2; ++side) {
+        const NeighborRef nb = grid_.neighbor(c, dir, side);
+        if (nb.boundary) continue;
+        const int nk = cluster_[static_cast<std::size_t>(nb.cell)];
+        const int k = cluster_[static_cast<std::size_t>(c)];
+        if (nk < k) needs_half_[static_cast<std::size_t>(c)] = 1;
+        if (nk > k) needs_sum_[static_cast<std::size_t>(c)] = 1;
+      }
+    }
+  }
+
+  if (num_clusters_ > 1) {
+    const std::size_t size = static_cast<std::size_t>(total) * cell_size_;
+    qavg_half_.assign(size, 0.0);
+    qavg_sum_.assign(size, 0.0);
+  }
+  cluster_ns_.assign(static_cast<std::size_t>(num_clusters), 0);
+  cluster_cell_substeps_.assign(static_cast<std::size_t>(num_clusters), 0);
+}
+
+std::vector<SolverBase::LtsClusterStats> AderDgSolver::lts_cluster_stats()
+    const {
+  if (!lts_enabled_) return {};
+  std::vector<LtsClusterStats> stats(
+      static_cast<std::size_t>(num_clusters_));
+  for (int k = 0; k < num_clusters_; ++k) {
+    LtsClusterStats& st = stats[static_cast<std::size_t>(k)];
+    st.cells = static_cast<int>(
+        cluster_cells_[static_cast<std::size_t>(k)].size());
+    st.cell_substeps = cluster_cell_substeps_[static_cast<std::size_t>(k)];
+    st.ns = cluster_ns_[static_cast<std::size_t>(k)];
+  }
+  return stats;
+}
+
+std::vector<SolverBase::PhaseHaloField> AderDgSolver::step_phase_halo_fields(
+    int phase) {
+  double* primary = step_phase_halo(phase);
+  if (primary == nullptr) return {};
+  std::vector<PhaseHaloField> fields{PhaseHaloField{primary, 0}};
+  if (num_clusters_ > 1) {
+    // Over-exchange by design: not every correct phase reads every
+    // buffer, but a fixed field set keeps all shards' posts structurally
+    // agreed without any cross-shard negotiation.
+    fields.push_back(PhaseHaloField{qavg_half_.data(), 1});
+    fields.push_back(PhaseHaloField{qavg_sum_.data(), 2});
+  }
+  return fields;
 }
 
 void AderDgSolver::check_finite() const {

@@ -35,6 +35,22 @@
 
 namespace exastp {
 
+/// One logical field of a (possibly multi-field) exchange.
+/// `shard_fields[s]` is the base of shard s's DOF array (owned cells
+/// first, halo blocks appended) for every shard materialized in this
+/// process, nullptr for the others. `channel` is a small non-negative id
+/// namespacing the transfer (the MPI tag space), so several fields — the
+/// LTS corrector reads qavg, qavg_half and qavg_sum halos — move inside
+/// one posted exchange without mixing bytes. Channels within one post
+/// must be distinct.
+struct ExchangeField {
+  std::vector<double*> shard_fields;
+  int channel = 0;
+};
+
+/// Channel ids stay below this bound (keeps MPI tags small and valid).
+inline constexpr int kMaxExchangeChannels = 64;
+
 class ExchangeBackend {
  public:
   virtual ~ExchangeBackend() = default;
@@ -42,18 +58,22 @@ class ExchangeBackend {
   /// Registry-style key: "inprocess" or "mpi".
   virtual std::string name() const = 0;
 
-  /// Starts refreshing the halo rings of one logical field.
-  /// `shard_fields[s]` is the base of shard s's DOF array (owned cells
-  /// first, halo blocks appended) for every shard materialized in this
-  /// process, nullptr for the others — the in-process backend needs all
-  /// entries, the MPI backend exactly this rank's. No exchange may
-  /// already be in flight.
+  /// Starts refreshing the halo rings of one logical field on channel 0.
+  /// The in-process backend needs all shard entries, the MPI backend
+  /// exactly this rank's. No exchange may already be in flight.
   ///
   /// Non-virtual wrappers time every backend uniformly (the exchange_post /
   /// exchange_wait telemetry spans); backends implement do_post/do_wait.
   void post(const std::vector<double*>& shard_fields) {
+    post_fields({ExchangeField{shard_fields, 0}});
+  }
+
+  /// Multi-field form: every field's halo rings refresh inside the same
+  /// posted exchange (the backends allow only one in flight at a time, so
+  /// phases that read several fields must post them together).
+  void post_fields(const std::vector<ExchangeField>& fields) {
     ScopedSpan span(SpanId::kExchangePost);
-    do_post(shard_fields);
+    do_post(fields);
   }
 
   /// Completes the posted exchange; afterwards every halo slot of the
@@ -83,7 +103,7 @@ class ExchangeBackend {
   std::size_t copied_bytes_per_exchange() const { return copied_bytes_; }
 
  protected:
-  virtual void do_post(const std::vector<double*>& shard_fields) = 0;
+  virtual void do_post(const std::vector<ExchangeField>& fields) = 0;
   virtual void do_wait() = 0;
 
   std::size_t payload_bytes_ = 0;

@@ -24,26 +24,30 @@ InProcessExchange::InProcessExchange(const Partition& partition,
   }
 }
 
-void InProcessExchange::do_post(const std::vector<double*>& shard_fields) {
+void InProcessExchange::do_post(const std::vector<ExchangeField>& fields) {
   EXASTP_CHECK_MSG(!in_flight_, "an exchange is already in flight");
   in_flight_ = true;
-  for (const Link& link : links_) {
-    EXASTP_CHECK(link.src_shard >= 0 &&
-                 link.src_shard < static_cast<int>(shard_fields.size()) &&
-                 link.dst_shard < static_cast<int>(shard_fields.size()));
-    const double* src = shard_fields[static_cast<std::size_t>(link.src_shard)];
-    double* dst = shard_fields[static_cast<std::size_t>(link.dst_shard)];
-    EXASTP_CHECK_MSG(src != nullptr && dst != nullptr,
-                     "the in-process backend needs every shard's field");
+  for (const ExchangeField& field : fields) {
+    const std::vector<double*>& shard_fields = field.shard_fields;
+    for (const Link& link : links_) {
+      EXASTP_CHECK(link.src_shard >= 0 &&
+                   link.src_shard < static_cast<int>(shard_fields.size()) &&
+                   link.dst_shard < static_cast<int>(shard_fields.size()));
+      const double* src =
+          shard_fields[static_cast<std::size_t>(link.src_shard)];
+      double* dst = shard_fields[static_cast<std::size_t>(link.dst_shard)];
+      EXASTP_CHECK_MSG(src != nullptr && dst != nullptr,
+                       "the in-process backend needs every shard's field");
 
-    // Zero-copy gather: the halo block is contiguous in the destination
-    // array and ordered like the plan's plane, so each source tensor lands
-    // directly in its slot — no intermediate send/recv buffers.
-    double* out = dst + link.dst_offset;
-    for (const int cell : link.src_cells) {
-      std::memcpy(out, src + static_cast<std::size_t>(cell) * cell_size_,
-                  cell_size_ * sizeof(double));
-      out += cell_size_;
+      // Zero-copy gather: the halo block is contiguous in the destination
+      // array and ordered like the plan's plane, so each source tensor lands
+      // directly in its slot — no intermediate send/recv buffers.
+      double* out = dst + link.dst_offset;
+      for (const int cell : link.src_cells) {
+        std::memcpy(out, src + static_cast<std::size_t>(cell) * cell_size_,
+                    cell_size_ * sizeof(double));
+        out += cell_size_;
+      }
     }
   }
 }

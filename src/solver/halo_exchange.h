@@ -35,12 +35,13 @@ class InProcessExchange final : public ExchangeBackend {
   std::string name() const override { return "inprocess"; }
 
  protected:
-  /// Delivers every shard's halo ring synchronously. All entries of
-  /// `shard_fields` must be non-null. Reads owned cells, writes only halo
-  /// slots. The post/wait pairing is enforced even though delivery is
-  /// synchronous, so a driver that would deadlock or corrupt halos under
-  /// the MPI backend fails the local test suite too.
-  void do_post(const std::vector<double*>& shard_fields) override;
+  /// Delivers every shard's halo ring synchronously, one field after
+  /// another. All shard entries of every field must be non-null. Reads
+  /// owned cells, writes only halo slots. The post/wait pairing is
+  /// enforced even though delivery is synchronous, so a driver that would
+  /// deadlock or corrupt halos under the MPI backend fails the local test
+  /// suite too.
+  void do_post(const std::vector<ExchangeField>& fields) override;
   void do_wait() override;
 
  private:

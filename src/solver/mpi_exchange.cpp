@@ -56,12 +56,11 @@ class MpiExchangeBackend final : public ExchangeBackend {
         op.peer = s;
         op.tag = plan.dir * 2 + plan.side;
         op.cells = plan.src_cells;
-        op.buffer.assign(plan.src_cells.size() * cell_size_, 0.0);
-        EXASTP_CHECK_MSG(op.buffer.size() <=
-                             static_cast<std::size_t>(
-                                 std::numeric_limits<int>::max()),
+        const std::size_t doubles = plan.src_cells.size() * cell_size_;
+        EXASTP_CHECK_MSG(doubles <= static_cast<std::size_t>(
+                                        std::numeric_limits<int>::max()),
                          "halo face exceeds the MPI int count limit");
-        copied_bytes_ += op.buffer.size() * sizeof(double);
+        copied_bytes_ += doubles * sizeof(double);
         sends_.push_back(std::move(op));
       }
     }
@@ -71,31 +70,47 @@ class MpiExchangeBackend final : public ExchangeBackend {
   std::string name() const override { return "mpi"; }
 
  protected:
-  void do_post(const std::vector<double*>& shard_fields) override {
+  void do_post(const std::vector<ExchangeField>& fields) override {
     EXASTP_CHECK_MSG(!in_flight_, "an exchange is already in flight");
-    EXASTP_CHECK(rank_ < static_cast<int>(shard_fields.size()));
-    double* mine = shard_fields[static_cast<std::size_t>(rank_)];
-    EXASTP_CHECK_MSG(mine != nullptr,
-                     "the mpi backend needs this rank's shard field");
-
     requests_.clear();
-    for (const RecvOp& op : recvs_) {
-      MPI_Request request;
-      MPI_Irecv(mine + op.offset, static_cast<int>(op.count), MPI_DOUBLE,
-                op.peer, op.tag, MPI_COMM_WORLD, &request);
-      requests_.push_back(request);
-    }
-    for (SendOp& op : sends_) {
-      double* out = op.buffer.data();
-      for (const int cell : op.cells) {
-        std::memcpy(out, mine + static_cast<std::size_t>(cell) * cell_size_,
-                    cell_size_ * sizeof(double));
-        out += cell_size_;
+    // Every field of the post flies concurrently; the channel widens the
+    // (dir, side) tag so same-face messages of different fields cannot be
+    // matched across channels. Each send op keeps one pack buffer per
+    // field slot so all packed planes stay live until do_wait.
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      const ExchangeField& field = fields[f];
+      EXASTP_CHECK_MSG(
+          field.channel >= 0 && field.channel < kMaxExchangeChannels,
+          "exchange channel out of range");
+      EXASTP_CHECK(rank_ < static_cast<int>(field.shard_fields.size()));
+      double* mine = field.shard_fields[static_cast<std::size_t>(rank_)];
+      EXASTP_CHECK_MSG(mine != nullptr,
+                       "the mpi backend needs this rank's shard field");
+
+      for (const RecvOp& op : recvs_) {
+        MPI_Request request;
+        MPI_Irecv(mine + op.offset, static_cast<int>(op.count), MPI_DOUBLE,
+                  op.peer, field.channel * 6 + op.tag, MPI_COMM_WORLD,
+                  &request);
+        requests_.push_back(request);
       }
-      MPI_Request request;
-      MPI_Isend(op.buffer.data(), static_cast<int>(op.buffer.size()),
-                MPI_DOUBLE, op.peer, op.tag, MPI_COMM_WORLD, &request);
-      requests_.push_back(request);
+      for (SendOp& op : sends_) {
+        if (op.buffers.size() <= f)
+          op.buffers.resize(f + 1);
+        AlignedVector& buffer = op.buffers[f];
+        buffer.assign(op.cells.size() * cell_size_, 0.0);
+        double* out = buffer.data();
+        for (const int cell : op.cells) {
+          std::memcpy(out, mine + static_cast<std::size_t>(cell) * cell_size_,
+                      cell_size_ * sizeof(double));
+          out += cell_size_;
+        }
+        MPI_Request request;
+        MPI_Isend(buffer.data(), static_cast<int>(buffer.size()), MPI_DOUBLE,
+                  op.peer, field.channel * 6 + op.tag, MPI_COMM_WORLD,
+                  &request);
+        requests_.push_back(request);
+      }
     }
     in_flight_ = true;
   }
@@ -116,9 +131,9 @@ class MpiExchangeBackend final : public ExchangeBackend {
   };
   struct SendOp {
     int peer = -1;
-    int tag = 0;
+    int tag = 0;             ///< base tag; channel * 6 is added per field
     std::vector<int> cells;  ///< pack order = the receiver's halo order
-    AlignedVector buffer;
+    std::vector<AlignedVector> buffers;  ///< one pack buffer per field slot
   };
 
   std::size_t cell_size_ = 0;

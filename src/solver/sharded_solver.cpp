@@ -44,12 +44,12 @@ ShardedSolver::ShardedSolver(
     EXASTP_CHECK_MSG(shard != nullptr, "shard factory returned null");
     shards_[static_cast<std::size_t>(s)] = std::move(shard);
   }
-  phases_ = primary().num_step_phases();
+  const int phases = primary().num_step_phases();
   for (const auto& shard : shards_) {
     if (shard == nullptr) continue;
     EXASTP_CHECK_MSG(shard->layout().size() == primary().layout().size() &&
                          shard->stepper_name() == primary().stepper_name() &&
-                         shard->num_step_phases() == phases_,
+                         shard->num_step_phases() == phases,
                      "all shards must share layout and stepper");
   }
   exchange_ =
@@ -98,23 +98,45 @@ double ShardedSolver::stable_dt(double cfl) const {
 }
 
 void ShardedSolver::step(double dt) {
-  std::vector<double*> fields(shards_.size(), nullptr);
-  for (int phase = 0; phase < phases_; ++phase) {
-    std::size_t wanting = 0, locals = 0;
+  const int phases = num_step_phases();
+  for (int phase = 0; phase < phases; ++phase) {
+    // Collect every local shard's halo fields for the phase. All shards
+    // run the same stepper over the same configuration, so their field
+    // lists must agree structurally (count and channels); the fields of
+    // one channel assemble into one ExchangeField, and every channel
+    // flies inside a single posted exchange (the backends allow only one
+    // in flight).
+    std::vector<ExchangeField> exchange_fields;
+    bool first_local = true;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      fields[s] = nullptr;
       if (shards_[s] == nullptr) continue;
-      ++locals;
-      fields[s] = shards_[s]->step_phase_halo(phase);
-      if (fields[s] != nullptr) ++wanting;
+      const std::vector<PhaseHaloField> shard_fields =
+          shards_[s]->step_phase_halo_fields(phase);
+      if (first_local) {
+        exchange_fields.resize(shard_fields.size());
+        for (std::size_t f = 0; f < shard_fields.size(); ++f) {
+          exchange_fields[f].channel = shard_fields[f].channel;
+          exchange_fields[f].shard_fields.assign(shards_.size(), nullptr);
+        }
+        first_local = false;
+      } else {
+        EXASTP_CHECK_MSG(shard_fields.size() == exchange_fields.size(),
+                         "shards disagree on the phase's halo fields");
+      }
+      for (std::size_t f = 0; f < shard_fields.size(); ++f) {
+        EXASTP_CHECK_MSG(
+            shard_fields[f].channel == exchange_fields[f].channel,
+            "shards disagree on the phase's halo channels");
+        EXASTP_CHECK_MSG(shard_fields[f].data != nullptr,
+                         "halo field without storage");
+        exchange_fields[f].shard_fields[s] = shard_fields[f].data;
+      }
     }
-    EXASTP_CHECK_MSG(wanting == 0 || wanting == locals,
-                     "shards disagree on the phase's halo field");
-    const bool exchanging = wanting > 0;
+    const bool exchanging = !exchange_fields.empty();
 
     // Split-phase schedule: the interior sweeps run while the halo bytes
     // are in flight; the boundary sweeps (which read halo slots) wait.
-    if (exchanging) exchange_->post(fields);
+    if (exchanging) exchange_->post_fields(exchange_fields);
     {
       // Interior time spent while an exchange is in flight is the hidden
       // communication: aggregate it so overlap efficiency = hidden /
@@ -142,6 +164,53 @@ void ShardedSolver::step(double dt) {
       shards_[s]->step_phase_boundary(phase, dt);
     }
   }
+}
+
+void ShardedSolver::enable_lts(const std::vector<int>& cluster_of_cell,
+                               int num_clusters) {
+  EXASTP_CHECK_MSG(static_cast<int>(cluster_of_cell.size()) ==
+                       global_grid_.num_cells(),
+                   "the sharded solver's lts cluster assignment is indexed "
+                   "by global cells");
+  for (int s = 0; s < num_shards(); ++s) {
+    if (!shard_is_local(s)) continue;
+    const Subdomain& sub = partition_.subdomain(s);
+    const Grid& g = sub.grid;
+    std::vector<int> local(
+        static_cast<std::size_t>(g.num_cells() + g.num_halo_cells()), 0);
+    for (int lc = 0; lc < g.num_cells(); ++lc)
+      local[static_cast<std::size_t>(lc)] =
+          cluster_of_cell[static_cast<std::size_t>(
+              partition_.global_cell(s, lc))];
+    // Halo slots: the plan names the source shard's local cells in slot
+    // order, so each slot's cluster resolves through the same global map
+    // the owning shard uses — no communication, no disagreement.
+    for (const HaloPlan& plan : sub.halos) {
+      for (std::size_t i = 0; i < plan.src_cells.size(); ++i)
+        local[static_cast<std::size_t>(plan.dst_begin) + i] =
+            cluster_of_cell[static_cast<std::size_t>(
+                partition_.global_cell(plan.src_shard, plan.src_cells[i]))];
+    }
+    shards_[static_cast<std::size_t>(s)]->enable_lts(local, num_clusters);
+  }
+}
+
+std::vector<SolverBase::LtsClusterStats> ShardedSolver::lts_cluster_stats()
+    const {
+  std::vector<LtsClusterStats> total;
+  for (const auto& shard : shards_) {
+    if (shard == nullptr) continue;
+    const std::vector<LtsClusterStats> stats = shard->lts_cluster_stats();
+    if (total.empty()) total.resize(stats.size());
+    EXASTP_CHECK_MSG(stats.size() == total.size(),
+                     "shards disagree on the lts cluster count");
+    for (std::size_t k = 0; k < stats.size(); ++k) {
+      total[k].cells += stats[k].cells;
+      total[k].cell_substeps += stats[k].cell_substeps;
+      total[k].ns += stats[k].ns;
+    }
+  }
+  return total;
 }
 
 const double* ShardedSolver::cell_dofs(int cell) const {

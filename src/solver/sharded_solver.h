@@ -87,10 +87,31 @@ class ShardedSolver final : public SolverBase {
   /// since max-wave-speed reduction commutes exactly.
   double stable_dt(double cfl = 0.4) const override;
 
-  /// Lockstep split-phase protocol: post the phase's halo field, run every
-  /// local shard's interior sweep while it is in flight, wait, then the
-  /// boundary sweeps.
+  /// Lockstep split-phase protocol: post the phase's halo fields, run
+  /// every local shard's interior sweep while they are in flight, wait,
+  /// then the boundary sweeps.
   void step(double dt) override;
+
+  /// Phase count of the sub-solvers — queried live, because enable_lts
+  /// grows the ADER protocol from 2 to 2 * 2^(K-1) phases.
+  int num_step_phases() const override {
+    return primary().num_step_phases();
+  }
+
+  /// Clustered LTS over the decomposition: `cluster_of_cell` uses GLOBAL
+  /// cell indexing; each local shard receives its owned cells' entries
+  /// plus its halo slots' (resolved through the halo plans), so all
+  /// shards agree on every cross-boundary rate without communicating.
+  void enable_lts(const std::vector<int>& cluster_of_cell,
+                  int num_clusters) override;
+  int lts_num_clusters() const override {
+    return primary().lts_num_clusters();
+  }
+  /// Aggregated over local shards (cells/substeps/ns sum per cluster).
+  std::vector<LtsClusterStats> lts_cluster_stats() const override;
+  double plan_step(double stable) const override {
+    return primary().plan_step(stable);
+  }
 
   /// Global-cell routing: the owning shard's local tensor / node. Under
   /// backend=mpi only locally-owned cells are served.
@@ -127,7 +148,6 @@ class ShardedSolver final : public SolverBase {
   /// (all of them for backend=inprocess, exactly [rank_] for backend=mpi).
   std::vector<std::unique_ptr<SolverBase>> shards_;
   std::unique_ptr<ExchangeBackend> exchange_;
-  int phases_ = 1;
 };
 
 }  // namespace exastp

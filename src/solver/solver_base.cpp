@@ -26,6 +26,20 @@ void SolverBase::step_phase_boundary(int phase, double dt) {
 
 double* SolverBase::step_phase_halo(int /*phase*/) { return nullptr; }
 
+std::vector<SolverBase::PhaseHaloField> SolverBase::step_phase_halo_fields(
+    int phase) {
+  double* field = step_phase_halo(phase);
+  if (field == nullptr) return {};
+  return {PhaseHaloField{field, 0}};
+}
+
+void SolverBase::enable_lts(const std::vector<int>& /*cluster_of_cell*/,
+                            int /*num_clusters*/) {
+  EXASTP_FAIL("this stepper (" + stepper_name() +
+              ") does not support clustered local time stepping (lts=on "
+              "needs stepper=ader)");
+}
+
 const SolverBase& SolverBase::shard(int s) const {
   EXASTP_CHECK_MSG(s == 0, "monolithic solvers have exactly one shard");
   return *this;
@@ -50,7 +64,7 @@ int SolverBase::run_until(double t_end, double cfl) {
     double dt;
     {
       ScopedSpan span(SpanId::kStableDt);
-      dt = stable_dt(cfl);
+      dt = plan_step(stable_dt(cfl));
     }
     if (time() + dt > t_end) dt = t_end - time();
     {

@@ -78,10 +78,45 @@ class SolverBase {
 
   /// CFL-limited stable time step from the current solution.
   virtual double stable_dt(double cfl = 0.4) const = 0;
+  /// Maps the CFL-stable dt to the dt one step() call actually advances.
+  /// The identity for global stepping; the clustered-LTS ADER stepper
+  /// returns stable * 2^(K-1) — one macro step spans the coarsest
+  /// cluster's dt while the finest cluster substeps at the stable rate.
+  /// run_until calls this between stable_dt and the tail clamp, so a
+  /// clamped macro step shrinks every cluster's dt proportionally (still
+  /// stable: clamping only decreases dt).
+  virtual double plan_step(double stable) const { return stable; }
   /// Advances by one step of size dt. Throws std::runtime_error if the
   /// solution leaves the finite range (blow-up detection). Observer hooks
   /// do NOT fire for direct step() calls — run_until owns the loop.
   virtual void step(double dt) = 0;
+
+  // ---- Clustered local time stepping ----------------------------------
+
+  /// Switches the stepper to clustered LTS. `cluster_of_cell[c]` is the
+  /// rate cluster (0 = finest) of cell c in THIS solver's grid indexing —
+  /// owned cells first, then halo slots, exactly grid().num_cells() +
+  /// grid().num_halo_cells() entries. Cluster k steps with dt_k =
+  /// dt_fine * 2^k; face neighbours must be at most one cluster apart
+  /// (the caller normalizes the binning). Steppers without LTS support
+  /// throw; ShardedSolver accepts GLOBAL cell indexing and maps it onto
+  /// each local shard. num_clusters == 1 must reproduce global stepping
+  /// bitwise.
+  virtual void enable_lts(const std::vector<int>& cluster_of_cell,
+                          int num_clusters);
+  /// Rate clusters the stepper advances (1 = global stepping).
+  virtual int lts_num_clusters() const { return 1; }
+  /// Per-cluster telemetry for the metrics stream, the end-of-run summary
+  /// and the measured-cost balance table. Empty when LTS is off. For the
+  /// sharded composite: aggregated over local shards.
+  struct LtsClusterStats {
+    int cells = 0;                ///< owned cells assigned to the cluster
+    long long cell_substeps = 0;  ///< cell-substeps executed so far
+    long long ns = 0;             ///< measured wall ns in cluster sweeps
+  };
+  virtual std::vector<LtsClusterStats> lts_cluster_stats() const {
+    return {};
+  }
 
   // ---- Domain-decomposition stepping protocol -------------------------
   // A step decomposes into num_step_phases() ordered phases. Before phase
@@ -122,6 +157,22 @@ class SolverBase {
   /// Base of the array whose halo must be refreshed before `phase`, or
   /// nullptr when that phase reads no neighbour tensors.
   virtual double* step_phase_halo(int phase);
+
+  /// One halo field a phase reads, with the exchange channel that
+  /// namespaces its transfer (solver/exchange_backend.h). Channels: 0 =
+  /// the primary field (qavg / stage state), 1 = qavg_half, 2 = qavg_sum
+  /// (the LTS corrector's extra buffers).
+  struct PhaseHaloField {
+    double* data = nullptr;
+    int channel = 0;
+  };
+  /// All halo fields `phase` reads (empty = no neighbour data). The
+  /// multi-field generalization of step_phase_halo for phases that read
+  /// several arrays — the LTS corrector needs qavg, qavg_half and
+  /// qavg_sum refreshed together. Default: wraps step_phase_halo as a
+  /// single channel-0 field, so existing steppers keep their protocol
+  /// (and their MPI tags) unchanged.
+  virtual std::vector<PhaseHaloField> step_phase_halo_fields(int phase);
 
   /// Mesh shards behind this solver: 1 for monolithic solvers, the
   /// partition size for ShardedSolver. shard(s) exposes the per-shard

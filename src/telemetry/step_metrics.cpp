@@ -23,7 +23,8 @@ std::int64_t wall_ns_now() {
 constexpr char kCsvHeader[] =
     "step,t,dt,wall_s,predict_s,correct_s,rk_stage_s,exchange_post_s,"
     "exchange_wait_s,overlap_eff,shard_min_s,shard_mean_s,shard_max_s,"
-    "imbalance,cache_hits,flops,mflops_s";
+    "imbalance,cache_hits,flops,mflops_s,lts_clusters,lts_substeps,"
+    "lts_imbalance";
 
 /// Metric values print compactly but round-trip well enough for plots;
 /// "nan" keeps the columns numerically parseable (the receiver-CSV idiom).
@@ -114,6 +115,26 @@ void StepMetricsObserver::on_step(const SolverBase& solver, int step) {
   const double mflops = wall > 0.0 ? flops / wall * 1e-6 : nan;
   const long cache_hits = kernel_cache_stats().hits;
 
+  // Clustered LTS: cluster count, cumulative cell-substeps, and the
+  // skew of measured per-cluster sweep time (max / mean over clusters;
+  // 1 = perfectly even). All nan when LTS is off.
+  double lts_clusters = nan, lts_substeps = nan, lts_imbalance = nan;
+  const auto cluster_stats = solver.lts_cluster_stats();
+  if (!cluster_stats.empty()) {
+    lts_clusters = static_cast<double>(cluster_stats.size());
+    long long substeps = 0, ns_max = 0, ns_sum = 0;
+    for (const auto& st : cluster_stats) {
+      substeps += st.cell_substeps;
+      ns_max = std::max(ns_max, st.ns);
+      ns_sum += st.ns;
+    }
+    lts_substeps = static_cast<double>(substeps);
+    if (ns_sum > 0)
+      lts_imbalance = static_cast<double>(ns_max) /
+                      (static_cast<double>(ns_sum) /
+                       static_cast<double>(cluster_stats.size()));
+  }
+
   if (jsonl_) {
     std::ostringstream os;
     os << "{\"step\":" << step << ",\"t\":" << metric(now.t)
@@ -129,7 +150,10 @@ void StepMetricsObserver::on_step(const SolverBase& solver, int step) {
        << ",\"shard_max_s\":" << metric(shard_max)
        << ",\"imbalance\":" << metric(imbalance)
        << ",\"cache_hits\":" << cache_hits << ",\"flops\":" << metric(flops)
-       << ",\"mflops_s\":" << metric(mflops) << "}";
+       << ",\"mflops_s\":" << metric(mflops)
+       << ",\"lts_clusters\":" << metric(lts_clusters)
+       << ",\"lts_substeps\":" << metric(lts_substeps)
+       << ",\"lts_imbalance\":" << metric(lts_imbalance) << "}";
     // JSON has no NaN literal; the metric() "nan" tokens become null.
     std::string line = os.str();
     std::size_t pos = 0;
@@ -146,7 +170,8 @@ void StepMetricsObserver::on_step(const SolverBase& solver, int step) {
          << "," << metric(overlap_eff) << "," << metric(shard_min) << ","
          << metric(shard_mean) << "," << metric(shard_max) << ","
          << metric(imbalance) << "," << cache_hits << "," << metric(flops)
-         << "," << metric(mflops) << "\n"
+         << "," << metric(mflops) << "," << metric(lts_clusters) << ","
+         << metric(lts_substeps) << "," << metric(lts_imbalance) << "\n"
          << std::flush;
   }
   last_ = now;

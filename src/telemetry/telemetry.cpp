@@ -28,6 +28,7 @@ const char* span_name(SpanId id) {
     case SpanId::kSetupSolver: return "setup_solver";
     case SpanId::kSetupInit: return "setup_init";
     case SpanId::kJob: return "job";
+    case SpanId::kLtsCluster: return "lts_cluster";
     case SpanId::kNumSpanIds: break;
   }
   EXASTP_FAIL("unknown span id");

@@ -72,6 +72,7 @@ enum class SpanId : std::int32_t {
   kSetupSolver,       ///< from_config: kernel + solver construction
   kSetupInit,         ///< from_config: initial condition + sources
   kJob,               ///< one SimulationPool job (arg = job id)
+  kLtsCluster,        ///< one LTS cluster's sweep (arg = cluster)
   kNumSpanIds
 };
 
