@@ -19,20 +19,36 @@
 // archives this output per commit.
 //
 //   bench/bench_overlap [max_shards] [order] [cells_per_dim] [steps]
+//
+// --oversub measures the over-decomposition win instead: the skewed
+// stiff-layer LOH1 LTS workload split 1x1x8, rank-mapped onto 2 virtual
+// ranks (4 shards per rank), with the rank-cut faces given a simulated
+// wire latency calibrated from a latency-free probe. It times schedule=
+// lockstep against the dependency scheduler over identical solvers and
+// backends, asserts the final fields are bitwise-identical, and writes a
+// JSON record (committed as BENCH_oversub.json; CI archives it).
+//
+//   bench/bench_overlap --oversub [out.json] [order] [steps] [threads]
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "exastp/common/simd.h"
+#include "exastp/engine/kernel_cache.h"
+#include "exastp/engine/lts_clusters.h"
 #include "exastp/engine/pde_registry.h"
 #include "exastp/engine/scenario_registry.h"
 #include "exastp/engine/simulation_config.h"
+#include "exastp/mesh/balance_table.h"
 #include "exastp/mesh/partition.h"
 #include "exastp/solver/ader_dg_solver.h"
 #include "exastp/solver/halo_exchange.h"
+#include "exastp/solver/sharded_solver.h"
 
 using namespace exastp;
 
@@ -69,9 +85,194 @@ std::vector<double*> halo_fields(
   return fields;
 }
 
+// ---- --oversub: lockstep vs the dependency scheduler ---------------------
+
+std::uint64_t fnv1a(std::uint64_t h, const unsigned char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The over-decomposed stiff-layer solver: LOH1 LTS workload split 1x1x8,
+/// shards weighted by the LTS substep costs, rank-mapped onto 2 virtual
+/// ranks (4 shards per rank, cost-weighted grouping). `latency_seconds`
+/// swaps in an InProcessExchange that delays the rank-cut link deliveries
+/// — the same backend for both schedules, so the comparison is fair.
+std::unique_ptr<ShardedSolver> make_oversub_solver(
+    const SimulationConfig& config,
+    const std::shared_ptr<const KernelFactory>& pde,
+    const InitialCondition& init, const LtsClustering& clustering,
+    const std::vector<double>& weights, const std::string& schedule,
+    double latency_seconds, int threads) {
+  Partition partition(config.grid, {1, 1, 8}, weights);
+  std::vector<double> shard_cost(
+      static_cast<std::size_t>(partition.num_shards()), 0.0);
+  for (int s = 0; s < partition.num_shards(); ++s) {
+    const int owned = partition.subdomain(s).grid.num_cells();
+    double cost = 0.0;
+    for (int local = 0; local < owned; ++local)
+      cost += weights.empty()
+                  ? 1.0
+                  : weights[static_cast<std::size_t>(
+                        partition.global_cell(s, local))];
+    shard_cost[static_cast<std::size_t>(s)] = cost;
+  }
+  partition.assign_ranks(2, shard_cost);
+
+  const Isa isa = host_best_isa();
+  const auto make_shard =
+      [&](const Grid& grid) -> std::unique_ptr<SolverBase> {
+    return std::make_unique<AderDgSolver>(
+        pde->runtime(),
+        cached_stp_kernel(*pde, config.variant, config.order, isa,
+                          config.family),
+        grid, config.family);
+  };
+  auto solver = std::make_unique<ShardedSolver>(
+      std::move(partition), make_shard, "inprocess", schedule);
+  solver->set_num_threads(threads);
+  solver->set_initial_condition(init);
+  solver->enable_lts(clustering.cluster, clustering.num_clusters);
+  if (latency_seconds > 0.0)
+    solver->set_exchange_backend(std::make_unique<InProcessExchange>(
+        solver->partition(), solver->layout().size(), latency_seconds));
+  return solver;
+}
+
+struct OversubRun {
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+/// Times `steps` fixed-dt steps (one untimed warmup first) and hashes the
+/// final field state cell by cell.
+OversubRun run_oversub(ShardedSolver& solver, int steps) {
+  const double dt = solver.plan_step(solver.stable_dt());
+  solver.step(dt);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) solver.step(dt);
+  OversubRun out;
+  out.seconds = seconds_since(t0);
+  const std::size_t bytes = solver.layout().size() * sizeof(double);
+  std::uint64_t h = 1469598103934665603ull;
+  for (int c = 0; c < solver.grid().num_cells(); ++c)
+    h = fnv1a(h, reinterpret_cast<const unsigned char*>(solver.cell_dofs(c)),
+              bytes);
+  out.checksum = h;
+  return out;
+}
+
+int oversub_main(int argc, char** argv) {
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_oversub.json";
+  const int order = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int steps = argc > 4 ? std::atoi(argv[4]) : 6;
+  const int threads = argc > 5 ? std::atoi(argv[5]) : 1;
+
+  const auto scenario = find_scenario("loh1");
+  SimulationConfig config = parse_simulation_args(
+      {"scenario=loh1", "order=" + std::to_string(order), "cells=8x8x16",
+       "lts=on", "scenario.layer_cp=26", "scenario.layer_cs=15"});
+  config.pde = scenario->default_pde();
+  const auto pde = find_pde(config.pde);
+  const InitialCondition init = scenario->initial_condition(pde, config);
+  const LtsClustering clustering = compute_lts_clusters(
+      config.grid, *pde->runtime(), init, order, config.family, 0);
+  const std::vector<double> weights = BalanceTable().cell_weights(
+      pde->name(), order, clustering.cluster, clustering.num_clusters);
+
+  std::printf(
+      "# oversub bench — loh1 stiff layer (layer_cp=26) ader lts=on "
+      "order=%d cells=8x8x16 shards=1x1x8 on 2 virtual ranks "
+      "(shards_per_rank=4), %d clusters, steps=%d threads=%d\n",
+      order, clustering.num_clusters, steps, threads);
+
+  // Calibrate the simulated rank-cut wire latency from a latency-free
+  // lockstep probe: one mean exchanging-phase compute time. Lockstep can
+  // hide at most one phase's interior sweeps per exchange, so a wire of
+  // this scale exposes the barrier; the dependency scheduler fills the
+  // stall with other shards' (and later phases') work.
+  auto probe = make_oversub_solver(config, pde, init, clustering, weights,
+                                   "lockstep", 0.0, threads);
+  const int phases = probe->num_step_phases();
+  const int exchanging_phases = phases / 2;  // odd LTS phases correct+exchange
+  const int probe_steps = std::max(2, steps / 2);
+  const double probe_step_s =
+      run_oversub(*probe, probe_steps).seconds / probe_steps;
+  const double latency_s = probe_step_s / exchanging_phases;
+  std::printf("# probe: %.4f s/step over %d phases -> simulated cross-rank "
+              "latency %.1f us\n",
+              probe_step_s, phases, latency_s * 1e6);
+
+  auto lockstep = make_oversub_solver(config, pde, init, clustering, weights,
+                                      "lockstep", latency_s, threads);
+  auto deps = make_oversub_solver(config, pde, init, clustering, weights,
+                                  "deps", latency_s, threads);
+  const OversubRun a = run_oversub(*lockstep, steps);
+  const OversubRun b = run_oversub(*deps, steps);
+
+  // Bitwise equivalence of the full final field state, cell by cell.
+  bool bitwise = a.checksum == b.checksum;
+  const std::size_t bytes = lockstep->layout().size() * sizeof(double);
+  for (int c = 0; bitwise && c < lockstep->grid().num_cells(); ++c)
+    bitwise =
+        std::memcmp(lockstep->cell_dofs(c), deps->cell_dofs(c), bytes) == 0;
+  const double speedup = a.seconds / b.seconds;
+
+  std::printf("%12s %12s %10s %10s\n", "lockstep s", "deps s", "speedup",
+              "bitwise");
+  std::printf("%12.4f %12.4f %9.2fx %10s\n", a.seconds, b.seconds, speedup,
+              bitwise ? "yes" : "NO");
+  if (!bitwise) {
+    std::fprintf(stderr,
+                 "oversub: schedules disagree bitwise (lockstep 0x%016llx vs "
+                 "deps 0x%016llx)\n",
+                 static_cast<unsigned long long>(a.checksum),
+                 static_cast<unsigned long long>(b.checksum));
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "oversub: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"oversub\",\n"
+      "  \"workload\": \"loh1 stiff layer (scenario.layer_cp=26, "
+      "scenario.layer_cs=15), ader lts=on\",\n"
+      "  \"order\": %d,\n"
+      "  \"cells\": \"8x8x16\",\n"
+      "  \"shards\": \"1x1x8\",\n"
+      "  \"virtual_ranks\": 2,\n"
+      "  \"shards_per_rank\": 4,\n"
+      "  \"lts_clusters\": %d,\n"
+      "  \"step_phases\": %d,\n"
+      "  \"steps\": %d,\n"
+      "  \"threads\": %d,\n"
+      "  \"simulated_cross_rank_latency_us\": %.1f,\n"
+      "  \"lockstep_seconds\": %.4f,\n"
+      "  \"deps_seconds\": %.4f,\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"bitwise_identical\": true,\n"
+      "  \"state_checksum\": \"0x%016llx\"\n"
+      "}\n",
+      order, clustering.num_clusters, phases, steps, threads,
+      latency_s * 1e6, a.seconds, b.seconds, speedup,
+      static_cast<unsigned long long>(a.checksum));
+  std::fclose(f);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--oversub")
+    return oversub_main(argc, argv);
   const int max_shards = argc > 1 ? std::atoi(argv[1]) : 4;
   const int order = argc > 2 ? std::atoi(argv[2]) : 5;
   const int cells = argc > 3 ? std::atoi(argv[3]) : 6;

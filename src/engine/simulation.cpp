@@ -176,18 +176,57 @@ Simulation Simulation::from_config(SimulationConfig config) {
   }
 
   const std::array<int, 3> shard_grid = resolve_shard_grid(config);
+  const int total_shards = shard_grid[0] * shard_grid[1] * shard_grid[2];
+  if (config.shards_per_rank > 0) {
+    // An explicit shards_per_rank must be consistent with what actually
+    // resolved — Partition::factor can shrink a requested total when the
+    // mesh cannot split that finely, and silently running a different
+    // over-decomposition than asked would invalidate a bench matrix.
+    const int ranks = distributed ? MpiRuntime::size() : 1;
+    EXASTP_CHECK_MSG(
+        total_shards == ranks * config.shards_per_rank,
+        "shards_per_rank=" + std::to_string(config.shards_per_rank) +
+            " needs " + std::to_string(ranks * config.shards_per_rank) +
+            " shard(s) over " + std::to_string(ranks) +
+            " rank(s), but the decomposition resolved to " +
+            std::to_string(total_shards) +
+            " — the mesh may not split that finely; set shards= explicitly "
+            "or lower shards_per_rank=");
+  }
   std::unique_ptr<SolverBase> solver;
   {
     ScopedSpan span(SpanId::kSetupSolver);
-    if (!distributed && shard_grid[0] * shard_grid[1] * shard_grid[2] == 1) {
+    if (!distributed && total_shards == 1) {
       solver = make_shard(Grid(config.grid));
     } else {
       // backend=mpi always goes through the sharded composite (even for one
-      // shard), so the rank/shard match is validated and every rank drives
-      // the same split-phase schedule.
-      solver = std::make_unique<ShardedSolver>(
-          Partition(config.grid, shard_grid, cell_weights), make_shard,
-          config.backend);
+      // shard per rank), so the rank map is validated and every rank
+      // drives the same split-phase schedule.
+      Partition partition(config.grid, shard_grid, cell_weights);
+      if (distributed) {
+        // Group shards onto ranks weighted by summed per-cell cost — the
+        // balance-table weights when LTS loaded them, plain cell counts
+        // otherwise — so a ragged over-decomposition keeps measured work
+        // even across ranks, not just shard counts.
+        std::vector<double> shard_costs(
+            static_cast<std::size_t>(partition.num_shards()), 0.0);
+        for (int s = 0; s < partition.num_shards(); ++s) {
+          if (cell_weights.empty()) {
+            shard_costs[static_cast<std::size_t>(s)] =
+                static_cast<double>(partition.subdomain(s).grid.num_cells());
+          } else {
+            for (int lc = 0; lc < partition.subdomain(s).grid.num_cells();
+                 ++lc)
+              shard_costs[static_cast<std::size_t>(s)] +=
+                  cell_weights[static_cast<std::size_t>(
+                      partition.global_cell(s, lc))];
+          }
+        }
+        partition.assign_ranks(MpiRuntime::size(), shard_costs);
+      }
+      solver = std::make_unique<ShardedSolver>(std::move(partition),
+                                               make_shard, config.backend,
+                                               config.schedule);
     }
   }
 
@@ -388,8 +427,9 @@ std::string Simulation::summary() const {
   // owned-cell range per shard (a single number unless the split is
   // ragged). The Partition knows every shard's size, so this works on any
   // rank of a distributed run.
+  const auto* sharded = dynamic_cast<const ShardedSolver*>(solver_.get());
   int min_cells, max_cells;
-  if (const auto* sharded = dynamic_cast<const ShardedSolver*>(solver_.get())) {
+  if (sharded != nullptr) {
     min_cells = sharded->partition().min_cells_per_shard();
     max_cells = sharded->partition().max_cells_per_shard();
   } else {
@@ -410,9 +450,30 @@ std::string Simulation::summary() const {
   } else {
     os << min_cells << "-" << max_cells;
   }
-  if (distributed_)
+  if (distributed_) {
     os << " backend=mpi rank=" << solver_->rank() << "/"
        << solver_->num_ranks();
+    if (sharded != nullptr &&
+        sharded->num_shards() != solver_->num_ranks()) {
+      // Over-decomposed: the per-rank shard group sizes (one number
+      // unless the rank grouping is ragged).
+      const Partition& partition = sharded->partition();
+      int min_group = partition.num_shards(), max_group = 0;
+      for (int r = 0; r < partition.num_ranks(); ++r) {
+        const int size =
+            static_cast<int>(partition.shards_of_rank(r).size());
+        min_group = std::min(min_group, size);
+        max_group = std::max(max_group, size);
+      }
+      os << " shards/rank=";
+      if (min_group == max_group) {
+        os << max_group;
+      } else {
+        os << min_group << "-" << max_group;
+      }
+    }
+  }
+  if (sharded != nullptr) os << " schedule=" << sharded->schedule();
   if (config_.lts) os << " lts_clusters=" << solver_->lts_num_clusters();
   os << " t_end=" << config_.t_end;
   return os.str();

@@ -163,10 +163,22 @@ void apply_pair(SimulationConfig& config, const std::string& key,
       }
     }
     config.shards = value;
+  } else if (key == "shards_per_rank") {
+    if (value == "auto") {
+      config.shards_per_rank = 0;
+    } else {
+      config.shards_per_rank = parse_int(key, value);
+      EXASTP_CHECK_MSG(config.shards_per_rank >= 1,
+                       "shards_per_rank=" + value + " must be auto or >= 1");
+    }
   } else if (key == "backend") {
     EXASTP_CHECK_MSG(value == "inprocess" || value == "mpi",
                      "backend=" + value + " (inprocess|mpi)");
     config.backend = value;
+  } else if (key == "schedule") {
+    EXASTP_CHECK_MSG(value == "deps" || value == "lockstep",
+                     "schedule=" + value + " (deps|lockstep)");
+    config.schedule = value;
   } else if (key == "precision") {
     config.precision = parse_precision(value);
   } else if (key == "autotune") {
@@ -288,7 +300,9 @@ std::string canonical_config_string(const SimulationConfig& config) {
      << "|variant=" << variant_name(config.variant) << "|isa=" << config.isa
      << "|order=" << config.order << "|family="
      << (config.family == NodeFamily::kGaussLegendre ? "gl" : "lobatto")
-     << "|shards=" << config.shards << "|backend=" << config.backend
+     << "|shards=" << config.shards
+     << "|shards_per_rank=" << config.shards_per_rank
+     << "|backend=" << config.backend
      << "|precision=" << precision_name(config.precision)
      << "|lts=" << (config.lts ? "on" : "off")
      << "|lts_clusters=" << config.lts_clusters
@@ -301,7 +315,11 @@ std::string canonical_config_string(const SimulationConfig& config) {
   // autotune reason too: cost-weighted shard splits are bitwise-identical
   // to unweighted ones, so balanced and unbalanced runs of one config
   // must share an entry. The lts keys ARE present: a multi-cluster
-  // schedule changes the computed bytes.
+  // schedule changes the computed bytes. schedule= is absent for the
+  // threads reason: the dependency-driven and lockstep step schedules are
+  // bitwise-identical, so they must share a memoization entry.
+  // shards_per_rank IS present: under shards=auto it changes the resolved
+  // decomposition, which (like shards=) names the run's topology.
   os << "|cells=" << config.grid.cells[0] << "x" << config.grid.cells[1]
      << "x" << config.grid.cells[2];
   os << "|extent=" << exact(config.grid.extent[0]) << ","
@@ -339,10 +357,16 @@ std::string canonical_config_string(const SimulationConfig& config) {
 
 std::array<int, 3> resolve_shard_grid(const SimulationConfig& config) {
   if (config.shards == "auto") {
-    // Local runs factor the thread count onto the mesh; distributed runs
-    // need one shard per rank, so "auto" factors the MPI launch size.
-    const int total = config.backend == "mpi" ? MpiRuntime::size()
-                                              : resolve_threads(config.threads);
+    // Distributed runs factor shards_per_rank shards per MPI rank (one
+    // without the key — the historical rank-per-shard shape); local runs
+    // factor shards_per_rank directly when given (so one config exercises
+    // the same decomposition with and without MPI), else the thread count.
+    const int per_rank = std::max(config.shards_per_rank, 1);
+    const int total =
+        config.backend == "mpi"
+            ? MpiRuntime::size() * per_rank
+            : (config.shards_per_rank > 0 ? per_rank
+                                          : resolve_threads(config.threads));
     return Partition::factor(total, config.grid.cells);
   }
   const auto parts = split_list(config.shards);
@@ -408,7 +432,9 @@ std::vector<std::string> accepted_config_keys() {
           "precision",
           "threads",
           "shards",
+          "shards_per_rank",
           "backend",
+          "schedule",
           "autotune",
           "lts",
           "lts_clusters",
@@ -463,9 +489,17 @@ std::string simulation_usage() {
       " or auto);\n"
       "                  results are bitwise-identical for every"
       " decomposition\n"
-      "  backend=KIND    halo exchange: inprocess (default) | mpi (one rank"
-      " per shard,\n"
+      "  shards_per_rank=N  over-decomposition: auto (default, one shard per"
+      " rank under\n"
+      "                  backend=mpi) or N >= 1 shards per rank"
+      " (bitwise-identical)\n"
+      "  backend=KIND    halo exchange: inprocess (default) | mpi"
+      " (multi-shard ranks,\n"
       "                  -DEXASTP_WITH_MPI=ON builds under mpirun)\n"
+      "  schedule=KIND   sharded step schedule: deps (default,"
+      " dependency-driven,\n"
+      "                  pipelined halos) | lockstep (per-phase barrier);"
+      " bitwise-identical\n"
       "  autotune=PATH   fused-block autotune table: load, measure missing"
       " entries,\n"
       "                  save back (bitwise-neutral; see docs/precision.md)\n"

@@ -79,6 +79,23 @@ struct SimulationConfig {
   /// under mpirun; see README "Distributed execution (MPI)"). Results are
   /// bitwise-identical across backends.
   std::string backend = "inprocess";
+  /// Over-decomposition: shards per MPI rank. 0 ("auto", the default)
+  /// keeps the historical behaviour — one shard per rank under
+  /// backend=mpi, and the resolved decomposition unchanged locally. N >= 1
+  /// makes shards=auto resolve to ranks * N shards and requires an
+  /// explicit shards= total to equal ranks * N; the partition's rank map
+  /// then groups N consecutive shards per rank (weighted by measured cost
+  /// when a balance table is loaded). Locally (backend=inprocess) N >= 1
+  /// simply makes shards=auto resolve to N shards, so one config exercises
+  /// the same decomposition with and without MPI. Results are
+  /// bitwise-identical for every grouping.
+  int shards_per_rank = 0;
+  /// Step schedule of the sharded solver: "deps" (default) advances each
+  /// shard as its halo inputs arrive, pipelining the next phase's sends
+  /// behind other shards' compute; "lockstep" barriers every phase.
+  /// Bitwise-identical results either way, so this key is pure performance
+  /// state and excluded from the canonical config string.
+  std::string schedule = "deps";
   /// Kernel storage precision: kF64 (default) runs the paper's double
   /// kernels; kF32 stores the predictor's DOF/flux/derivative tensors in
   /// float inside the kernel (half the bytes through the memory-bound GEMM
@@ -150,10 +167,11 @@ int scenario_param_int(const SimulationConfig& config, const std::string& key,
 /// different thread budget still hits the cache.
 std::string canonical_config_string(const SimulationConfig& config);
 
-/// Resolves config.shards against the grid and thread count into the
-/// effective shard block grid: "AxBxC" is taken literally (each dimension
-/// needs at least one cell per shard), a plain total and "auto" (= the
-/// resolved thread count) are factored onto the mesh by
+/// Resolves config.shards against the grid, thread count and rank count
+/// into the effective shard block grid: "AxBxC" is taken literally (each
+/// dimension needs at least one cell per shard), a plain total and "auto"
+/// (= ranks x shards_per_rank under backend=mpi; otherwise shards_per_rank
+/// when given, else the resolved thread count) are factored onto the mesh by
 /// Partition::factor — so the effective topology can be smaller than a
 /// requested total when the mesh cannot be split that finely; the runner's
 /// summary line prints what was actually used.

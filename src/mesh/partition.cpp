@@ -248,6 +248,47 @@ Partition::Partition(const GridSpec& global, const std::array<int, 3>& shards,
     }
     sub.cells = classify_cells(sub.grid);
   }
+  assign_ranks(1);
+}
+
+void Partition::assign_ranks(int num_ranks,
+                             const std::vector<double>& shard_weights) {
+  EXASTP_CHECK_MSG(num_ranks >= 1 && num_ranks <= num_shards(),
+                   "the rank grouping needs at least one shard per rank: " +
+                       std::to_string(num_shards()) + " shard(s) cannot " +
+                       "cover " + std::to_string(num_ranks) +
+                       " rank(s) — raise shards= or shards_per_rank=");
+  EXASTP_CHECK_MSG(
+      shard_weights.empty() ||
+          static_cast<int>(shard_weights.size()) == num_shards(),
+      "shard weights must cover every shard");
+  // Contiguous grouping in shard-index order; the weighted form reuses the
+  // min-max DP of the plane splits with each shard as one "plane", so the
+  // heaviest rank is minimized and uniform weights reproduce the count
+  // split exactly.
+  const std::vector<int> sizes =
+      shard_weights.empty()
+          ? split_sizes(num_shards(), num_ranks)
+          : weighted_split_sizes(shard_weights, num_ranks);
+  num_ranks_ = num_ranks;
+  rank_of_.assign(static_cast<std::size_t>(num_shards()), 0);
+  rank_shards_.assign(static_cast<std::size_t>(num_ranks), {});
+  int shard = 0;
+  for (int r = 0; r < num_ranks; ++r)
+    for (int i = 0; i < sizes[static_cast<std::size_t>(r)]; ++i, ++shard) {
+      rank_of_[static_cast<std::size_t>(shard)] = r;
+      rank_shards_[static_cast<std::size_t>(r)].push_back(shard);
+    }
+}
+
+int Partition::rank_of(int shard) const {
+  EXASTP_CHECK(shard >= 0 && shard < num_shards());
+  return rank_of_[static_cast<std::size_t>(shard)];
+}
+
+const std::vector<int>& Partition::shards_of_rank(int rank) const {
+  EXASTP_CHECK(rank >= 0 && rank < num_ranks_);
+  return rank_shards_[static_cast<std::size_t>(rank)];
 }
 
 const Subdomain& Partition::subdomain(int s) const {

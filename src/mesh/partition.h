@@ -100,6 +100,23 @@ class Partition {
   static std::vector<int> weighted_split_sizes(
       const std::vector<double>& plane_weights, int k);
 
+  /// Groups the shards into `num_ranks` rank blocks, contiguous in shard
+  /// index order, so over-decomposed runs (more shards than ranks) keep
+  /// face-heavy neighbours co-resident. `shard_weights` (one positive cost
+  /// per shard, optional) makes the grouping ragged-weighted via the same
+  /// min-max DP as weighted_split_sizes; empty weights split by count
+  /// (first num_shards % num_ranks ranks get one extra shard). Requires
+  /// at least one shard per rank. A fresh Partition starts with every
+  /// shard on rank 0.
+  void assign_ranks(int num_ranks,
+                    const std::vector<double>& shard_weights = {});
+
+  int num_ranks() const { return num_ranks_; }
+  /// Rank owning shard `s` under the current assign_ranks grouping.
+  int rank_of(int shard) const;
+  /// Shard ids owned by `rank`, ascending (contiguous by construction).
+  const std::vector<int>& shards_of_rank(int rank) const;
+
   int num_shards() const { return static_cast<int>(subdomains_.size()); }
   const std::array<int, 3>& shards() const { return shards_; }
   const GridSpec& global_spec() const { return global_; }
@@ -131,6 +148,9 @@ class Partition {
   std::array<int, 3> shards_{1, 1, 1};
   std::array<std::vector<int>, 3> starts_;  ///< per-dim block start cells
   std::vector<Subdomain> subdomains_;
+  int num_ranks_ = 1;
+  std::vector<int> rank_of_;                ///< shard -> rank
+  std::vector<std::vector<int>> rank_shards_;  ///< rank -> shard ids
 };
 
 }  // namespace exastp

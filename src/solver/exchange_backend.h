@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "exastp/common/check.h"
 #include "exastp/mesh/partition.h"
 #include "exastp/telemetry/telemetry.h"
 
@@ -92,6 +93,75 @@ class ExchangeBackend {
     wait();
   }
 
+  // --- Dependency-scheduled protocol (ShardedSolver schedule=deps) ------
+  //
+  // Alternative to the lockstep post/wait pair for over-decomposed ranks:
+  // per-shard, per-phase pipelining. One step is bracketed by
+  // sched_begin_step / sched_end_step; in between the driving scheduler
+  // tells the backend, shard by shard, when outgoing bytes become final
+  // (sched_capture: the shard completed the previous phase) and when a
+  // shard is ready to receive (sched_open: it finished reading the
+  // previous phase's halos), and asks which shards' halos have fully
+  // arrived (sched_delivered). The backend moves bytes as early as the
+  // protocol allows: a capture whose receiver has already opened delivers
+  // immediately (zero-copy in-process; an eager MPI_Isend across ranks),
+  // otherwise the face plane is packed into a staging buffer at capture
+  // time — the source keeps computing into the same field, so the bytes
+  // of "phase start" must be taken right then. Delivery into a halo block
+  // happens only after the receiver opened the phase (it may still be
+  // reading the previous phase's halos), which makes the reordering
+  // WAR-free; per (link, channel) transfers are produced and consumed in
+  // phase order, so matching is unambiguous (MPI's non-overtaking rule
+  // pairs same-tag messages in order).
+  //
+  // The bytes every halo slot receives are exactly the lockstep bytes, so
+  // scheduled stepping stays bitwise-identical to lockstep (and to the
+  // monolithic solver) for every decomposition.
+
+  /// Whether this backend implements the scheduled protocol.
+  virtual bool supports_scheduled() const { return false; }
+
+  /// Starts a scheduled step. `fields_by_phase[phase]` is that phase's
+  /// field list in the post_fields form (empty = the phase exchanges
+  /// nothing); the vector must outlive the step. Resets per-link state.
+  void sched_begin_step(
+      const std::vector<std::vector<ExchangeField>>& fields_by_phase) {
+    do_sched_begin_step(fields_by_phase);
+  }
+  /// Source-side: shard `shard` completed phase `phase - 1` (or the
+  /// previous step, for phase 0), so its outgoing planes for `phase` are
+  /// final — deliver or stage them now. Call once per (shard, phase), in
+  /// ascending phase order per shard.
+  void sched_capture(int shard, int phase) {
+    ScopedSpan span(SpanId::kExchangePost);
+    do_sched_capture(shard, phase);
+  }
+  /// Receiver-side: shard `shard` finished reading phase `phase - 1`
+  /// halos, so `phase` deliveries may now land in its halo blocks. Call
+  /// once per (shard, phase), in ascending phase order per shard.
+  void sched_open(int shard, int phase) {
+    ScopedSpan span(SpanId::kExchangePost);
+    do_sched_open(shard, phase);
+  }
+  /// True once every halo slot `shard` reads in `phase` holds its
+  /// neighbour's bytes (trivially true for non-exchanging phases). The
+  /// shard's boundary sweep for the phase may then run.
+  bool sched_delivered(int shard, int phase) const {
+    return do_sched_delivered(shard, phase);
+  }
+  /// True while some opened (shard, phase) still waits on arrivals — the
+  /// scheduler's "communication in flight" predicate for the overlap
+  /// accounting.
+  bool sched_any_pending() const { return do_sched_any_pending(); }
+  /// Progresses in-flight transfers (MPI_Testsome-style). `block` waits
+  /// until at least one delivery lands — only legal when some opened
+  /// shard is undelivered (a blocking poll with nothing in flight is a
+  /// scheduler bug and fails loudly).
+  void sched_poll(bool block) { do_sched_poll(block); }
+  /// Finishes the step: drains outstanding sends and verifies every
+  /// exchanging (shard, phase) was opened and delivered.
+  void sched_end_step() { do_sched_end_step(); }
+
   /// Halo bytes delivered into this process's shards per exchange (the
   /// logical traffic; identical for every backend on a local run).
   std::size_t payload_bytes_per_exchange() const { return payload_bytes_; }
@@ -105,6 +175,30 @@ class ExchangeBackend {
  protected:
   virtual void do_post(const std::vector<ExchangeField>& fields) = 0;
   virtual void do_wait() = 0;
+
+  // Scheduled-protocol hooks; the defaults fail loudly so a backend that
+  // answers supports_scheduled() == false is never driven half-way.
+  virtual void do_sched_begin_step(
+      const std::vector<std::vector<ExchangeField>>& /*fields_by_phase*/) {
+    fail_unscheduled();
+  }
+  virtual void do_sched_capture(int /*shard*/, int /*phase*/) {
+    fail_unscheduled();
+  }
+  virtual void do_sched_open(int /*shard*/, int /*phase*/) {
+    fail_unscheduled();
+  }
+  virtual bool do_sched_delivered(int /*shard*/, int /*phase*/) const {
+    fail_unscheduled();
+  }
+  virtual bool do_sched_any_pending() const { fail_unscheduled(); }
+  virtual void do_sched_poll(bool /*block*/) { fail_unscheduled(); }
+  virtual void do_sched_end_step() { fail_unscheduled(); }
+
+  [[noreturn]] static void fail_unscheduled() {
+    EXASTP_FAIL("this exchange backend does not implement the scheduled "
+                "protocol (supports_scheduled() is false)");
+  }
 
   std::size_t payload_bytes_ = 0;
   std::size_t copied_bytes_ = 0;

@@ -1,20 +1,32 @@
-// Distributed exchange backend: MPI_Isend/MPI_Irecv of the plan-ordered
-// halo buffers, one rank per shard (rank r drives shard r of the same
-// Partition on every rank).
+// Distributed exchange backend: hybrid intra-rank gather + inter-rank
+// MPI_Isend/MPI_Irecv, driven by the Partition's rank map
+// (Partition::assign_ranks). Rank r materializes every shard in
+// shards_of_rank(r); links whose two endpoints live on the same rank move
+// through the zero-copy LocalLinkSet gather of solver/halo_exchange.h, and
+// only links that actually cross a rank boundary become MPI messages —
+// over-decomposed runs (shards_per_rank > 1) pay the wire for the few true
+// rank-cut faces, not for every shard face.
 //
-// post() first posts one MPI_Irecv per HaloPlan of this rank's shard —
-// straight into the destination halo block, which is contiguous and
-// plan-ordered, so the receive side needs no unpack copy — then packs and
-// MPI_Isends the outgoing plane of every plan that names this rank as the
-// source. The message tag is the receiving face's (dir, side) slot, which
-// uniquely identifies a message between a shard pair (two shards can
-// neighbour on at most one face per (dir, side), including the periodic
-// wrap). wait() is MPI_Waitall over every posted request.
+// Lockstep post() first posts one MPI_Irecv per cross-rank plan of this
+// rank's shards — straight into the destination halo block, which is
+// contiguous and plan-ordered, so the receive side needs no unpack copy —
+// then packs and MPI_Isends the outgoing planes, then gathers the local
+// legs. The message tag is (channel * num_shards + dst_shard) * 6 +
+// (dir, side): a (dst_shard, dir, side) face has exactly one source shard,
+// so the tag uniquely names a link per channel even when one rank pair
+// carries several shard pairs. wait() is MPI_Waitall.
+//
+// The backend also implements the dependency-scheduled protocol
+// (exchange_backend.h): receives post at sched_open, sends pack and fly
+// eagerly at sched_capture, and sched_poll progresses with
+// MPI_Testsome / MPI_Waitsome. Per (link, channel) the same tag carries one
+// message per exchanging phase; MPI's non-overtaking rule pairs the
+// sequence in phase order on both sides.
 //
 // The bytes a halo slot receives are exactly the bytes the in-process
 // backend would have gathered, so backend=mpi runs are bitwise-identical
 // to backend=inprocess (and to the monolithic solver) — tests/test_mpi.cpp
-// proves it under mpirun.
+// proves it under mpirun, including over-decomposed rank maps.
 //
 // Only the factory is exposed here; the backend class lives in the
 // MPI-gated translation unit. Builds without -DEXASTP_WITH_MPI=ON fail

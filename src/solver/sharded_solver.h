@@ -3,26 +3,40 @@
 //
 // A ShardedSolver owns a Partition (mesh/partition.h), sub-solvers built
 // over the shards' partitioned Grid views, and the ExchangeBackend
-// connecting them (exchange_backend.h). A step runs the sub-solvers' phase
-// protocol in lockstep with the split-phase exchange schedule: for every
-// phase, post the halo field the phase reads, run every local shard's
-// interior sweep while the halo is in flight, wait, then run the boundary
-// sweeps. Because the views compute geometry in global coordinates and
-// every halo slot receives the exact bytes of its neighbour tensor, the
-// composite's field state is bitwise-identical to the monolithic solver
-// for any backend x shard grid x thread count (tests/test_sharding.cpp,
-// tests/test_overlap.cpp and tests/test_mpi.cpp guard the matrix).
+// connecting them (exchange_backend.h). The shard count is independent of
+// the rank count: the Partition's rank map (Partition::assign_ranks)
+// groups shards onto ranks, so an over-decomposed run keeps several shards
+// per rank — small enough to pipeline, co-resident so their mutual halo
+// legs stay zero-copy in-process and only true rank-cut faces pay the wire
+// (solver/mpi_exchange.h).
 //
-// Two execution modes share this class:
-//   backend=inprocess  all shards live here; they advance sequentially
-//                      within a phase, each on the solver's thread team
-//                      (the decomposition is the process-boundary seam,
-//                      not an extra in-process parallel layer);
-//   backend=mpi        one rank per shard — only this rank's sub-solver
-//                      is materialized, the interior sweep overlaps the
-//                      MPI_Isend/Irecv traffic, and rank()/num_ranks()/
-//                      shard_is_local() tell rank-aware writers which
-//                      pieces live here.
+// Two step schedules share the phase protocol, selected by `schedule`:
+//
+//   lockstep   for every phase: post the halo fields the phase reads, run
+//              every local shard's interior sweep while they are in
+//              flight, wait, then the boundary sweeps. One global barrier
+//              per phase — every shard stalls on the slowest exchange.
+//
+//   deps       dependency-driven (the default): each local shard advances
+//              through its own phases as its inputs arrive. A shard's
+//              boundary sweep for a phase runs as soon as that shard's
+//              halos for the phase are delivered (sched_delivered); when a
+//              shard finishes a phase, its next-phase halo planes are
+//              captured immediately (pipelined multi-field sends — the
+//              next phase's traffic leaves while other shards still
+//              compute), and the scheduler fills stalls with whichever
+//              shard has runnable work. Blocked time polls the backend
+//              MPI_Testsome-style and is recorded as the sched_wait span;
+//              ready-queue depth and task counts land in the
+//              sched_tasks / sched_ready_depth_sum / sched_blocked_polls
+//              counters.
+//
+// Both schedules deliver exactly the neighbour tensor's bytes into every
+// halo slot and run each sweep over identical inputs, so the composite's
+// field state is bitwise-identical to the monolithic solver for any
+// backend x shard grid x rank map x schedule x thread count
+// (tests/test_sharding.cpp, test_overlap.cpp, test_oversub.cpp and
+// test_mpi.cpp guard the matrix).
 //
 // Engine-facing addressing stays global: grid() is the whole-domain grid,
 // and cell_dofs / node_position / sample / add_point_source route by the
@@ -49,13 +63,17 @@ class ShardedSolver final : public SolverBase {
   /// `make_shard` (called with the shard's Grid view; typically wraps
   /// AderDgSolver or RkDgSolver). All shards must share layout, basis and
   /// stepper. `backend` picks the exchange: "inprocess" (default, every
-  /// shard in this process) or "mpi" (one rank per shard; fails with a
-  /// clear message when the decomposition does not match the MPI launch).
+  /// shard in this process) or "mpi" (this rank materializes the shards
+  /// the partition's rank map assigns to it; a partition without a rank
+  /// map is auto-grouped one-shard-per-rank, and a map that does not
+  /// match the launch fails with a clear message). `schedule` picks the
+  /// step schedule: "deps" (default) or "lockstep".
   ShardedSolver(
       Partition partition,
       const std::function<std::unique_ptr<SolverBase>(const Grid&)>&
           make_shard,
-      const std::string& backend = "inprocess");
+      const std::string& backend = "inprocess",
+      const std::string& schedule = "deps");
 
   const Grid& grid() const override { return global_grid_; }
   const AosLayout& layout() const override { return primary().layout(); }
@@ -87,9 +105,8 @@ class ShardedSolver final : public SolverBase {
   /// since max-wave-speed reduction commutes exactly.
   double stable_dt(double cfl = 0.4) const override;
 
-  /// Lockstep split-phase protocol: post the phase's halo fields, run
-  /// every local shard's interior sweep while they are in flight, wait,
-  /// then the boundary sweeps.
+  /// One time step under the configured schedule (see the file comment);
+  /// bitwise-identical results either way.
   void step(double dt) override;
 
   /// Phase count of the sub-solvers — queried live, because enable_lts
@@ -125,27 +142,42 @@ class ShardedSolver final : public SolverBase {
   int rank() const override { return rank_; }
   int num_ranks() const override;
   bool shard_is_local(int s) const override {
-    return !distributed_ || s == rank_;
+    return !distributed_ || partition_.rank_of(s) == rank_;
   }
 
   const Partition& partition() const { return partition_; }
+  /// The configured step schedule ("deps" or "lockstep").
+  const std::string& schedule() const { return schedule_; }
   /// The exchange backend (name, payload/copied bytes) for benches.
   const ExchangeBackend& exchange_backend() const { return *exchange_; }
+  /// Swaps the exchange backend — a bench/test hook (e.g. an
+  /// InProcessExchange with simulated cross-rank latency). The replacement
+  /// must cover the same partition and cell size.
+  void set_exchange_backend(std::unique_ptr<ExchangeBackend> backend);
 
  private:
   const SolverBase& primary() const {
-    return *shards_[static_cast<std::size_t>(distributed_ ? rank_ : 0)];
+    return *shards_[static_cast<std::size_t>(primary_)];
   }
   SolverBase& primary() {
-    return *shards_[static_cast<std::size_t>(distributed_ ? rank_ : 0)];
+    return *shards_[static_cast<std::size_t>(primary_)];
   }
+
+  /// The phase's halo fields assembled across local shards, post_fields
+  /// form (one ExchangeField per channel; remote shard slots nullptr).
+  std::vector<ExchangeField> phase_exchange_fields(int phase) const;
+  void step_lockstep(double dt);
+  void step_scheduled(double dt);
 
   Partition partition_;
   Grid global_grid_;
   bool distributed_ = false;
   int rank_ = 0;
+  int primary_ = 0;  ///< lowest locally-materialized shard id
+  std::string schedule_;
   /// One slot per shard; only locally-materialized shards are non-null
-  /// (all of them for backend=inprocess, exactly [rank_] for backend=mpi).
+  /// (all of them for backend=inprocess, this rank's group for
+  /// backend=mpi).
   std::vector<std::unique_ptr<SolverBase>> shards_;
   std::unique_ptr<ExchangeBackend> exchange_;
 };

@@ -29,6 +29,7 @@ const char* span_name(SpanId id) {
     case SpanId::kSetupInit: return "setup_init";
     case SpanId::kJob: return "job";
     case SpanId::kLtsCluster: return "lts_cluster";
+    case SpanId::kSchedWait: return "sched_wait";
     case SpanId::kNumSpanIds: break;
   }
   EXASTP_FAIL("unknown span id");
@@ -175,14 +176,17 @@ std::string telemetry_summary_table(const TelemetryRegistry& registry,
     os << line;
   }
 
-  // Overlap efficiency: how much of the halo exchange hid behind interior
-  // compute. hidden = interior time while an exchange was in flight; the
-  // unhidden remainder showed up as exchange_wait.
+  // Overlap efficiency: how much of the halo exchange hid behind compute.
+  // hidden = sweep time while an exchange was in flight; the unhidden
+  // remainder showed up as exchange_wait (lockstep) or as blocked
+  // sched_wait polls (the dependency scheduler).
   const SpanAggregate overlap = registry.aggregate(SpanId::kOverlapCompute);
   const SpanAggregate wait = registry.aggregate(SpanId::kExchangeWait);
+  const SpanAggregate sched = registry.aggregate(SpanId::kSchedWait);
   if (overlap.count > 0) {
     const double hidden = static_cast<double>(overlap.total_ns) * 1e-9;
-    const double unhidden = static_cast<double>(wait.total_ns) * 1e-9;
+    const double unhidden =
+        static_cast<double>(wait.total_ns + sched.total_ns) * 1e-9;
     const double total = hidden + unhidden;
     os << "  overlap efficiency " << percent_text(total > 0.0 ? hidden / total
                                                               : 0.0)

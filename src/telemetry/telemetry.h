@@ -73,6 +73,7 @@ enum class SpanId : std::int32_t {
   kSetupInit,         ///< from_config: initial condition + sources
   kJob,               ///< one SimulationPool job (arg = job id)
   kLtsCluster,        ///< one LTS cluster's sweep (arg = cluster)
+  kSchedWait,         ///< scheduler blocked on arrivals (arg = stalled shards)
   kNumSpanIds
 };
 

@@ -1,14 +1,18 @@
 // Distributed execution: backend=mpi equivalence against backend=inprocess,
-// run under mpirun (see CMakeLists.txt: test_mpi_np2 / test_mpi_np4,
-// `ctest -L mpi`).
+// run under mpirun (see CMakeLists.txt: test_mpi_np2 / test_mpi_np3 /
+// test_mpi_np4, `ctest -L mpi`).
 //
 // Every rank runs this binary. The acceptance contract: for every
-// decomposition of the PR-4 matrix matching the launch size, the fields
-// after run_until are bitwise-identical between `backend=inprocess
-// shards=N` (each rank replays the local run, which is deterministic) and
-// `backend=mpi` with N ranks — and the merged receiver/VTK artifacts match
-// the local run's byte for byte. Tests skip decompositions that do not
-// match the launch size, so one binary serves -np 2 and -np 4.
+// decomposition of the matrix matching the launch size — one shard per
+// rank, over-decomposed rank maps (shards_per_rank > 1) and ragged
+// groupings (5 shards on 2 or 3 ranks) — the fields after run_until are
+// bitwise-identical between `backend=inprocess shards=N` (each rank
+// replays the local run, which is deterministic) and `backend=mpi` — and
+// the merged receiver/VTK artifacts match the local run's byte for byte.
+// The distributed run uses the default dependency scheduler while the
+// local replay runs schedule=lockstep, so every case also crosses the
+// schedule axis. Tests skip decompositions that do not match the launch
+// size, so one binary serves -np 2, 3 and 4.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -26,18 +30,36 @@
 namespace exastp {
 namespace {
 
-/// Decompositions of the PR-4 test matrix that fit this launch size.
-std::vector<std::string> decompositions_for(int ranks) {
+/// Decomposition key sets that fit this launch size. The first entry is
+/// always the plain one-shard-per-rank split (the artifact tests use it);
+/// the rest over-decompose — shards_per_rank=2 and the ragged 5-shard
+/// grouping (5 on 2 ranks -> 3|2, 5 on 3 -> 2|2|1).
+std::vector<std::vector<std::string>> decompositions_for(int ranks) {
   switch (ranks) {
     case 2:
-      return {"2x1x1"};
+      return {{"shards=2x1x1"},
+              {"shards=5x1x1"},
+              {"shards=auto", "shards_per_rank=2"}};
+    case 3:
+      return {{"shards=3x1x1"},
+              {"shards=5x1x1"},
+              {"shards=auto", "shards_per_rank=2"}};
     case 4:
-      return {"2x2x1", "4x1x1"};
+      return {{"shards=2x2x1"},
+              {"shards=4x1x1"},
+              {"shards=auto", "shards_per_rank=2"}};
     case 6:
-      return {"3x2x1"};
+      return {{"shards=3x2x1"}};
     default:
       return {};
   }
+}
+
+std::string label_of(const std::vector<std::string>& keys) {
+  std::string label;
+  for (const std::string& key : keys)
+    label += (label.empty() ? "" : " ") + key;
+  return label;
 }
 
 Simulation run_with(const std::vector<std::string>& args,
@@ -49,49 +71,73 @@ Simulation run_with(const std::vector<std::string>& args,
   return sim;
 }
 
-/// Bitwise comparison of this rank's shard between a distributed run and
-/// the locally-replayed in-process reference.
+/// Bitwise comparison of every shard this rank materializes (one under
+/// the plain rank map, several under an over-decomposed one) between a
+/// distributed run and the locally-replayed in-process reference.
 void expect_local_shard_bitwise_equal(const Simulation& mpi,
                                       const Simulation& local,
                                       const std::string& label) {
-  const int rank = MpiRuntime::rank();
   ASSERT_EQ(mpi.solver().num_ranks(), MpiRuntime::size()) << label;
-  ASSERT_TRUE(mpi.solver().shard_is_local(rank)) << label;
-  const SolverBase& mine = mpi.solver().shard(rank);
-  const SolverBase& ref = local.solver().shard(rank);
-  ASSERT_EQ(mine.grid().num_cells(), ref.grid().num_cells()) << label;
+  ASSERT_EQ(mpi.solver().num_shards(), local.solver().num_shards()) << label;
   EXPECT_EQ(mpi.solver().time(), local.solver().time()) << label;
-  for (int c = 0; c < mine.grid().num_cells(); ++c) {
-    const double* qa = mine.cell_dofs(c);
-    const double* qb = ref.cell_dofs(c);
-    for (std::size_t i = 0; i < mine.layout().size(); ++i)
-      ASSERT_EQ(qa[i], qb[i])
-          << label << ": rank " << rank << " cell " << c << " slot " << i
-          << " diverged from the in-process run";
+  int local_shards = 0;
+  for (int s = 0; s < mpi.solver().num_shards(); ++s) {
+    if (!mpi.solver().shard_is_local(s)) continue;
+    ++local_shards;
+    const SolverBase& mine = mpi.solver().shard(s);
+    const SolverBase& ref = local.solver().shard(s);
+    ASSERT_EQ(mine.grid().num_cells(), ref.grid().num_cells()) << label;
+    for (int c = 0; c < mine.grid().num_cells(); ++c) {
+      const double* qa = mine.cell_dofs(c);
+      const double* qb = ref.cell_dofs(c);
+      for (std::size_t i = 0; i < mine.layout().size(); ++i)
+        ASSERT_EQ(qa[i], qb[i])
+            << label << ": rank " << MpiRuntime::rank() << " shard " << s
+            << " cell " << c << " slot " << i
+            << " diverged from the in-process run";
+    }
   }
+  EXPECT_GE(local_shards, 1) << label;
 }
 
 /// The acceptance matrix body: every launch-compatible decomposition must
-/// be bitwise-identical between the two backends.
+/// be bitwise-identical between the two backends. The distributed run
+/// keeps the default dependency scheduler; the local replay pins
+/// schedule=lockstep, so backend and schedule cross in one comparison.
 void expect_mpi_invariant(const std::vector<std::string>& args) {
-  const std::vector<std::string> decompositions =
-      decompositions_for(MpiRuntime::size());
+  const auto decompositions = decompositions_for(MpiRuntime::size());
   if (decompositions.empty())
     GTEST_SKIP() << "no matrix decomposition for " << MpiRuntime::size()
                  << " ranks";
-  for (const std::string& shards : decompositions) {
-    Simulation mpi =
-        run_with(args, {"shards=" + shards, "backend=mpi"});
-    Simulation local =
-        run_with(args, {"shards=" + shards, "backend=inprocess"});
-    expect_local_shard_bitwise_equal(mpi, local, "shards=" + shards);
+  for (const std::vector<std::string>& keys : decompositions) {
+    std::vector<std::string> mpi_keys = keys;
+    mpi_keys.push_back("backend=mpi");
+    std::vector<std::string> local_keys = keys;
+    local_keys.push_back("backend=inprocess");
+    local_keys.push_back("schedule=lockstep");
+    // A local replay of an over-decomposed auto split materializes
+    // shards_per_rank x size shards; tell the resolver how many ranks'
+    // worth to build. shards=auto + shards_per_rank=N resolves locally to
+    // N shards, so pin the total explicitly instead.
+    Simulation mpi = run_with(args, mpi_keys);
+    std::vector<std::string> replay_keys = local_keys;
+    for (std::string& key : replay_keys)
+      if (key == "shards=auto")
+        key = "shards=" + std::to_string(mpi.solver().num_shards());
+    // Drop a now-redundant shards_per_rank on the local replay — locally
+    // it would demand total == 1 * N.
+    std::vector<std::string> final_keys;
+    for (const std::string& key : replay_keys)
+      if (key.rfind("shards_per_rank=", 0) != 0) final_keys.push_back(key);
+    Simulation local = run_with(args, final_keys);
+    expect_local_shard_bitwise_equal(mpi, local, label_of(keys));
     if (local.has_exact_solution()) {
       // The distributed L2 sums per shard then per rank; same value up to
       // the changed floating-point association.
       const double mpi_l2 = mpi.l2_error();
       const double local_l2 = local.l2_error();
       EXPECT_NEAR(mpi_l2, local_l2, 1e-12 * (1.0 + std::abs(local_l2)))
-          << "shards=" << shards;
+          << label_of(keys);
     }
   }
 }
@@ -130,18 +176,33 @@ TEST(MpiEquivalence, AderLoh1PointSourceThreaded) {
 }
 
 TEST(MpiRankMismatch, FailsWithAClearMessage) {
-  // A decomposition whose shard count cannot match the launch must fail
-  // loudly — on every rank, before any communication (no hang).
+  // Inconsistent topology requests must fail loudly — on every rank,
+  // before any communication (no hang). An explicit shards= that
+  // contradicts shards_per_rank= is refused by the engine's consistency
+  // check ...
   const std::string shards =
       std::to_string(MpiRuntime::size() + 1) + "x1x1";
   try {
     Simulation::from_args({"scenario=planewave", "order=3", "cells=16x4x4",
-                           "t_end=0.05", "shards=" + shards, "backend=mpi"});
-    FAIL() << "mismatched rank/shard counts must throw";
+                           "t_end=0.05", "shards=" + shards,
+                           "shards_per_rank=1", "backend=mpi"});
+    FAIL() << "contradictory shards=/shards_per_rank= must throw";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("one rank per shard"),
+    EXPECT_NE(std::string(e.what()).find("shards_per_rank"),
               std::string::npos)
         << e.what();
+  }
+  // ... and fewer shards than ranks cannot give every rank work.
+  if (MpiRuntime::size() > 2) {
+    try {
+      Simulation::from_args({"scenario=planewave", "order=3", "cells=16x4x4",
+                             "t_end=0.05", "shards=2x1x1", "backend=mpi"});
+      FAIL() << "fewer shards than ranks must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("at least one shard per rank"),
+                std::string::npos)
+          << e.what();
+    }
   }
 }
 
@@ -157,23 +218,24 @@ TEST(MpiArtifacts, ReceiverStreamsMergeToTheLocalRunsFiles) {
   const int ranks = MpiRuntime::size();
   if (decompositions_for(ranks).empty())
     GTEST_SKIP() << "no matrix decomposition for " << ranks << " ranks";
-  const std::string shards = decompositions_for(ranks).front();
+  const std::vector<std::string> shards = decompositions_for(ranks).front();
   const std::string tag = "/tmp/exastp_mpi_recv_" + std::to_string(ranks);
-  const std::vector<std::string> args = {
+  std::vector<std::string> args = {
       "scenario=planewave", "order=4",  "cells=4x4x4",
       "t_end=0.1",          "threads=1",
       "receivers=0.2,0.5,0.5;0.8,0.5,0.5;1.0,1.0,1.0"};
+  args.insert(args.end(), shards.begin(), shards.end());
 
   // The collective distributed run first (all ranks), then the local
   // reference on rank 0 alone.
   Simulation mpi = run_with(
-      args, {"shards=" + shards, "backend=mpi",
+      args, {"backend=mpi",
              "output.receivers_bin=" + tag + "_mpi.bin",
              "output.receivers_csv=" + tag + "_mpi.csv"});
   (void)mpi;
   if (MpiRuntime::rank() != 0) return;
 
-  run_with(args, {"shards=" + shards, "backend=inprocess",
+  run_with(args, {"backend=inprocess",
                   "output.receivers_bin=" + tag + "_local.bin",
                   "output.receivers_csv=" + tag + "_local.csv"});
 
@@ -194,19 +256,20 @@ TEST(MpiArtifacts, VtkPiecesAndIndexMatchTheLocalRun) {
   const int ranks = MpiRuntime::size();
   if (decompositions_for(ranks).empty())
     GTEST_SKIP() << "no matrix decomposition for " << ranks << " ranks";
-  const std::string shards = decompositions_for(ranks).front();
+  const std::vector<std::string> shards = decompositions_for(ranks).front();
   const std::string tag = "/tmp/exastp_mpi_vtk_" + std::to_string(ranks);
-  const std::vector<std::string> args = {"scenario=planewave", "order=3",
-                                         "cells=4x4x2", "t_end=0.06",
-                                         "threads=1",
-                                         "output.interval=0.03"};
+  std::vector<std::string> args = {"scenario=planewave", "order=3",
+                                   "cells=4x4x2", "t_end=0.06",
+                                   "threads=1",
+                                   "output.interval=0.03"};
+  args.insert(args.end(), shards.begin(), shards.end());
 
-  Simulation mpi = run_with(args, {"shards=" + shards, "backend=mpi",
+  Simulation mpi = run_with(args, {"backend=mpi",
                                    "output.series=" + tag + "_mpi"});
   // Simulation::run barriers, so every rank's pieces are on disk here.
   if (MpiRuntime::rank() != 0) return;
 
-  run_with(args, {"shards=" + shards, "backend=inprocess",
+  run_with(args, {"backend=inprocess",
                   "output.series=" + tag + "_local"});
 
   // Same piece files (every shard, every snapshot) and the same index —
@@ -240,17 +303,34 @@ TEST(MpiArtifacts, VtkPiecesAndIndexMatchTheLocalRun) {
 TEST(MpiSummary, ReportsBackendAndRank) {
   if (decompositions_for(MpiRuntime::size()).empty())
     GTEST_SKIP() << "no matrix decomposition";
-  const std::string shards = decompositions_for(MpiRuntime::size()).front();
-  Simulation sim = Simulation::from_args(
-      {"scenario=planewave", "order=3", "cells=5x4x3", "threads=1",
-       "shards=" + shards, "backend=mpi"});
+  // The first matrix entry is always a literal one-shard-per-rank
+  // "shards=AxBxC", so the summary echoes it verbatim.
+  const std::vector<std::string> shards =
+      decompositions_for(MpiRuntime::size()).front();
+  std::vector<std::string> args = {"scenario=planewave", "order=3",
+                                   "cells=5x4x3", "threads=1",
+                                   "backend=mpi"};
+  args.insert(args.end(), shards.begin(), shards.end());
+  Simulation sim = Simulation::from_args(args);
   const std::string summary = sim.summary();
   EXPECT_NE(summary.find("backend=mpi rank=" +
                          std::to_string(MpiRuntime::rank()) + "/" +
                          std::to_string(MpiRuntime::size())),
             std::string::npos)
       << summary;
-  EXPECT_NE(summary.find("shards=" + shards), std::string::npos) << summary;
+  EXPECT_NE(summary.find(shards.front()), std::string::npos) << summary;
+}
+
+TEST(MpiSummary, ReportsShardGroupingWhenOverDecomposed) {
+  // shards_per_rank=2 gives every rank a two-shard group; the summary
+  // surfaces the grouping and the exchange schedule next to the rank.
+  Simulation sim = Simulation::from_args(
+      {"scenario=planewave", "order=3", "cells=8x4x3", "threads=1",
+       "shards=auto", "shards_per_rank=2", "backend=mpi"});
+  EXPECT_EQ(sim.solver().num_shards(), 2 * MpiRuntime::size());
+  const std::string summary = sim.summary();
+  EXPECT_NE(summary.find("shards/rank=2"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("schedule=deps"), std::string::npos) << summary;
 }
 
 }  // namespace

@@ -218,8 +218,12 @@ Simulation run_with(std::vector<std::string> args,
 
 TEST(Telemetry, TraceExportIsParseableWithPhaseNamesAndShardTracks) {
   const std::string path = "test_telemetry_trace.json";
+  // schedule=lockstep pins the split-phase span set this test asserts
+  // (exchange_wait + the overlap aggregate); the default deps schedule has
+  // its own spans, covered by tests/test_oversub.cpp.
   Simulation sim = run_with(
-      base_args(), {"shards=2x1x1", "threads=2", "trace=" + path});
+      base_args(),
+      {"shards=2x1x1", "threads=2", "schedule=lockstep", "trace=" + path});
 
   const std::string json = read_file(path);
   EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
